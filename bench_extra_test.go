@@ -1,0 +1,60 @@
+package isegen_test
+
+import (
+	"testing"
+
+	isegen "repro"
+	"repro/internal/experiments"
+	"repro/internal/kernels"
+)
+
+// BenchmarkAreaKnapsack measures the area-budget selection extension
+// (cmd/isebench -area) on the AES candidate pool.
+func BenchmarkAreaKnapsack(b *testing.B) {
+	app := kernels.AES()
+	model := isegen.DefaultModel()
+	cfg := isegen.DefaultConfig()
+	cfg.NISE = 8
+	res, err := isegen.Generate(app, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	kept := 0
+	for i := 0; i < b.N; i++ {
+		kept = len(isegen.SelectUnderAreaBudget(app, model, res.Selections, 8000))
+	}
+	b.ReportMetric(float64(kept), "afus-kept")
+}
+
+// BenchmarkHWGenAES measures Verilog AFU generation for every ISE ISEGEN
+// selects on AES.
+func BenchmarkHWGenAES(b *testing.B) {
+	app := kernels.AES()
+	model := isegen.DefaultModel()
+	res, err := isegen.Generate(app, isegen.DefaultConfig())
+	if err != nil || len(res.Selections) == 0 {
+		b.Fatalf("generate: %v", err)
+	}
+	b.ResetTimer()
+	bytesOut := 0
+	for i := 0; i < b.N; i++ {
+		bytesOut = 0
+		for _, sel := range res.Selections {
+			mod, err := isegen.GenerateAFU(sel.Cut.Block, sel.Cut.Nodes, model, "afu")
+			if err != nil {
+				b.Fatal(err)
+			}
+			bytesOut += len(mod.Verilog())
+		}
+	}
+	b.ReportMetric(float64(bytesOut), "verilog-bytes")
+}
+
+// BenchmarkAblationRestarts measures the dispersed-restart ablation.
+func BenchmarkAblationRestarts(b *testing.B) {
+	o := experiments.DefaultOptions()
+	for i := 0; i < b.N; i++ {
+		experiments.AblationRestarts(o)
+	}
+}

@@ -1,0 +1,151 @@
+// Command dfgtool manipulates .dfg files and the built-in benchmark suite.
+//
+// Usage:
+//
+//	dfgtool list                        list built-in benchmarks
+//	dfgtool gen [-o file] <benchmark>   write a built-in benchmark as .dfg
+//	dfgtool check <file.dfg>            parse and validate a .dfg file
+//	dfgtool dot [-o file] <file.dfg>    render the first block as Graphviz
+//	dfgtool stats <file.dfg>            per-block node/edge/latency stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	isegen "repro"
+	"repro/internal/kernels"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	outPath := fs.String("o", "", "output file (default stdout)")
+	_ = fs.Parse(os.Args[2:])
+
+	var err error
+	switch cmd {
+	case "list":
+		for _, s := range kernels.All() {
+			fmt.Printf("%-16s critical block %d nodes, %d blocks\n", s.Name, s.CriticalSize, len(s.App.Blocks))
+		}
+		fmt.Printf("%-16s critical block %d nodes, %d blocks\n", "aes", 696, len(kernels.AES().Blocks))
+	case "gen":
+		err = gen(fs.Arg(0), *outPath)
+	case "check":
+		err = check(fs.Arg(0))
+	case "dot":
+		err = dot(fs.Arg(0), *outPath)
+	case "stats":
+		err = stats(fs.Arg(0))
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dfgtool:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  dfgtool list
+  dfgtool gen [-o file] <benchmark>
+  dfgtool check <file.dfg>
+  dfgtool dot [-o file] <file.dfg>
+  dfgtool stats <file.dfg>`)
+}
+
+func output(path string) (io.WriteCloser, error) {
+	if path == "" {
+		return os.Stdout, nil
+	}
+	return os.Create(path)
+}
+
+func findApp(name string) (*isegen.Application, error) {
+	if name == "aes" {
+		return kernels.AES(), nil
+	}
+	for _, s := range kernels.All() {
+		if s.Name == name {
+			return s.App, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown benchmark %q (try 'dfgtool list')", name)
+}
+
+func gen(name, outPath string) error {
+	app, err := findApp(name)
+	if err != nil {
+		return err
+	}
+	w, err := output(outPath)
+	if err != nil {
+		return err
+	}
+	if w != os.Stdout {
+		defer w.Close()
+	}
+	return isegen.WriteApplication(w, app)
+}
+
+func parse(path string) (*isegen.Application, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return isegen.ParseApplication(path, f)
+}
+
+func check(path string) error {
+	app, err := parse(path)
+	if err != nil {
+		return err
+	}
+	model := isegen.DefaultModel()
+	for _, blk := range app.Blocks {
+		if err := model.Validate(blk); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("%s: OK (%d blocks, largest %d nodes)\n", path, len(app.Blocks), app.MaxBlockSize())
+	return nil
+}
+
+func dot(path, outPath string) error {
+	app, err := parse(path)
+	if err != nil {
+		return err
+	}
+	w, err := output(outPath)
+	if err != nil {
+		return err
+	}
+	if w != os.Stdout {
+		defer w.Close()
+	}
+	return isegen.WriteDOT(w, app.Blocks[0], nil)
+}
+
+func stats(path string) error {
+	app, err := parse(path)
+	if err != nil {
+		return err
+	}
+	model := isegen.DefaultModel()
+	fmt.Printf("%-28s %6s %6s %6s %8s %8s\n", "block", "nodes", "edges", "inputs", "freq", "swlat")
+	for _, blk := range app.Blocks {
+		fmt.Printf("%-28s %6d %6d %6d %8g %8d\n",
+			blk.Name, blk.N(), blk.DAG().NumEdges(), blk.NumInputs, blk.Freq, model.BlockSWLat(blk))
+	}
+	return nil
+}

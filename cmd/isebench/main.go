@@ -1,0 +1,87 @@
+// Command isebench regenerates every table and figure of the paper's
+// evaluation section, plus the ablation and future-work studies.
+//
+// Usage:
+//
+//	isebench            run everything
+//	isebench -fig 4     only Figure 4 (speedup + runtime comparison)
+//	isebench -fig 6     only Figure 6 (AES speedup sweep)
+//	isebench -fig 7     only Figure 7 (AES cut reusability)
+//	isebench -ablation  only the ablation studies
+//	isebench -sim       only the cycle-level simulation validation
+//	isebench -energy    only the code-size / energy table
+//	isebench -area      only the AFU area-budget study
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		fig      = flag.Int("fig", 0, "run only the given figure (4, 6 or 7)")
+		ablation = flag.Bool("ablation", false, "run only the ablation studies")
+		simOnly  = flag.Bool("sim", false, "run only the simulation validation")
+		energy   = flag.Bool("energy", false, "run only the code-size/energy table")
+		area     = flag.Bool("area", false, "run only the AFU area-budget study")
+	)
+	flag.Parse()
+	o := experiments.DefaultOptions()
+	all := *fig == 0 && !*ablation && !*simOnly && !*energy && !*area
+
+	if all || *fig == 4 {
+		rows := experiments.Figure4(o)
+		experiments.PrintFigure4(os.Stdout, rows)
+		fmt.Println()
+	}
+	if all || *fig == 6 {
+		for _, nise := range []int{1, 4} {
+			pts := experiments.Figure6(o, nise)
+			experiments.PrintFigure6(os.Stdout, nise, pts)
+			fmt.Println()
+		}
+	}
+	if all || *fig == 7 {
+		rows := experiments.Figure7(o)
+		experiments.PrintFigure7(os.Stdout, rows)
+		fmt.Println()
+	}
+	if all || *ablation {
+		experiments.PrintAblation(os.Stdout, "Ablation: gain-function components (geomean over Fig. 4 suite)", experiments.AblationWeights(o))
+		fmt.Println()
+		experiments.PrintAblation(os.Stdout, "Ablation: K-L pass bound", experiments.AblationPasses(o))
+		fmt.Println()
+		experiments.PrintAblation(os.Stdout, "Ablation: dispersed restarts on AES (4,2)", experiments.AblationRestarts(o))
+		fmt.Println()
+	}
+	if all || *simOnly {
+		rows, err := experiments.SimulationValidation(o)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "isebench:", err)
+			os.Exit(1)
+		}
+		experiments.PrintSim(os.Stdout, rows)
+		fmt.Println()
+	}
+	if all || *energy {
+		rows, err := experiments.EnergyCodeSize(o)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "isebench:", err)
+			os.Exit(1)
+		}
+		experiments.PrintEnergy(os.Stdout, rows)
+		fmt.Println()
+	}
+	if all || *area {
+		rows, err := experiments.AreaStudy(o, experiments.DefaultAreaBudgets)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "isebench:", err)
+			os.Exit(1)
+		}
+		experiments.PrintAreaStudy(os.Stdout, rows)
+	}
+}

@@ -1,0 +1,161 @@
+// Command isegen identifies Instruction Set Extensions in .dfg files.
+//
+// Usage:
+//
+//	isegen [flags] file.dfg
+//
+// The input may contain several blocks (an application). Results are
+// printed per cut with node sets, I/O counts, merits and claimed instance
+// counts, followed by the whole-application report.
+//
+// Flags select the algorithm (-algo isegen|genetic|exact|iterative), the
+// port constraints (-in, -out), the AFU budget (-nise) and optional DOT
+// output highlighting the cuts (-dot file).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	isegen "repro"
+)
+
+func main() {
+	var (
+		algo    = flag.String("algo", "isegen", "algorithm: isegen, genetic, exact, iterative")
+		maxIn   = flag.Int("in", 4, "maximum ISE input operands")
+		maxOut  = flag.Int("out", 2, "maximum ISE output operands")
+		nise    = flag.Int("nise", 4, "maximum number of ISEs (AFUs)")
+		seed    = flag.Int64("seed", 1, "random seed for the genetic algorithm")
+		dotFile = flag.String("dot", "", "write a Graphviz rendering of the first block with cuts highlighted")
+		noReuse = flag.Bool("noreuse", false, "disable reuse matching (each cut counts once)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: isegen [flags] file.dfg")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *algo, *maxIn, *maxOut, *nise, *seed, *dotFile, *noReuse); err != nil {
+		fmt.Fprintln(os.Stderr, "isegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, algo string, maxIn, maxOut, nise int, seed int64, dotFile string, noReuse bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	app, err := isegen.ParseApplication(path, f)
+	if err != nil {
+		return err
+	}
+	model := isegen.DefaultModel()
+
+	var sels []isegen.Selection
+	switch algo {
+	case "isegen":
+		cfg := isegen.DefaultConfig()
+		cfg.MaxIn, cfg.MaxOut, cfg.NISE = maxIn, maxOut, nise
+		if noReuse {
+			cuts, err := isegen.GenerateCutsOnly(app, cfg)
+			if err != nil {
+				return err
+			}
+			sels = cutsToSelections(app, cuts)
+		} else {
+			res, err := isegen.Generate(app, cfg)
+			if err != nil {
+				return err
+			}
+			sels = res.Selections
+		}
+	case "genetic", "exact", "iterative":
+		blockIdx := map[*isegen.Block]int{}
+		for i, b := range app.Blocks {
+			blockIdx[b] = i
+		}
+		var cuts []*isegen.Cut
+		// The baselines operate per block; run them on the largest one,
+		// as the paper does (the critical basic block).
+		hot := 0
+		for i, b := range app.Blocks {
+			if b.N() > app.Blocks[hot].N() {
+				hot = i
+			}
+		}
+		switch algo {
+		case "genetic":
+			cuts, err = isegen.GeneticIterative(app.Blocks[hot], isegen.GeneticOptions{
+				MaxIn: maxIn, MaxOut: maxOut, Model: model, Seed: seed,
+			}, nise)
+		case "exact":
+			cuts, err = isegen.ExactMultiCut(app.Blocks[hot], isegen.ExactOptions{
+				MaxIn: maxIn, MaxOut: maxOut, Model: model, NodeLimit: 25, Budget: 2_000_000_000,
+			}, nise)
+		case "iterative":
+			cuts, err = isegen.ExactIterative(app.Blocks[hot], isegen.ExactOptions{
+				MaxIn: maxIn, MaxOut: maxOut, Model: model, NodeLimit: 100, Budget: 2_000_000_000,
+			}, nise)
+		}
+		if err != nil {
+			return err
+		}
+		if noReuse {
+			sels = cutsToSelections(app, cuts)
+		} else {
+			sels = isegen.ClaimAllWithReuse(app, cuts, func(c *isegen.Cut) int { return blockIdx[c.Block] })
+		}
+	default:
+		return fmt.Errorf("unknown algorithm %q", algo)
+	}
+
+	for i, sel := range sels {
+		fmt.Printf("ISE %d: block %q nodes %v\n", i+1, sel.Cut.Block.Name, sel.Cut.Nodes)
+		fmt.Printf("  io (%d,%d), swlat %d, afu cycles %d, merit %.0f, instances %d\n",
+			sel.Cut.NumIn, sel.Cut.NumOut, sel.Cut.SWLat, sel.Cut.HWCyclesInt(), sel.Cut.Merit(), len(sel.Instances))
+	}
+	rep, err := isegen.Evaluate(app, model, sels)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("application: speedup %.3f, coverage %.1f%%, code size %d -> %d, energy %.1f%%\n",
+		rep.Speedup, 100*rep.Coverage, rep.StaticBefore, rep.StaticAfter, 100*rep.EnergyAfter/rep.EnergyBefore)
+
+	if dotFile != "" {
+		var cuts []*isegen.BitSet
+		for _, sel := range sels {
+			if sel.Cut.Block == app.Blocks[0] {
+				cuts = append(cuts, sel.Cut.Nodes)
+			}
+		}
+		df, err := os.Create(dotFile)
+		if err != nil {
+			return err
+		}
+		defer df.Close()
+		if err := isegen.WriteDOT(df, app.Blocks[0], cuts); err != nil {
+			return err
+		}
+		fmt.Println("wrote", dotFile)
+	}
+	return nil
+}
+
+func cutsToSelections(app *isegen.Application, cuts []*isegen.Cut) []isegen.Selection {
+	blockIdx := map[*isegen.Block]int{}
+	for i, b := range app.Blocks {
+		blockIdx[b] = i
+	}
+	var sels []isegen.Selection
+	for _, c := range cuts {
+		sels = append(sels, isegen.Selection{
+			Cut:       c,
+			Instances: []isegen.Instance{{BlockIdx: blockIdx[c.Block], Nodes: c.Nodes}},
+		})
+	}
+	return sels
+}

@@ -1,0 +1,69 @@
+// Custom latency model and textual DFGs: parse a hand-written .dfg
+// application, build a latency model for a core with a fast hardware
+// multiplier (making multiply-centred ISEs much less attractive), and
+// compare the ISEs ISEGEN picks under the default and custom models.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	isegen "repro"
+)
+
+// A small filter kernel written in the .dfg text format: two taps of an
+// FIR filter followed by a saturating shift.
+const src = `
+dfg fir2
+freq 500
+inputs 5
+# y = sat((x0*c0 + x1*c1) >> 8) ; acc' = acc + y
+0 mul i0 i2
+1 mul i1 i3
+2 add n0 n1
+3 shra n2 m8
+4 min n3 m32767
+5 max n4 m-32768
+6 add i4 n5
+7 xor n5 n6 !out
+8 or n6 n7 !out
+
+dfg glue
+freq 10
+inputs 2
+0 add i0 i1
+1 load n0
+2 store i0 n1
+3 sub i1 m1 !out
+`
+
+func main() {
+	app, err := isegen.ParseApplication("fir", strings.NewReader(src))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(name string, model *isegen.Model) {
+		cfg := isegen.DefaultConfig()
+		cfg.Model = model
+		res, err := isegen.Generate(app, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s:\n", name)
+		for _, sel := range res.Selections {
+			fmt.Printf("  cut %v io (%d,%d) merit %.0f\n",
+				sel.Cut.Nodes, sel.Cut.NumIn, sel.Cut.NumOut, sel.Cut.Merit())
+		}
+		fmt.Printf("  speedup %.3f\n", res.Report.Speedup)
+	}
+
+	run("default model (3-cycle multiply)", isegen.DefaultModel())
+
+	// A core with a single-cycle multiplier: software multiplies are
+	// cheap, so ISEs must earn their keep by chaining.
+	fast := isegen.DefaultModel()
+	fast.SW[isegen.OpMul] = 1
+	run("fast-multiplier model (1-cycle multiply)", fast)
+}

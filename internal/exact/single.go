@@ -1,0 +1,335 @@
+// Package exact implements the optimal ISE identification baselines the
+// paper compares against (its reference [3], Atasu/Pozzi/Ienne DAC 2003):
+//
+//   - SingleCut: exhaustive enumeration of the best single feasible cut of
+//     a block, with the DAC'03 prunings (reverse-topological branching,
+//     monotone output-port count, permanent-input count, convexity
+//     blocking, merit upper bound);
+//   - Iterative (iterative exact single-cut): repeatedly find the exact
+//     best cut, freeze it and repeat — the paper's "Iterative";
+//   - MultiCut: exact joint assignment of nodes to NISE cuts — the
+//     paper's "Exact", practical only for small blocks.
+//
+// Both entry points refuse blocks beyond a configurable node limit and
+// abort when a search-node budget is exhausted, mirroring the paper's
+// observation that the exact approaches fail on large basic blocks such as
+// AES (696 nodes).
+package exact
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/ir"
+	"repro/internal/latency"
+)
+
+// ErrTooLarge is returned when a block exceeds the configured node limit.
+var ErrTooLarge = errors.New("exact: block exceeds node limit")
+
+// ErrBudget is returned when the search-node budget is exhausted before
+// the enumeration completes.
+var ErrBudget = errors.New("exact: search budget exhausted")
+
+// Options control the exact searches.
+type Options struct {
+	MaxIn, MaxOut int
+	Model         *latency.Model
+	// NodeLimit refuses larger blocks up front (0 = no limit).
+	NodeLimit int
+	// Budget bounds the number of explored search-tree nodes
+	// (0 = no limit).
+	Budget int64
+}
+
+// singleCutSearch carries the branch-and-bound state for one block.
+type singleCutSearch struct {
+	opt    Options
+	blk    *ir.Block
+	dag    *graph.DAG
+	order  []int // reverse topological order
+	frozen *graph.BitSet
+	swLat  []int
+	hwLat  []float64
+	// suffixSW[i] = Σ software latency of non-frozen nodes order[i:].
+	suffixSW []int
+
+	// Search state.
+	cut     *graph.BitSet
+	blocked *graph.BitSet
+	pending *graph.BitSet // node values consumed by the cut, producer undecided
+	inputs  *graph.BitSet // permanent input values (value ID space)
+	inCnt   int
+	outCnt  int
+	swSum   int
+	tail    []float64 // HW path from node downward within cut
+	hwCP    float64
+
+	best      *graph.BitSet
+	bestMerit float64
+	explored  int64
+	aborted   bool
+}
+
+// SingleCut returns the feasible cut of the block maximizing merit
+// λ(C) = latSW(C) − latHW(C), or nil when no cut has positive merit. Nodes
+// in excluded (may be nil) cannot join the cut.
+func SingleCut(blk *ir.Block, opt Options, excluded *graph.BitSet) (*core.Cut, error) {
+	if err := checkOptions(&opt, blk); err != nil {
+		return nil, err
+	}
+	n := blk.N()
+	s := &singleCutSearch{
+		opt:     opt,
+		blk:     blk,
+		dag:     blk.DAG(),
+		frozen:  graph.NewBitSet(n),
+		swLat:   make([]int, n),
+		hwLat:   make([]float64, n),
+		cut:     graph.NewBitSet(n),
+		blocked: graph.NewBitSet(n),
+		pending: graph.NewBitSet(n),
+		inputs:  graph.NewBitSet(blk.NumValues()),
+		tail:    make([]float64, n),
+		best:    graph.NewBitSet(n),
+	}
+	if excluded != nil {
+		s.frozen.Or(excluded)
+	}
+	for v := 0; v < n; v++ {
+		op := blk.Nodes[v].Op
+		s.swLat[v] = opt.Model.SWLat(op)
+		if d, ok := opt.Model.HWLat(op); ok {
+			s.hwLat[v] = d
+		} else {
+			s.frozen.Set(v)
+		}
+		if blk.ForbiddenInCut(v) {
+			s.frozen.Set(v)
+		}
+	}
+	topo := s.dag.Topo()
+	s.order = make([]int, n)
+	for i, v := range topo {
+		s.order[n-1-i] = v
+	}
+	s.suffixSW = make([]int, n+1)
+	for i := n - 1; i >= 0; i-- {
+		s.suffixSW[i] = s.suffixSW[i+1]
+		if !s.frozen.Has(s.order[i]) {
+			s.suffixSW[i] += s.swLat[s.order[i]]
+		}
+	}
+
+	s.search(0)
+	if s.aborted {
+		return nil, ErrBudget
+	}
+	if s.best.Empty() || s.bestMerit <= 0 {
+		return nil, nil
+	}
+	sw, cp, in, out, _ := core.CutMetrics(blk, opt.Model, s.best)
+	return &core.Cut{
+		Block:  blk,
+		Nodes:  s.best.Clone(),
+		NumIn:  in,
+		NumOut: out,
+		SWLat:  sw,
+		HWLat:  cp,
+	}, nil
+}
+
+func checkOptions(opt *Options, blk *ir.Block) error {
+	if opt.Model == nil {
+		return fmt.Errorf("exact: Options.Model is nil")
+	}
+	if opt.MaxIn < 1 || opt.MaxOut < 1 {
+		return fmt.Errorf("exact: I/O constraints (%d,%d) must be at least (1,1)", opt.MaxIn, opt.MaxOut)
+	}
+	if opt.NodeLimit > 0 && blk.N() > opt.NodeLimit {
+		return fmt.Errorf("%w: %d nodes > limit %d", ErrTooLarge, blk.N(), opt.NodeLimit)
+	}
+	return opt.Model.Validate(blk)
+}
+
+// search explores decisions for order[i:]. All constraint bookkeeping is
+// exact for the decided prefix; see the package comment for the pruning
+// rules.
+func (s *singleCutSearch) search(i int) {
+	if s.aborted {
+		return
+	}
+	s.explored++
+	if s.opt.Budget > 0 && s.explored > s.opt.Budget {
+		s.aborted = true
+		return
+	}
+	// Merit upper bound: every remaining non-frozen node could join with
+	// no critical-path growth.
+	ub := core.MeritOf(s.swSum+s.suffixSW[i], s.hwCP)
+	if ub <= s.bestMerit {
+		return
+	}
+	if i == len(s.order) {
+		merit := core.MeritOf(s.swSum, s.hwCP)
+		if merit > s.bestMerit && !s.cut.Empty() {
+			s.bestMerit = merit
+			s.best.CopyFrom(s.cut)
+		}
+		return
+	}
+	v := s.order[i]
+	if !s.frozen.Has(v) && !s.blocked.Has(v) {
+		s.branchInclude(i, v)
+	}
+	s.branchExclude(i, v)
+}
+
+func (s *singleCutSearch) branchInclude(i, v int) {
+	blk := s.blk
+	n := blk.N()
+
+	// Output count: v's consumers are all decided (reverse topological
+	// order), so v's output status is final.
+	isOut := blk.LiveOut.Has(v)
+	if !isOut {
+		for _, u := range blk.Uses(v) {
+			if !s.cut.Has(u) {
+				isOut = true
+				break
+			}
+		}
+	}
+	if blk.Nodes[v].Op.HasValue() && isOut && s.outCnt+1 > s.opt.MaxOut {
+		return
+	}
+	// Permanent inputs: external input sources join immediately; node
+	// sources are undecided (producers come later) and go to pending.
+	var newInputs []int
+	for _, src := range blk.Srcs(v) {
+		if src >= n && !s.inputs.Has(src) {
+			newInputs = append(newInputs, src)
+		}
+	}
+	if s.inCnt+len(newInputs) > s.opt.MaxIn {
+		return
+	}
+	// v itself may have been consumed by the cut; joining resolves the
+	// pending use with no input.
+	wasPending := s.pending.Has(v)
+
+	// Commit.
+	s.cut.Set(v)
+	s.swSum += s.swLat[v]
+	outAdded := 0
+	if blk.Nodes[v].Op.HasValue() && isOut {
+		s.outCnt++
+		outAdded = 1
+	}
+	for _, src := range newInputs {
+		s.inputs.Set(src)
+	}
+	s.inCnt += len(newInputs)
+	var pendingAdded []int
+	for _, src := range blk.Srcs(v) {
+		if src < n && !s.pending.Has(src) && !s.cut.Has(src) {
+			s.pending.Set(src)
+			pendingAdded = append(pendingAdded, src)
+		}
+	}
+	if wasPending {
+		s.pending.Clear(v)
+	}
+	t := s.hwLat[v]
+	down := 0.0
+	for _, u := range s.dag.Succs(v) {
+		if s.cut.Has(u) && s.tail[u] > down {
+			down = s.tail[u]
+		}
+	}
+	s.tail[v] = t + down
+	oldCP := s.hwCP
+	if s.tail[v] > s.hwCP {
+		s.hwCP = s.tail[v]
+	}
+
+	s.search(i + 1)
+
+	// Rollback.
+	s.hwCP = oldCP
+	s.tail[v] = 0
+	if wasPending {
+		s.pending.Set(v)
+	}
+	for _, src := range pendingAdded {
+		s.pending.Clear(src)
+	}
+	s.inCnt -= len(newInputs)
+	for _, src := range newInputs {
+		s.inputs.Clear(src)
+	}
+	s.outCnt -= outAdded
+	s.swSum -= s.swLat[v]
+	s.cut.Clear(v)
+}
+
+func (s *singleCutSearch) branchExclude(i, v int) {
+	// Excluding v: a pending use becomes a permanent input.
+	wasPending := s.pending.Has(v)
+	if wasPending && s.inCnt+1 > s.opt.MaxIn {
+		return
+	}
+	var savedBlocked *graph.BitSet
+	if s.dag.Desc(v).Intersects(s.cut) || wasPending {
+		// v is outside the cut with a descendant inside (a pending use
+		// implies a cut consumer, i.e. a cut descendant): every
+		// ancestor of v must stay outside or the cut becomes
+		// non-convex.
+		anc := s.dag.Anc(v)
+		if !anc.SubsetOf(s.blocked) {
+			savedBlocked = s.blocked.Clone()
+			s.blocked.Or(anc)
+		}
+	}
+	if wasPending {
+		s.pending.Clear(v)
+		s.inputs.Set(v)
+		s.inCnt++
+	}
+
+	s.search(i + 1)
+
+	if wasPending {
+		s.inCnt--
+		s.inputs.Clear(v)
+		s.pending.Set(v)
+	}
+	if savedBlocked != nil {
+		s.blocked.CopyFrom(savedBlocked)
+	}
+}
+
+// Iterative implements the paper's "Iterative" baseline: the exact best
+// single cut is identified, its nodes are frozen, and the process repeats
+// until nise cuts are found or no positive-merit cut remains.
+func Iterative(blk *ir.Block, opt Options, nise int) ([]*core.Cut, error) {
+	if nise < 1 {
+		return nil, fmt.Errorf("exact: nise = %d, must be at least 1", nise)
+	}
+	excluded := graph.NewBitSet(blk.N())
+	var cuts []*core.Cut
+	for len(cuts) < nise {
+		cut, err := SingleCut(blk, opt, excluded)
+		if err != nil {
+			return cuts, err
+		}
+		if cut == nil {
+			break
+		}
+		cuts = append(cuts, cut)
+		excluded.Or(cut.Nodes)
+	}
+	return cuts, nil
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAreaStudyMonotoneWithinBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("area sweep in -short mode")
+	}
+	o := DefaultOptions()
+	budgets := []float64{1000, 8000, 32000, 0}
+	rows, err := AreaStudy(o, budgets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8*len(budgets) {
+		t.Fatalf("got %d rows, want %d", len(rows), 8*len(budgets))
+	}
+	// Per benchmark: used area within budget and speedup non-decreasing
+	// with the budget.
+	byBench := map[string][]AreaRow{}
+	for _, r := range rows {
+		byBench[r.Benchmark] = append(byBench[r.Benchmark], r)
+	}
+	for name, rs := range byBench {
+		prev := 0.0
+		for i, r := range rs {
+			if r.Budget > 0 && r.UsedArea > r.Budget {
+				t.Errorf("%s: used %v gates over budget %v", name, r.UsedArea, r.Budget)
+			}
+			if r.Speedup < prev-1e-9 {
+				t.Errorf("%s: speedup decreased with larger budget: %v after %v (row %d)",
+					name, r.Speedup, prev, i)
+			}
+			prev = r.Speedup
+			if r.Speedup < 1 {
+				t.Errorf("%s: speedup %v below 1", name, r.Speedup)
+			}
+		}
+		// Unlimited budget must reach a real speedup.
+		if last := rs[len(rs)-1]; last.Speedup <= 1.05 {
+			t.Errorf("%s: unlimited-budget speedup %v too low", name, last.Speedup)
+		}
+	}
+	var buf bytes.Buffer
+	PrintAreaStudy(&buf, rows)
+	if !strings.Contains(buf.String(), "area budgets") {
+		t.Error("printout missing header")
+	}
+}

@@ -1,0 +1,481 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation section:
+//
+//	Figure 4 (left):  speedup of Exact / Iterative / Genetic / ISEGEN on
+//	                  seven EEMBC/MediaBench benchmarks at I/O (4,2), 4 AFUs
+//	Figure 4 (right): ISE-generation runtime of the same four algorithms
+//	Figure 6:         AES speedup, Genetic vs ISEGEN, sweeping I/O
+//	                  constraints at NISE = 1 and NISE = 4
+//	Figure 7:         reusability — instance count of each AES cut vs I/O
+//
+// plus the ablations motivated by Section 4 (gain-weight components, pass
+// count, restarts) and the future-work experiments of Section 6
+// (cycle-level simulation, code size and energy).
+//
+// Every harness returns plain row structs and has a Print* companion that
+// renders the same rows the paper plots.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/exact"
+	"repro/internal/genetic"
+	"repro/internal/ir"
+	"repro/internal/kernels"
+	"repro/internal/latency"
+)
+
+// AlgoNames lists the four compared algorithms in the paper's legend order.
+var AlgoNames = []string{"Exact", "Iterative", "Genetic", "ISEGEN"}
+
+// Options configure a harness run.
+type Options struct {
+	MaxIn, MaxOut int
+	NISE          int
+	// ExactNodeLimit mirrors the paper: the joint Exact search handled
+	// blocks of up to ~25 nodes. Default 25.
+	ExactNodeLimit int
+	// IterativeNodeLimit mirrors the paper: Iterative handled blocks of
+	// up to ~96 nodes (so fft00's 104-node block fails). Default 100.
+	IterativeNodeLimit int
+	// Budget bounds the exact searches' explored nodes. Default 2e9.
+	Budget int64
+	// GASeed seeds the genetic baseline.
+	GASeed int64
+	Model  *latency.Model
+}
+
+// DefaultOptions returns the paper's main configuration.
+func DefaultOptions() Options {
+	return Options{
+		MaxIn: 4, MaxOut: 2, NISE: 4,
+		ExactNodeLimit:     25,
+		IterativeNodeLimit: 100,
+		Budget:             2_000_000_000,
+		GASeed:             1,
+		Model:              latency.Default(),
+	}
+}
+
+// Fig4Row is one benchmark's outcome for both Figure 4 plots.
+type Fig4Row struct {
+	Benchmark string
+	Nodes     int // critical-block size (paper's parenthesized number)
+	// Speedup and Runtime are keyed by AlgoNames entries; a missing key
+	// means the algorithm could not handle the benchmark and Note says
+	// why (mirroring the bars absent from the paper's plot).
+	Speedup map[string]float64
+	Runtime map[string]time.Duration
+	Note    map[string]string
+}
+
+// isegenConfig builds the core config for the options.
+func (o Options) isegenConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.MaxIn, cfg.MaxOut, cfg.NISE = o.MaxIn, o.MaxOut, o.NISE
+	cfg.Model = o.Model
+	return cfg
+}
+
+func (o Options) exactOptions(nodeLimit int) exact.Options {
+	return exact.Options{
+		MaxIn: o.MaxIn, MaxOut: o.MaxOut, Model: o.Model,
+		NodeLimit: nodeLimit, Budget: o.Budget,
+	}
+}
+
+func (o Options) geneticOptions() genetic.Options {
+	return genetic.Options{
+		MaxIn: o.MaxIn, MaxOut: o.MaxOut, Model: o.Model, Seed: o.GASeed,
+	}
+}
+
+// speedupOf evaluates cuts without reuse (the Figure 4 protocol: all four
+// algorithms are scored identically).
+func speedupOf(app *ir.Application, model *latency.Model, cuts []*core.Cut) float64 {
+	if len(cuts) == 0 {
+		return 1
+	}
+	rep, err := eval.SpeedupOfCuts(app, model, cuts)
+	if err != nil {
+		return 1
+	}
+	return rep.Speedup
+}
+
+// Figure4 runs all four algorithms on the seven benchmarks.
+func Figure4(o Options) []Fig4Row {
+	var rows []Fig4Row
+	for _, spec := range kernels.All() {
+		row := Fig4Row{
+			Benchmark: spec.Name,
+			Nodes:     spec.CriticalSize,
+			Speedup:   map[string]float64{},
+			Runtime:   map[string]time.Duration{},
+			Note:      map[string]string{},
+		}
+		hot := spec.App.Blocks[0]
+
+		// Exact (joint multi-cut; small blocks only).
+		start := time.Now()
+		cuts, err := exact.MultiCut(hot, o.exactOptions(o.ExactNodeLimit), o.NISE)
+		if err != nil {
+			row.Note["Exact"] = shortErr(err)
+		} else {
+			row.Runtime["Exact"] = time.Since(start)
+			row.Speedup["Exact"] = speedupOf(spec.App, o.Model, cuts)
+		}
+
+		// Iterative exact single-cut.
+		start = time.Now()
+		cuts, err = exact.Iterative(hot, o.exactOptions(o.IterativeNodeLimit), o.NISE)
+		if err != nil {
+			row.Note["Iterative"] = shortErr(err)
+		} else {
+			row.Runtime["Iterative"] = time.Since(start)
+			row.Speedup["Iterative"] = speedupOf(spec.App, o.Model, cuts)
+		}
+
+		// Genetic.
+		start = time.Now()
+		cuts, err = genetic.Iterative(hot, o.geneticOptions(), o.NISE)
+		if err != nil {
+			row.Note["Genetic"] = shortErr(err)
+		} else {
+			row.Runtime["Genetic"] = time.Since(start)
+			row.Speedup["Genetic"] = speedupOf(spec.App, o.Model, cuts)
+		}
+
+		// ISEGEN, restricted to the same critical block the baselines
+		// see, so Figure 4 compares algorithms on identical problems.
+		hotApp := &ir.Application{Name: spec.Name, Blocks: []*ir.Block{hot}}
+		start = time.Now()
+		res, err := core.Generate(hotApp, o.isegenConfig(), nil)
+		if err != nil {
+			row.Note["ISEGEN"] = shortErr(err)
+		} else {
+			row.Runtime["ISEGEN"] = time.Since(start)
+			row.Speedup["ISEGEN"] = speedupOf(spec.App, o.Model, res.Cuts)
+		}
+
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+func shortErr(err error) string {
+	s := err.Error()
+	if len(s) > 60 {
+		s = s[:57] + "..."
+	}
+	return s
+}
+
+// PrintFigure4 renders both Figure 4 plots as tables.
+func PrintFigure4(w io.Writer, rows []Fig4Row) {
+	fmt.Fprintf(w, "Figure 4 (left): speedup, I/O (4,2), NISE = 4\n")
+	fmt.Fprintf(w, "%-20s %8s %8s %8s %8s\n", "benchmark(n)", "Exact", "Iterat.", "Genetic", "ISEGEN")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-20s", fmt.Sprintf("%s(%d)", r.Benchmark, r.Nodes))
+		for _, a := range AlgoNames {
+			if v, ok := r.Speedup[a]; ok {
+				fmt.Fprintf(w, " %8.3f", v)
+			} else {
+				fmt.Fprintf(w, " %8s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "\nFigure 4 (right): ISE generation runtime (µs, log axis in the paper)\n")
+	fmt.Fprintf(w, "%-20s %10s %10s %10s %10s\n", "benchmark(n)", "Exact", "Iterat.", "Genetic", "ISEGEN")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-20s", fmt.Sprintf("%s(%d)", r.Benchmark, r.Nodes))
+		for _, a := range AlgoNames {
+			if v, ok := r.Runtime[a]; ok {
+				fmt.Fprintf(w, " %10d", v.Microseconds())
+			} else {
+				fmt.Fprintf(w, " %10s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "('-' = algorithm cannot handle the block, as in the paper: ")
+	fmt.Fprintf(w, "Exact is limited to ~25 nodes, Iterative to ~100.)\n")
+}
+
+// IOSweep is the I/O-constraint axis of Figures 6 and 7.
+var IOSweep = [][2]int{{2, 1}, {3, 1}, {4, 1}, {4, 2}, {6, 3}, {8, 4}}
+
+// Fig6Point is one x-position of a Figure 6 plot.
+type Fig6Point struct {
+	IO      [2]int
+	Genetic float64
+	ISEGEN  float64
+}
+
+// Figure6 sweeps the I/O constraints on AES with the given AFU budget,
+// comparing the genetic baseline against ISEGEN. Both sides receive the
+// identical reuse treatment (every isomorphic instance of each cut is
+// claimed), so the difference isolates cut *quality*.
+func Figure6(o Options, nise int) []Fig6Point {
+	var out []Fig6Point
+	for _, io := range IOSweep {
+		oo := o
+		oo.MaxIn, oo.MaxOut, oo.NISE = io[0], io[1], nise
+
+		app := kernels.AES()
+		gaCuts, err := genetic.Iterative(app.Blocks[0], oo.geneticOptions(), nise)
+		gaSpeed := 1.0
+		if err == nil {
+			sels := eval.ClaimAllWithReuse(app, gaCuts, func(*core.Cut) int { return 0 })
+			if rep, err := eval.Evaluate(app, oo.Model, sels); err == nil {
+				gaSpeed = rep.Speedup
+			}
+		}
+
+		app2 := kernels.AES()
+		iseSpeed := 1.0
+		if rep, err := generateWithReuse(app2, oo); err == nil {
+			iseSpeed = rep.Speedup
+		}
+
+		out = append(out, Fig6Point{IO: io, Genetic: gaSpeed, ISEGEN: iseSpeed})
+	}
+	return out
+}
+
+// PrintFigure6 renders one Figure 6 plot.
+func PrintFigure6(w io.Writer, nise int, pts []Fig6Point) {
+	fmt.Fprintf(w, "Figure 6: AES(696) speedup, NISE = %d\n", nise)
+	fmt.Fprintf(w, "%-8s %8s %8s\n", "I/O", "Genetic", "ISEGEN")
+	for _, p := range pts {
+		fmt.Fprintf(w, "(%d,%d)   %8.3f %8.3f\n", p.IO[0], p.IO[1], p.Genetic, p.ISEGEN)
+	}
+}
+
+// Fig7Row reports, for one I/O constraint, the instance count of each cut
+// ISEGEN selected on AES (CUT1..CUT4 in discovery order).
+type Fig7Row struct {
+	IO        [2]int
+	CutSizes  []int
+	Instances []int
+}
+
+// Figure7 reproduces the reusability study: how many instances each AES
+// cut has under each I/O constraint.
+func Figure7(o Options) []Fig7Row {
+	var rows []Fig7Row
+	for _, io := range IOSweep {
+		oo := o
+		oo.MaxIn, oo.MaxOut = io[0], io[1]
+		app := kernels.AES()
+		sels, err := selectionsWithReuse(app, oo)
+		if err != nil {
+			continue
+		}
+		var sizes, insts []int
+		for _, sel := range sels {
+			sizes = append(sizes, sel.Cut.Size())
+			insts = append(insts, len(sel.Instances))
+		}
+		rows = append(rows, Fig7Row{IO: io, CutSizes: sizes, Instances: insts})
+	}
+	return rows
+}
+
+// PrintFigure7 renders the reusability table; each entry is
+// cutsize×instances in discovery order (CUT1..CUT4).
+func PrintFigure7(w io.Writer, rows []Fig7Row) {
+	fmt.Fprintf(w, "Figure 7: reusability of cuts in AES (cutsize x instances, NISE = 4)\n")
+	fmt.Fprintf(w, "%-8s %-10s %-10s %-10s %-10s\n", "I/O", "CUT1", "CUT2", "CUT3", "CUT4")
+	for _, r := range rows {
+		fmt.Fprintf(w, "(%d,%d)  ", r.IO[0], r.IO[1])
+		for i := range r.CutSizes {
+			fmt.Fprintf(w, " %-10s", fmt.Sprintf("%dx%d", r.CutSizes[i], r.Instances[i]))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// geoMean returns the geometric mean of xs.
+func geoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// AblationRow reports the geometric-mean Figure 4 speedup of an ISEGEN
+// variant across the seven benchmarks.
+type AblationRow struct {
+	Variant string
+	GeoMean float64
+}
+
+// AblationWeights zeroes each gain-function component in turn — the
+// design-choice study for Section 4.2.
+func AblationWeights(o Options) []AblationRow {
+	variants := []struct {
+		name string
+		mod  func(*core.Weights)
+	}{
+		{"full", func(*core.Weights) {}},
+		{"-merit (α1=0)", func(w *core.Weights) { w.Merit = 0 }},
+		{"-io-penalty (α2=0)", func(w *core.Weights) { w.IOPenalty = 0 }},
+		{"-convexity (α3=0)", func(w *core.Weights) { w.Convexity = 0 }},
+		{"-largecut (α4=0)", func(w *core.Weights) { w.LargeCut = 0 }},
+		{"-independent (α5=0)", func(w *core.Weights) { w.Independent = 0 }},
+	}
+	var rows []AblationRow
+	for _, v := range variants {
+		var speeds []float64
+		for _, spec := range kernels.All() {
+			cfg := o.isegenConfig()
+			v.mod(&cfg.Weights)
+			res, err := core.Generate(spec.App, cfg, nil)
+			if err != nil {
+				continue
+			}
+			speeds = append(speeds, speedupOf(spec.App, o.Model, res.Cuts))
+		}
+		rows = append(rows, AblationRow{Variant: v.name, GeoMean: geoMean(speeds)})
+	}
+	return rows
+}
+
+// AblationPasses sweeps the K-L pass bound (the paper found 5 sufficient).
+func AblationPasses(o Options) []AblationRow {
+	var rows []AblationRow
+	for _, passes := range []int{1, 2, 3, 5, 8} {
+		var speeds []float64
+		for _, spec := range kernels.All() {
+			cfg := o.isegenConfig()
+			cfg.MaxPasses = passes
+			res, err := core.Generate(spec.App, cfg, nil)
+			if err != nil {
+				continue
+			}
+			speeds = append(speeds, speedupOf(spec.App, o.Model, res.Cuts))
+		}
+		rows = append(rows, AblationRow{Variant: fmt.Sprintf("passes=%d", passes), GeoMean: geoMean(speeds)})
+	}
+	return rows
+}
+
+// AblationRestarts sweeps the dispersed-restart count (our large-DFG
+// extension; 1 = the paper's single-trajectory loop) on AES at (4,2).
+func AblationRestarts(o Options) []AblationRow {
+	var rows []AblationRow
+	for _, restarts := range []int{1, 2, 4, 8} {
+		app := kernels.AES()
+		oo := o
+		speed := 1.0
+		if rep, err := generateWithReuseRestarts(app, oo, restarts); err == nil {
+			speed = rep.Speedup
+		}
+		rows = append(rows, AblationRow{Variant: fmt.Sprintf("restarts=%d", restarts), GeoMean: speed})
+	}
+	return rows
+}
+
+// PrintAblation renders an ablation table.
+func PrintAblation(w io.Writer, title string, rows []AblationRow) {
+	fmt.Fprintf(w, "%s\n%-22s %10s\n", title, "variant", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-22s %10.3f\n", r.Variant, r.GeoMean)
+	}
+}
+
+// SimRow compares the analytic speedup estimate with the cycle-level
+// simulator for one benchmark (the Section 6 future-work deployment check).
+type SimRow struct {
+	Benchmark string
+	Estimated float64
+	Simulated float64
+	RelErr    float64
+}
+
+// SimulationValidation runs ISEGEN with reuse on every benchmark and
+// replays the result on the cycle-level core model.
+func SimulationValidation(o Options) ([]SimRow, error) {
+	var rows []SimRow
+	apps := kernels.All()
+	for _, spec := range apps {
+		row, err := simOne(spec.Name, spec.App, o)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", spec.Name, err)
+		}
+		rows = append(rows, row)
+	}
+	row, err := simOne("aes", kernels.AES(), o)
+	if err != nil {
+		return nil, fmt.Errorf("aes: %w", err)
+	}
+	rows = append(rows, row)
+	return rows, nil
+}
+
+// EnergyRow is the code-size / energy table (Section 6 future work).
+type EnergyRow struct {
+	Benchmark     string
+	Speedup       float64
+	CodeSizeRatio float64 // static instructions after / before
+	EnergyRatio   float64 // energy after / before
+}
+
+// EnergyCodeSize evaluates ISEGEN's impact on static code size and energy.
+func EnergyCodeSize(o Options) ([]EnergyRow, error) {
+	var rows []EnergyRow
+	specs := kernels.All()
+	specs = append(specs, kernels.Spec{Name: "aes", App: kernels.AES(), CriticalSize: 696})
+	for _, spec := range specs {
+		rep, err := generateWithReuse(spec.App, o)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", spec.Name, err)
+		}
+		rows = append(rows, EnergyRow{
+			Benchmark:     spec.Name,
+			Speedup:       rep.Speedup,
+			CodeSizeRatio: float64(rep.StaticAfter) / float64(rep.StaticBefore),
+			EnergyRatio:   rep.EnergyAfter / rep.EnergyBefore,
+		})
+	}
+	return rows, nil
+}
+
+// PrintEnergy renders the energy/code-size table.
+func PrintEnergy(w io.Writer, rows []EnergyRow) {
+	fmt.Fprintf(w, "Future work (Section 6): code size and energy impact\n")
+	fmt.Fprintf(w, "%-16s %8s %10s %10s\n", "benchmark", "speedup", "codesize", "energy")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s %8.3f %9.1f%% %9.1f%%\n",
+			r.Benchmark, r.Speedup, 100*r.CodeSizeRatio, 100*r.EnergyRatio)
+	}
+}
+
+// PrintSim renders the simulation-validation table.
+func PrintSim(w io.Writer, rows []SimRow) {
+	fmt.Fprintf(w, "Cycle-level simulation vs analytic estimate (with reuse)\n")
+	fmt.Fprintf(w, "%-16s %10s %10s %8s\n", "benchmark", "estimated", "simulated", "relerr")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s %10.3f %10.3f %7.2f%%\n", r.Benchmark, r.Estimated, r.Simulated, 100*r.RelErr)
+	}
+}
+
+// SortRowsByNodes orders Figure 4 rows like the paper (ascending block
+// size); kernels.All already returns them sorted, this is a safety net for
+// callers assembling rows themselves.
+func SortRowsByNodes(rows []Fig4Row) {
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Nodes < rows[j].Nodes })
+}

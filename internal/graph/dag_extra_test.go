@@ -1,0 +1,115 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Property: LongestPath over the full node set equals the classic DP over
+// a random DAG, and restricting the set never increases the critical path.
+func TestLongestPathMonotoneUnderRestriction(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(30)
+		g := randDAG(rng, n, 0.2)
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = 0.1 + rng.Float64()
+		}
+		weight := func(v int) float64 { return w[v] }
+
+		full := NewBitSet(n)
+		for v := 0; v < n; v++ {
+			full.Set(v)
+		}
+		_, critFull := g.LongestPath(full, weight)
+
+		sub := NewBitSet(n)
+		for v := 0; v < n; v++ {
+			if rng.Float64() < 0.6 {
+				sub.Set(v)
+			}
+		}
+		_, critSub := g.LongestPath(sub, weight)
+		if critSub > critFull+1e-12 {
+			t.Fatalf("restricted critical path %v exceeds full %v", critSub, critFull)
+		}
+	}
+}
+
+// Property: ComponentsOf partitions the set exactly.
+func TestComponentsPartitionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(40)
+		g := randDAG(rng, n, 0.1)
+		set := NewBitSet(n)
+		for v := 0; v < n; v++ {
+			if rng.Float64() < 0.5 {
+				set.Set(v)
+			}
+		}
+		comps := g.ComponentsOf(set)
+		seen := NewBitSet(n)
+		total := 0
+		for _, comp := range comps {
+			for _, v := range comp {
+				if !set.Has(v) {
+					t.Fatalf("component node %d outside set", v)
+				}
+				if seen.Has(v) {
+					t.Fatalf("node %d in two components", v)
+				}
+				seen.Set(v)
+				total++
+			}
+		}
+		if total != set.Count() {
+			t.Fatalf("components cover %d nodes, set has %d", total, set.Count())
+		}
+	}
+}
+
+// Anc and Desc are duals: u ∈ Desc(v) ⟺ v ∈ Anc(u).
+func TestAncDescDuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	g := randDAG(rng, 40, 0.15)
+	for u := 0; u < 40; u++ {
+		for v := 0; v < 40; v++ {
+			if g.Desc(v).Has(u) != g.Anc(u).Has(v) {
+				t.Fatalf("duality violated for %d, %d", u, v)
+			}
+		}
+	}
+}
+
+// Barrier distances: a node's up-distance is at most one more than the
+// minimum of its predecessors'.
+func TestBarrierDistancesLocalConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	g := randDAG(rng, 50, 0.12)
+	isBar := func(v int) bool { return v%7 == 0 }
+	up, down := g.BarrierDistances(isBar)
+	for v := 0; v < 50; v++ {
+		if isBar(v) {
+			if up[v] != 0 || down[v] != 0 {
+				t.Fatalf("barrier %d has nonzero distances", v)
+			}
+			continue
+		}
+		if len(g.Preds(v)) > 0 {
+			best := -1
+			for _, p := range g.Preds(v) {
+				if best < 0 || up[p]+1 < best {
+					best = up[p] + 1
+				}
+			}
+			if up[v] != best {
+				t.Fatalf("up[%d] = %d, want %d", v, up[v], best)
+			}
+		} else if up[v] != 1 {
+			t.Fatalf("source %d up = %d, want 1", v, up[v])
+		}
+	}
+	_ = down
+}

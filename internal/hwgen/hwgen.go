@@ -1,0 +1,339 @@
+// Package hwgen turns an identified ISE cut into AFU hardware: a
+// combinational Verilog datapath module whose ports correspond to the
+// cut's register-file operands. It is the step a real ISE flow performs
+// after identification (the paper synthesizes operators the same way to
+// obtain its latency numbers).
+//
+// The generator builds a small expression netlist first; the netlist can
+// be evaluated directly (for equivalence testing against the IR
+// interpreter) and pretty-printed as synthesizable Verilog-2001. Area and
+// delay reports come from the latency model.
+package hwgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/ir"
+	"repro/internal/latency"
+)
+
+// Port is one module port, always 32 bits wide in this architecture.
+type Port struct {
+	Name string
+	// ValueID is the block value the port carries: for inputs, a node
+	// result or external input feeding the cut; for outputs, the cut
+	// node whose result leaves the AFU.
+	ValueID int
+}
+
+// Module is a combinational AFU datapath.
+type Module struct {
+	Name    string
+	Inputs  []Port
+	Outputs []Port
+
+	blk *ir.Block
+	cut *graph.BitSet
+	// nets lists the internal nets in topological (evaluation) order.
+	nets []net
+	// portOf maps a block value ID to the input port index carrying it.
+	portOf map[int]int
+	// netOf maps a cut node ID to its net index.
+	netOf map[int]int
+
+	area  float64
+	delay float64
+}
+
+type net struct {
+	node int // block node ID
+	op   ir.Op
+	imm  int32
+	// args are the operand sources in instruction order.
+	args []operandSrc
+}
+
+type operandSrc struct {
+	fromPort bool
+	index    int   // port index or net index
+	imm      bool  // immediate operand
+	immVal   int32 // value when imm
+}
+
+// Generate builds the AFU module for the cut. The cut must be non-empty,
+// convex, and free of memory operations.
+func Generate(blk *ir.Block, cut *graph.BitSet, model *latency.Model, name string) (*Module, error) {
+	if cut.Empty() {
+		return nil, fmt.Errorf("hwgen: empty cut")
+	}
+	if !blk.DAG().IsConvex(cut) {
+		return nil, fmt.Errorf("hwgen: cut is not convex")
+	}
+	m := &Module{
+		Name:   sanitize(name),
+		blk:    blk,
+		cut:    cut.Clone(),
+		portOf: map[int]int{},
+		netOf:  map[int]int{},
+	}
+
+	// Input ports: distinct external values feeding the cut, in
+	// ascending value-ID order for determinism.
+	inputVals := map[int]bool{}
+	var badNode int = -1
+	cut.ForEach(func(v int) bool {
+		if blk.Nodes[v].Op.IsMem() || !model.HWImplementable(blk.Nodes[v].Op) {
+			badNode = v
+			return false
+		}
+		for _, src := range blk.Srcs(v) {
+			if src >= len(blk.Nodes) || !cut.Has(src) {
+				inputVals[src] = true
+			}
+		}
+		return true
+	})
+	if badNode >= 0 {
+		return nil, fmt.Errorf("hwgen: node %d (%v) has no AFU implementation", badNode, blk.Nodes[badNode].Op)
+	}
+	var ins []int
+	for v := range inputVals {
+		ins = append(ins, v)
+	}
+	sort.Ints(ins)
+	for i, v := range ins {
+		m.portOf[v] = i
+		m.Inputs = append(m.Inputs, Port{Name: fmt.Sprintf("in%d", i), ValueID: v})
+	}
+
+	// Nets in topological order of the block.
+	for _, v := range blk.DAG().Topo() {
+		if !cut.Has(v) {
+			continue
+		}
+		nd := &blk.Nodes[v]
+		n := net{node: v, op: nd.Op, imm: nd.Imm}
+		for _, a := range nd.Args {
+			switch a.Kind {
+			case ir.FromImm:
+				n.args = append(n.args, operandSrc{imm: true, immVal: int32(a.Index)})
+			case ir.FromInput:
+				n.args = append(n.args, operandSrc{fromPort: true, index: m.portOf[blk.InputValueID(a.Index)]})
+			case ir.FromNode:
+				if cut.Has(a.Index) {
+					n.args = append(n.args, operandSrc{index: m.netOf[a.Index]})
+				} else {
+					n.args = append(n.args, operandSrc{fromPort: true, index: m.portOf[a.Index]})
+				}
+			}
+		}
+		m.netOf[v] = len(m.nets)
+		m.nets = append(m.nets, n)
+		m.area += model.Area[nd.Op]
+	}
+
+	// Output ports: cut values consumed outside or live out.
+	cut.ForEach(func(v int) bool {
+		if !blk.Nodes[v].Op.HasValue() {
+			return true
+		}
+		escapes := blk.LiveOut.Has(v)
+		if !escapes {
+			for _, u := range blk.Uses(v) {
+				if !cut.Has(u) {
+					escapes = true
+					break
+				}
+			}
+		}
+		if escapes {
+			m.Outputs = append(m.Outputs, Port{
+				Name:    fmt.Sprintf("out%d", len(m.Outputs)),
+				ValueID: v,
+			})
+		}
+		return true
+	})
+	if len(m.Outputs) == 0 {
+		return nil, fmt.Errorf("hwgen: cut has no outputs")
+	}
+
+	_, m.delay = blk.DAG().LongestPath(cut, func(v int) float64 {
+		d, _ := model.HWLat(blk.Nodes[v].Op)
+		return d
+	})
+	return m, nil
+}
+
+func sanitize(s string) string {
+	var b strings.Builder
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "afu"
+	}
+	return b.String()
+}
+
+// Area returns the summed operator area (NAND2-equivalent gates).
+func (m *Module) Area() float64 { return m.area }
+
+// Delay returns the datapath critical path (normalized to MAC = 1.0).
+func (m *Module) Delay() float64 { return m.delay }
+
+// Eval computes the module outputs for the given input-port values,
+// keyed by output-port name. This is the netlist-level reference used to
+// check RTL/IR equivalence.
+func (m *Module) Eval(inputs []int32) (map[string]int32, error) {
+	if len(inputs) != len(m.Inputs) {
+		return nil, fmt.Errorf("hwgen: %d inputs supplied, module has %d ports", len(inputs), len(m.Inputs))
+	}
+	vals := make([]int32, len(m.nets))
+	argBuf := make([]int32, 0, 3)
+	for i, n := range m.nets {
+		argBuf = argBuf[:0]
+		for _, a := range n.args {
+			switch {
+			case a.imm:
+				argBuf = append(argBuf, a.immVal)
+			case a.fromPort:
+				argBuf = append(argBuf, inputs[a.index])
+			default:
+				argBuf = append(argBuf, vals[a.index])
+			}
+		}
+		v, err := ir.EvalOp(n.op, n.imm, argBuf)
+		if err != nil {
+			return nil, fmt.Errorf("hwgen: net %d: %w", i, err)
+		}
+		vals[i] = v
+	}
+	out := map[string]int32{}
+	for _, p := range m.Outputs {
+		out[p.Name] = vals[m.netOf[p.ValueID]]
+	}
+	return out, nil
+}
+
+// Verilog renders the module as synthesizable Verilog-2001.
+func (m *Module) Verilog() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// AFU datapath generated from block %q\n", m.blk.Name)
+	fmt.Fprintf(&b, "// area %.0f NAND2-eq gates, critical path %.2f MAC delays\n", m.area, m.delay)
+	fmt.Fprintf(&b, "module %s (\n", m.Name)
+	for _, p := range m.Inputs {
+		fmt.Fprintf(&b, "    input  wire signed [31:0] %s,\n", p.Name)
+	}
+	for i, p := range m.Outputs {
+		comma := ","
+		if i == len(m.Outputs)-1 {
+			comma = ""
+		}
+		fmt.Fprintf(&b, "    output wire signed [31:0] %s%s\n", p.Name, comma)
+	}
+	fmt.Fprintf(&b, ");\n")
+	for i, n := range m.nets {
+		fmt.Fprintf(&b, "    wire signed [31:0] n%d; // %s (node %d)\n", i, n.op, n.node)
+	}
+	b.WriteString("\n")
+	for i, n := range m.nets {
+		fmt.Fprintf(&b, "    assign n%d = %s;\n", i, m.expr(&n))
+	}
+	b.WriteString("\n")
+	for _, p := range m.Outputs {
+		fmt.Fprintf(&b, "    assign %s = n%d;\n", p.Name, m.netOf[p.ValueID])
+	}
+	fmt.Fprintf(&b, "endmodule\n")
+	return b.String()
+}
+
+// srcExpr renders one operand reference.
+func (m *Module) srcExpr(a operandSrc) string {
+	switch {
+	case a.imm:
+		if a.immVal < 0 {
+			return fmt.Sprintf("-32'sd%d", -int64(a.immVal))
+		}
+		return fmt.Sprintf("32'sd%d", a.immVal)
+	case a.fromPort:
+		return m.Inputs[a.index].Name
+	default:
+		return fmt.Sprintf("n%d", a.index)
+	}
+}
+
+// expr renders one net's right-hand side.
+func (m *Module) expr(n *net) string {
+	s := func(i int) string { return m.srcExpr(n.args[i]) }
+	bool32 := func(cond string) string { return fmt.Sprintf("{31'b0, %s}", cond) }
+	switch n.op {
+	case ir.OpConst:
+		if n.imm < 0 {
+			return fmt.Sprintf("-32'sd%d", -int64(n.imm))
+		}
+		return fmt.Sprintf("32'sd%d", n.imm)
+	case ir.OpAdd:
+		return fmt.Sprintf("%s + %s", s(0), s(1))
+	case ir.OpSub:
+		return fmt.Sprintf("%s - %s", s(0), s(1))
+	case ir.OpMul:
+		return fmt.Sprintf("%s * %s", s(0), s(1))
+	case ir.OpNeg:
+		return fmt.Sprintf("-%s", s(0))
+	case ir.OpAnd:
+		return fmt.Sprintf("%s & %s", s(0), s(1))
+	case ir.OpOr:
+		return fmt.Sprintf("%s | %s", s(0), s(1))
+	case ir.OpXor:
+		return fmt.Sprintf("%s ^ %s", s(0), s(1))
+	case ir.OpNot:
+		return fmt.Sprintf("~%s", s(0))
+	case ir.OpShl:
+		return fmt.Sprintf("%s <<< (%s & 32'sd31)", s(0), s(1))
+	case ir.OpShrL:
+		return fmt.Sprintf("$signed($unsigned(%s) >> (%s & 32'sd31))", s(0), s(1))
+	case ir.OpShrA:
+		return fmt.Sprintf("%s >>> (%s & 32'sd31)", s(0), s(1))
+	case ir.OpCmpEQ:
+		return bool32(fmt.Sprintf("%s == %s", s(0), s(1)))
+	case ir.OpCmpNE:
+		return bool32(fmt.Sprintf("%s != %s", s(0), s(1)))
+	case ir.OpCmpLT:
+		return bool32(fmt.Sprintf("%s < %s", s(0), s(1)))
+	case ir.OpCmpLE:
+		return bool32(fmt.Sprintf("%s <= %s", s(0), s(1)))
+	case ir.OpCmpGT:
+		return bool32(fmt.Sprintf("%s > %s", s(0), s(1)))
+	case ir.OpCmpGE:
+		return bool32(fmt.Sprintf("%s >= %s", s(0), s(1)))
+	case ir.OpSelect:
+		return fmt.Sprintf("(%s != 32'sd0) ? %s : %s", s(0), s(1), s(2))
+	case ir.OpMin:
+		return fmt.Sprintf("(%s < %s) ? %s : %s", s(0), s(1), s(0), s(1))
+	case ir.OpMax:
+		return fmt.Sprintf("(%s > %s) ? %s : %s", s(0), s(1), s(0), s(1))
+	}
+	return "32'sd0 /* unsupported */"
+}
+
+// InputsFor assembles the module's input vector from per-value-ID data
+// (node results and external inputs of the surrounding block), so callers
+// can feed the module from an IR execution context.
+func (m *Module) InputsFor(valueOf func(valueID int) int32) []int32 {
+	out := make([]int32, len(m.Inputs))
+	for i, p := range m.Inputs {
+		out[i] = valueOf(p.ValueID)
+	}
+	return out
+}

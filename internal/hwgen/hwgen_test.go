@@ -1,0 +1,241 @@
+package hwgen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/ir"
+	"repro/internal/latency"
+)
+
+func macBlock(t testing.TB) (*ir.Block, *graph.BitSet) {
+	bu := ir.NewBuilder("mac", 1)
+	a, b, acc := bu.Input("a"), bu.Input("b"), bu.Input("acc")
+	m := bu.Mul(a, b)
+	s := bu.Add(m, acc)
+	bu.LiveOut(s)
+	blk := bu.MustBuild()
+	cut := graph.NewBitSet(2)
+	cut.Set(0)
+	cut.Set(1)
+	return blk, cut
+}
+
+func TestGenerateMAC(t *testing.T) {
+	blk, cut := macBlock(t)
+	model := latency.Default()
+	m, err := Generate(blk, cut, model, "mac_afu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Inputs) != 3 {
+		t.Errorf("inputs = %d, want 3", len(m.Inputs))
+	}
+	if len(m.Outputs) != 1 {
+		t.Errorf("outputs = %d, want 1", len(m.Outputs))
+	}
+	if m.Area() != model.Area[ir.OpMul]+model.Area[ir.OpAdd] {
+		t.Errorf("area = %v", m.Area())
+	}
+	if m.Delay() <= 0 || m.Delay() > 2 {
+		t.Errorf("delay = %v", m.Delay())
+	}
+	out, err := m.Eval([]int32{6, 7, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["out0"] != 142 {
+		t.Errorf("6*7+100 = %d, want 142", out["out0"])
+	}
+}
+
+func TestVerilogText(t *testing.T) {
+	blk, cut := macBlock(t)
+	m, err := Generate(blk, cut, latency.Default(), "mac afu-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := m.Verilog()
+	for _, want := range []string{
+		"module mac_afu_1 (",
+		"input  wire signed [31:0] in0",
+		"output wire signed [31:0] out0",
+		"n0 = in0 * in1",
+		"n1 = n0 + in2",
+		"assign out0 = n1;",
+		"endmodule",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("Verilog missing %q:\n%s", want, v)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	blk, cut := macBlock(t)
+	model := latency.Default()
+	if _, err := Generate(blk, graph.NewBitSet(2), model, "x"); err == nil {
+		t.Error("empty cut should fail")
+	}
+	// Non-convex cut.
+	bu := ir.NewBuilder("nc", 1)
+	x := bu.Input("x")
+	n0 := bu.Add(x, x)
+	n1 := bu.Neg(n0)
+	n2 := bu.Xor(n1, n0)
+	bu.LiveOut(n2)
+	ncBlk := bu.MustBuild()
+	nc := graph.NewBitSet(3)
+	nc.Set(0)
+	nc.Set(2)
+	if _, err := Generate(ncBlk, nc, model, "x"); err == nil {
+		t.Error("non-convex cut should fail")
+	}
+	// Memory node.
+	bu2 := ir.NewBuilder("mem", 1)
+	a := bu2.Input("a")
+	ld := bu2.Load(a)
+	s := bu2.Add(ld, a)
+	bu2.LiveOut(s)
+	memBlk := bu2.MustBuild()
+	bad := graph.NewBitSet(2)
+	bad.Set(0)
+	bad.Set(1)
+	if _, err := Generate(memBlk, bad, model, "x"); err == nil {
+		t.Error("memory node should fail")
+	}
+	_ = blk
+	_ = cut
+}
+
+func TestImmediateOperandsInVerilog(t *testing.T) {
+	bu := ir.NewBuilder("imm", 1)
+	x := bu.Input("x")
+	v := bu.ShlI(x, 3)
+	w := bu.AndI(v, 0xff)
+	n := bu.SubI(w, -5) // negative immediate
+	bu.LiveOut(n)
+	blk := bu.MustBuild()
+	cut := graph.NewBitSet(3)
+	for i := 0; i < 3; i++ {
+		cut.Set(i)
+	}
+	m, err := Generate(blk, cut, latency.Default(), "imm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vtext := m.Verilog()
+	for _, want := range []string{"32'sd3", "32'sd255", "-32'sd5"} {
+		if !strings.Contains(vtext, want) {
+			t.Errorf("Verilog missing immediate %q:\n%s", want, vtext)
+		}
+	}
+	out, err := m.Eval([]int32{0x21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ((int32(0x21) << 3) & 0xff) - (-5)
+	if out["out0"] != want {
+		t.Errorf("eval = %d, want %d", out["out0"], want)
+	}
+}
+
+// Property: for random blocks and random convex cuts, the generated
+// netlist computes exactly the values the IR interpreter computes for the
+// cut nodes.
+func TestNetlistMatchesInterpreterProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	model := latency.Default()
+	for trial := 0; trial < 60; trial++ {
+		bu := ir.NewBuilder("r", 1)
+		ins := bu.Inputs(3)
+		vals := append([]ir.Value{}, ins...)
+		var nodeVals []ir.Value
+		for i := 0; i < 4+rng.Intn(14); i++ {
+			a := vals[rng.Intn(len(vals))]
+			b := vals[rng.Intn(len(vals))]
+			var v ir.Value
+			switch rng.Intn(10) {
+			case 0:
+				v = bu.Mul(a, b)
+			case 1:
+				v = bu.Sub(a, b)
+			case 2:
+				v = bu.ShrA(a, b)
+			case 3:
+				v = bu.Select(a, b, vals[rng.Intn(len(vals))])
+			case 4:
+				v = bu.Min(a, b)
+			case 5:
+				v = bu.CmpLT(a, b)
+			case 6:
+				v = bu.XorI(a, int32(rng.Intn(100)))
+			default:
+				v = bu.Add(a, b)
+			}
+			vals = append(vals, v)
+			nodeVals = append(nodeVals, v)
+		}
+		// Mark every node live-out so any convex cut has output ports.
+		bu.LiveOut(nodeVals...)
+		blk := bu.MustBuild()
+
+		// Grow a random convex cut.
+		cut := graph.NewBitSet(blk.N())
+		for v := 0; v < blk.N(); v++ {
+			cut.Set(v)
+			if !blk.DAG().IsConvex(cut) || rng.Intn(3) == 0 {
+				cut.Clear(v)
+			}
+		}
+		if cut.Empty() {
+			continue
+		}
+		m, err := Generate(blk, cut, model, "r")
+		if err != nil {
+			// A cut may have zero outputs only if all values are
+			// internal, which cannot happen for the last node;
+			// other errors are real failures.
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		inputs := []int32{rng.Int31(), rng.Int31(), rng.Int31()}
+		irVals, err := blk.Eval(inputs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		modIn := m.InputsFor(func(valueID int) int32 {
+			if blk.IsInputValue(valueID) {
+				return inputs[valueID-blk.N()]
+			}
+			return irVals[valueID]
+		})
+		got, err := m.Eval(modIn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range m.Outputs {
+			if got[p.Name] != irVals[p.ValueID] {
+				t.Fatalf("trial %d: %s (node %d) = %d, interpreter %d",
+					trial, p.Name, p.ValueID, got[p.Name], irVals[p.ValueID])
+			}
+		}
+	}
+}
+
+func TestAreaTableCoversHWOps(t *testing.T) {
+	model := latency.Default()
+	for op := range model.HW {
+		if op == ir.OpConst {
+			continue // hard-wired constants are free
+		}
+		if a, ok := model.Area[op]; !ok || a <= 0 {
+			t.Errorf("Area[%v] = %v, ok=%v", op, a, ok)
+		}
+	}
+	if model.Area[ir.OpMul] < 10*model.Area[ir.OpAdd] {
+		t.Error("a multiplier must dwarf an adder")
+	}
+}

@@ -1,0 +1,290 @@
+package ir
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// OperandKind discriminates where an instruction operand comes from.
+type OperandKind uint8
+
+const (
+	// FromNode means the operand is the value produced by another node in
+	// the same block.
+	FromNode OperandKind = iota
+	// FromInput means the operand is an external input of the block
+	// (live-in register value).
+	FromInput
+	// FromImm means the operand is an immediate encoded in the
+	// instruction itself: it creates no data dependence and consumes no
+	// register-file port.
+	FromImm
+)
+
+// Operand is a reference to a value consumed by an instruction.
+type Operand struct {
+	Kind  OperandKind
+	Index int // node ID (FromNode), input index (FromInput) or immediate value (FromImm)
+}
+
+// NodeRef returns an operand referring to the value of node id.
+func NodeRef(id int) Operand { return Operand{Kind: FromNode, Index: id} }
+
+// InputRef returns an operand referring to external input k.
+func InputRef(k int) Operand { return Operand{Kind: FromInput, Index: k} }
+
+// ImmOperand returns an immediate operand with the given value.
+func ImmOperand(v int32) Operand { return Operand{Kind: FromImm, Index: int(v)} }
+
+// Node is one instruction in a basic-block DFG.
+type Node struct {
+	Op   Op
+	Args []Operand
+	Imm  int32  // immediate payload, used by OpConst
+	Name string // optional label for debugging/serialization
+}
+
+// Block is an immutable basic-block data-flow graph. Construct it with
+// Builder (builder.go) or dfgio.Parse; all derived structures (dependence
+// DAG, use lists, value IDs) are computed once at construction.
+//
+// Value identification: the block has NumValues() = len(Nodes) + NumInputs
+// distinct values. Value v < len(Nodes) is the result of node v; value
+// len(Nodes)+k is external input k. Stores produce no consumable value but
+// still occupy a node slot.
+type Block struct {
+	Name      string
+	Nodes     []Node
+	NumInputs int
+	// Freq is the execution frequency of the block (profile weight),
+	// used by the multi-cut driver and the speedup evaluation.
+	Freq float64
+	// LiveOut marks nodes whose values are live out of the block; they
+	// must be written back to the register file even when covered by an
+	// ISE and therefore count toward the cut's outputs.
+	LiveOut *graph.BitSet
+
+	dag *graph.DAG
+	// uses[v] lists, deduplicated and ascending, the nodes consuming
+	// value v (node result or external input).
+	uses [][]int
+	// srcs[i] lists, deduplicated and ascending, the value IDs consumed
+	// by node i.
+	srcs [][]int
+}
+
+// FinishBlock validates a manually assembled Block (Nodes, NumInputs, Freq
+// and LiveOut populated) and computes its derived structures. Builder.Build
+// calls it automatically; deserializers use it directly.
+func FinishBlock(b *Block) error { return b.finalize() }
+
+// finalize computes the derived structures. Called by Builder.Build and
+// FinishBlock after the nodes are in place.
+func (b *Block) finalize() error {
+	n := len(b.Nodes)
+	if b.LiveOut == nil {
+		b.LiveOut = graph.NewBitSet(n)
+	}
+	b.dag = graph.NewDAG(n)
+	nv := b.NumValues()
+	b.uses = make([][]int, nv)
+	b.srcs = make([][]int, n)
+	for i := range b.Nodes {
+		nd := &b.Nodes[i]
+		if !nd.Op.Valid() {
+			return fmt.Errorf("ir: block %q node %d: invalid opcode", b.Name, i)
+		}
+		if len(nd.Args) != nd.Op.Arity() {
+			return fmt.Errorf("ir: block %q node %d (%v): %d args, want %d",
+				b.Name, i, nd.Op, len(nd.Args), nd.Op.Arity())
+		}
+		seen := map[int]bool{}
+		for _, a := range nd.Args {
+			var vid int
+			switch a.Kind {
+			case FromNode:
+				if a.Index < 0 || a.Index >= n {
+					return fmt.Errorf("ir: block %q node %d: node operand %d out of range", b.Name, i, a.Index)
+				}
+				if a.Index >= i {
+					return fmt.Errorf("ir: block %q node %d: operand refers to node %d (not strictly earlier)", b.Name, i, a.Index)
+				}
+				if !b.Nodes[a.Index].Op.HasValue() {
+					return fmt.Errorf("ir: block %q node %d: operand refers to node %d which produces no value", b.Name, i, a.Index)
+				}
+				b.dag.AddEdge(a.Index, i)
+				vid = a.Index
+			case FromInput:
+				if a.Index < 0 || a.Index >= b.NumInputs {
+					return fmt.Errorf("ir: block %q node %d: input operand %d out of range [0,%d)", b.Name, i, a.Index, b.NumInputs)
+				}
+				vid = n + a.Index
+			case FromImm:
+				continue // immediates create no data dependence
+			default:
+				return fmt.Errorf("ir: block %q node %d: bad operand kind %d", b.Name, i, a.Kind)
+			}
+			if !seen[vid] {
+				seen[vid] = true
+				b.srcs[i] = append(b.srcs[i], vid)
+				b.uses[vid] = append(b.uses[vid], i)
+			}
+		}
+	}
+	// Memory operations carry program-order dependences (no alias
+	// analysis, so any store may conflict with any other access, while
+	// loads commute with loads). Encoding them as DAG edges makes
+	// convexity respect the memory order: a cut that consumes a load
+	// while feeding an earlier store would otherwise be unschedulable as
+	// an atomic instruction.
+	lastStore := -1
+	var loadsSince []int
+	for i := range b.Nodes {
+		switch b.Nodes[i].Op {
+		case OpLoad:
+			if lastStore >= 0 {
+				b.dag.AddEdge(lastStore, i)
+			}
+			loadsSince = append(loadsSince, i)
+		case OpStore:
+			if lastStore >= 0 {
+				b.dag.AddEdge(lastStore, i)
+			}
+			for _, ld := range loadsSince {
+				b.dag.AddEdge(ld, i)
+			}
+			loadsSince = loadsSince[:0]
+			lastStore = i
+		}
+	}
+	if b.LiveOut.Cap() != n {
+		return fmt.Errorf("ir: block %q: LiveOut capacity %d, want %d", b.Name, b.LiveOut.Cap(), n)
+	}
+	livePanic := false
+	b.LiveOut.ForEach(func(i int) bool {
+		if !b.Nodes[i].Op.HasValue() {
+			livePanic = true
+			return false
+		}
+		return true
+	})
+	if livePanic {
+		return fmt.Errorf("ir: block %q: a live-out node produces no value", b.Name)
+	}
+	return b.dag.Freeze()
+}
+
+// N returns the number of nodes (instructions) in the block.
+func (b *Block) N() int { return len(b.Nodes) }
+
+// NumValues returns the size of the value ID space: node results followed
+// by external inputs.
+func (b *Block) NumValues() int { return len(b.Nodes) + b.NumInputs }
+
+// InputValueID returns the value ID of external input k.
+func (b *Block) InputValueID(k int) int { return len(b.Nodes) + k }
+
+// IsInputValue reports whether value ID v denotes an external input.
+func (b *Block) IsInputValue(v int) bool { return v >= len(b.Nodes) }
+
+// DAG returns the data-dependence DAG over nodes (frozen; do not modify).
+func (b *Block) DAG() *graph.DAG { return b.dag }
+
+// Uses returns the deduplicated consumer node list of value v.
+// The caller must not modify it.
+func (b *Block) Uses(v int) []int { return b.uses[v] }
+
+// Srcs returns the deduplicated source value IDs of node i.
+// The caller must not modify it.
+func (b *Block) Srcs(i int) []int { return b.srcs[i] }
+
+// CutInputs counts the distinct values entering the cut: external inputs
+// consumed by cut nodes plus results of non-cut nodes consumed by cut
+// nodes. This is the reference (non-incremental) computation; the ISEGEN
+// core maintains the same quantity incrementally and is property-tested
+// against this.
+func (b *Block) CutInputs(cut *graph.BitSet) int {
+	n := len(b.Nodes)
+	count := 0
+	seen := graph.NewBitSet(b.NumValues())
+	cut.ForEach(func(i int) bool {
+		for _, v := range b.srcs[i] {
+			if seen.Has(v) {
+				continue
+			}
+			if v >= n || !cut.Has(v) {
+				seen.Set(v)
+				count++
+			}
+		}
+		return true
+	})
+	return count
+}
+
+// CutOutputs counts the cut nodes whose value is consumed outside the cut
+// or is live out of the block. Reference computation, see CutInputs.
+func (b *Block) CutOutputs(cut *graph.BitSet) int {
+	count := 0
+	cut.ForEach(func(i int) bool {
+		if !b.Nodes[i].Op.HasValue() {
+			return true
+		}
+		if b.LiveOut.Has(i) {
+			count++
+			return true
+		}
+		for _, u := range b.uses[i] {
+			if !cut.Has(u) {
+				count++
+				break
+			}
+		}
+		return true
+	})
+	return count
+}
+
+// ForbiddenInCut reports whether node i may never be part of an ISE
+// (memory operations, per the paper's architecture model).
+func (b *Block) ForbiddenInCut(i int) bool { return b.Nodes[i].Op.IsMem() }
+
+// String returns a short human-readable summary.
+func (b *Block) String() string {
+	return fmt.Sprintf("block %q: %d nodes, %d inputs, %d live-out, freq %g",
+		b.Name, len(b.Nodes), b.NumInputs, b.LiveOut.Count(), b.Freq)
+}
+
+// Application is a set of basic blocks with execution frequencies; the unit
+// over which Problem 2 (multi-cut selection under an AFU budget) is solved.
+type Application struct {
+	Name   string
+	Blocks []*Block
+}
+
+// TotalSWCycles sums freq-weighted software latency over all blocks, using
+// the supplied per-node latency function.
+func (a *Application) TotalSWCycles(swLat func(op Op) int) float64 {
+	total := 0.0
+	for _, blk := range a.Blocks {
+		blkLat := 0
+		for i := range blk.Nodes {
+			blkLat += swLat(blk.Nodes[i].Op)
+		}
+		total += blk.Freq * float64(blkLat)
+	}
+	return total
+}
+
+// MaxBlockSize returns the node count of the largest block — the number the
+// paper reports in parentheses next to each benchmark name.
+func (a *Application) MaxBlockSize() int {
+	m := 0
+	for _, blk := range a.Blocks {
+		if blk.N() > m {
+			m = blk.N()
+		}
+	}
+	return m
+}

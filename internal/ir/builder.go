@@ -1,0 +1,215 @@
+package ir
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Value is an SSA-style handle returned by Builder methods; it wraps an
+// operand reference and can be fed to further Builder calls.
+type Value struct {
+	op Operand
+	ok bool
+}
+
+// Builder constructs a Block programmatically. All methods panic on misuse
+// (out-of-range handles); kernels are static code so construction errors
+// are programming errors.
+type Builder struct {
+	name      string
+	freq      float64
+	nodes     []Node
+	numInputs int
+	liveOut   []int
+	built     bool
+}
+
+// NewBuilder returns a Builder for a block with the given name and
+// execution frequency.
+func NewBuilder(name string, freq float64) *Builder {
+	return &Builder{name: name, freq: freq}
+}
+
+// Input declares the next external input and returns its handle.
+func (bu *Builder) Input(name string) Value {
+	_ = name // inputs are positional; the name is documentation
+	v := Value{op: InputRef(bu.numInputs), ok: true}
+	bu.numInputs++
+	return v
+}
+
+// Inputs declares n external inputs at once.
+func (bu *Builder) Inputs(n int) []Value {
+	out := make([]Value, n)
+	for i := range out {
+		out[i] = bu.Input("")
+	}
+	return out
+}
+
+func (bu *Builder) emit(op Op, imm int32, args ...Value) Value {
+	if bu.built {
+		panic("ir: Builder used after Build")
+	}
+	if len(args) != op.Arity() {
+		panic(fmt.Sprintf("ir: %v takes %d args, got %d", op, op.Arity(), len(args)))
+	}
+	nd := Node{Op: op, Imm: imm}
+	for _, a := range args {
+		if !a.ok {
+			panic(fmt.Sprintf("ir: %v: uninitialized Value argument", op))
+		}
+		nd.Args = append(nd.Args, a.op)
+	}
+	id := len(bu.nodes)
+	bu.nodes = append(bu.nodes, nd)
+	return Value{op: NodeRef(id), ok: op.HasValue()}
+}
+
+// Const materializes the immediate c.
+func (bu *Builder) Const(c int32) Value { return bu.emit(OpConst, c) }
+
+// Imm returns an immediate operand Value usable as any argument; it is
+// encoded in the consuming instruction and creates no node, dependence or
+// register port.
+func (bu *Builder) Imm(v int32) Value { return Value{op: ImmOperand(v), ok: true} }
+
+// AddI emits a + imm.
+func (bu *Builder) AddI(a Value, imm int32) Value { return bu.Add(a, bu.Imm(imm)) }
+
+// SubI emits a - imm.
+func (bu *Builder) SubI(a Value, imm int32) Value { return bu.Sub(a, bu.Imm(imm)) }
+
+// MulI emits a * imm.
+func (bu *Builder) MulI(a Value, imm int32) Value { return bu.Mul(a, bu.Imm(imm)) }
+
+// AndI emits a & imm.
+func (bu *Builder) AndI(a Value, imm int32) Value { return bu.And(a, bu.Imm(imm)) }
+
+// OrI emits a | imm.
+func (bu *Builder) OrI(a Value, imm int32) Value { return bu.Or(a, bu.Imm(imm)) }
+
+// XorI emits a ^ imm.
+func (bu *Builder) XorI(a Value, imm int32) Value { return bu.Xor(a, bu.Imm(imm)) }
+
+// ShlI emits a << imm.
+func (bu *Builder) ShlI(a Value, imm int32) Value { return bu.Shl(a, bu.Imm(imm)) }
+
+// ShrLI emits the logical a >> imm.
+func (bu *Builder) ShrLI(a Value, imm int32) Value { return bu.ShrL(a, bu.Imm(imm)) }
+
+// ShrAI emits the arithmetic a >> imm.
+func (bu *Builder) ShrAI(a Value, imm int32) Value { return bu.ShrA(a, bu.Imm(imm)) }
+
+// Add emits a + b.
+func (bu *Builder) Add(a, b Value) Value { return bu.emit(OpAdd, 0, a, b) }
+
+// Sub emits a - b.
+func (bu *Builder) Sub(a, b Value) Value { return bu.emit(OpSub, 0, a, b) }
+
+// Mul emits a * b.
+func (bu *Builder) Mul(a, b Value) Value { return bu.emit(OpMul, 0, a, b) }
+
+// Neg emits -a.
+func (bu *Builder) Neg(a Value) Value { return bu.emit(OpNeg, 0, a) }
+
+// And emits a & b.
+func (bu *Builder) And(a, b Value) Value { return bu.emit(OpAnd, 0, a, b) }
+
+// Or emits a | b.
+func (bu *Builder) Or(a, b Value) Value { return bu.emit(OpOr, 0, a, b) }
+
+// Xor emits a ^ b.
+func (bu *Builder) Xor(a, b Value) Value { return bu.emit(OpXor, 0, a, b) }
+
+// Not emits ^a.
+func (bu *Builder) Not(a Value) Value { return bu.emit(OpNot, 0, a) }
+
+// Shl emits a << (b & 31).
+func (bu *Builder) Shl(a, b Value) Value { return bu.emit(OpShl, 0, a, b) }
+
+// ShrL emits the logical shift a >> (b & 31).
+func (bu *Builder) ShrL(a, b Value) Value { return bu.emit(OpShrL, 0, a, b) }
+
+// ShrA emits the arithmetic shift a >> (b & 31).
+func (bu *Builder) ShrA(a, b Value) Value { return bu.emit(OpShrA, 0, a, b) }
+
+// CmpEQ emits a == b (0/1).
+func (bu *Builder) CmpEQ(a, b Value) Value { return bu.emit(OpCmpEQ, 0, a, b) }
+
+// CmpNE emits a != b (0/1).
+func (bu *Builder) CmpNE(a, b Value) Value { return bu.emit(OpCmpNE, 0, a, b) }
+
+// CmpLT emits signed a < b (0/1).
+func (bu *Builder) CmpLT(a, b Value) Value { return bu.emit(OpCmpLT, 0, a, b) }
+
+// CmpLE emits signed a <= b (0/1).
+func (bu *Builder) CmpLE(a, b Value) Value { return bu.emit(OpCmpLE, 0, a, b) }
+
+// CmpGT emits signed a > b (0/1).
+func (bu *Builder) CmpGT(a, b Value) Value { return bu.emit(OpCmpGT, 0, a, b) }
+
+// CmpGE emits signed a >= b (0/1).
+func (bu *Builder) CmpGE(a, b Value) Value { return bu.emit(OpCmpGE, 0, a, b) }
+
+// Select emits c != 0 ? a : b.
+func (bu *Builder) Select(c, a, b Value) Value { return bu.emit(OpSelect, 0, c, a, b) }
+
+// Min emits signed min(a, b).
+func (bu *Builder) Min(a, b Value) Value { return bu.emit(OpMin, 0, a, b) }
+
+// Max emits signed max(a, b).
+func (bu *Builder) Max(a, b Value) Value { return bu.emit(OpMax, 0, a, b) }
+
+// Load emits mem[a].
+func (bu *Builder) Load(a Value) Value { return bu.emit(OpLoad, 0, a) }
+
+// Store emits mem[a] = v. The returned Value cannot be consumed.
+func (bu *Builder) Store(a, v Value) { bu.emit(OpStore, 0, a, v) }
+
+// LiveOut marks the given values (which must be node results) as live out
+// of the block.
+func (bu *Builder) LiveOut(vals ...Value) {
+	for _, v := range vals {
+		if !v.ok || v.op.Kind != FromNode {
+			panic("ir: LiveOut requires node result values")
+		}
+		bu.liveOut = append(bu.liveOut, v.op.Index)
+	}
+}
+
+// NumNodes returns the number of instructions emitted so far.
+func (bu *Builder) NumNodes() int { return len(bu.nodes) }
+
+// Build finalizes and returns the Block. The Builder must not be used
+// afterwards.
+func (bu *Builder) Build() (*Block, error) {
+	if bu.built {
+		return nil, fmt.Errorf("ir: Build called twice on block %q", bu.name)
+	}
+	bu.built = true
+	blk := &Block{
+		Name:      bu.name,
+		Nodes:     bu.nodes,
+		NumInputs: bu.numInputs,
+		Freq:      bu.freq,
+		LiveOut:   graph.NewBitSet(len(bu.nodes)),
+	}
+	for _, i := range bu.liveOut {
+		blk.LiveOut.Set(i)
+	}
+	if err := blk.finalize(); err != nil {
+		return nil, err
+	}
+	return blk, nil
+}
+
+// MustBuild is Build but panics on error; for statically known-good kernels.
+func (bu *Builder) MustBuild() *Block {
+	blk, err := bu.Build()
+	if err != nil {
+		panic(err)
+	}
+	return blk
+}

@@ -1,0 +1,91 @@
+package ir
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestImmediateOperandsNoDependence(t *testing.T) {
+	bu := NewBuilder("imm", 1)
+	x := bu.Input("x")
+	v := bu.ShlI(x, 3)
+	w := bu.AndI(v, 0xff)
+	bu.LiveOut(w)
+	blk := bu.MustBuild()
+
+	// Immediates create no edges and no sources.
+	if blk.DAG().NumEdges() != 1 {
+		t.Errorf("edges = %d, want 1 (only shl->and)", blk.DAG().NumEdges())
+	}
+	if got := blk.Srcs(0); len(got) != 1 || got[0] != blk.InputValueID(0) {
+		t.Errorf("Srcs(0) = %v, want just the input", got)
+	}
+	if got := blk.Srcs(1); len(got) != 1 || got[0] != 0 {
+		t.Errorf("Srcs(1) = %v, want just node 0", got)
+	}
+}
+
+func TestImmediateOperandsNoPortCost(t *testing.T) {
+	bu := NewBuilder("imm", 1)
+	x := bu.Input("x")
+	v := bu.AddI(x, 100)
+	bu.LiveOut(v)
+	blk := bu.MustBuild()
+	cut := graph.NewBitSet(1)
+	cut.Set(0)
+	if in := blk.CutInputs(cut); in != 1 {
+		t.Errorf("inputs = %d, want 1 (immediate is free)", in)
+	}
+}
+
+func TestImmediateEvalAllHelpers(t *testing.T) {
+	bu := NewBuilder("imm", 1)
+	x := bu.Input("x")
+	results := []Value{
+		bu.AddI(x, 5),    // x+5
+		bu.SubI(x, 5),    // x-5
+		bu.MulI(x, 3),    // x*3
+		bu.AndI(x, 0xf0), // x&0xf0
+		bu.OrI(x, 0x0f),  // x|0x0f
+		bu.XorI(x, -1),   // ^x
+		bu.ShlI(x, 2),    // x<<2
+		bu.ShrLI(x, 2),   // x>>>2
+		bu.ShrAI(x, 2),   // x>>2
+	}
+	bu.LiveOut(results...)
+	blk := bu.MustBuild()
+	in := int32(-0x40)
+	vals, err := blk.Eval([]int32{in}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{
+		in + 5, in - 5, in * 3, in & 0xf0, in | 0x0f, ^in,
+		in << 2, int32(uint32(in) >> 2), in >> 2,
+	}
+	for i, w := range want {
+		if vals[i] != w {
+			t.Errorf("node %d (%v) = %d, want %d", i, blk.Nodes[i].Op, vals[i], w)
+		}
+	}
+}
+
+func TestImmediateOperandValueRange(t *testing.T) {
+	bu := NewBuilder("imm", 1)
+	x := bu.Input("x")
+	lo := bu.AddI(x, -2147483648)
+	hi := bu.AddI(x, 2147483647)
+	bu.LiveOut(lo, hi)
+	blk := bu.MustBuild()
+	vals, err := blk.Eval([]int32{1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != -2147483647 {
+		t.Errorf("1 + INT32_MIN = %d, want -2147483647", vals[0])
+	}
+	if vals[1] != -2147483648 { // 1 + INT32_MAX wraps
+		t.Errorf("1 + INT32_MAX = %d, want wrap to INT32_MIN", vals[1])
+	}
+}

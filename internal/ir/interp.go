@@ -1,0 +1,156 @@
+package ir
+
+import "fmt"
+
+// Memory is the abstract memory interface used by Load/Store during block
+// evaluation. Implementations decide addressing; MapMemory is the simple
+// default.
+type Memory interface {
+	Load(addr int32) int32
+	Store(addr, val int32)
+}
+
+// MapMemory is a sparse word-addressed memory backed by a map. The zero
+// value is not usable; use NewMapMemory.
+type MapMemory struct {
+	m map[int32]int32
+}
+
+// NewMapMemory returns an empty memory.
+func NewMapMemory() *MapMemory { return &MapMemory{m: map[int32]int32{}} }
+
+// Load returns mem[addr], zero if never stored.
+func (mm *MapMemory) Load(addr int32) int32 { return mm.m[addr] }
+
+// Store sets mem[addr] = val.
+func (mm *MapMemory) Store(addr, val int32) { mm.m[addr] = val }
+
+// Preload copies vals into memory starting at base.
+func (mm *MapMemory) Preload(base int32, vals []int32) {
+	for i, v := range vals {
+		mm.m[base+int32(i)] = v
+	}
+}
+
+// EvalOp computes one instruction's result from its operand values.
+// Memory operations are not handled here (see Block.Eval).
+func EvalOp(op Op, imm int32, args []int32) (int32, error) {
+	switch op {
+	case OpConst:
+		return imm, nil
+	case OpAdd:
+		return args[0] + args[1], nil
+	case OpSub:
+		return args[0] - args[1], nil
+	case OpMul:
+		return args[0] * args[1], nil
+	case OpNeg:
+		return -args[0], nil
+	case OpAnd:
+		return args[0] & args[1], nil
+	case OpOr:
+		return args[0] | args[1], nil
+	case OpXor:
+		return args[0] ^ args[1], nil
+	case OpNot:
+		return ^args[0], nil
+	case OpShl:
+		return args[0] << (uint32(args[1]) & 31), nil
+	case OpShrL:
+		return int32(uint32(args[0]) >> (uint32(args[1]) & 31)), nil
+	case OpShrA:
+		return args[0] >> (uint32(args[1]) & 31), nil
+	case OpCmpEQ:
+		return b2i(args[0] == args[1]), nil
+	case OpCmpNE:
+		return b2i(args[0] != args[1]), nil
+	case OpCmpLT:
+		return b2i(args[0] < args[1]), nil
+	case OpCmpLE:
+		return b2i(args[0] <= args[1]), nil
+	case OpCmpGT:
+		return b2i(args[0] > args[1]), nil
+	case OpCmpGE:
+		return b2i(args[0] >= args[1]), nil
+	case OpSelect:
+		if args[0] != 0 {
+			return args[1], nil
+		}
+		return args[2], nil
+	case OpMin:
+		if args[0] < args[1] {
+			return args[0], nil
+		}
+		return args[1], nil
+	case OpMax:
+		if args[0] > args[1] {
+			return args[0], nil
+		}
+		return args[1], nil
+	}
+	return 0, fmt.Errorf("ir: EvalOp: unsupported opcode %v", op)
+}
+
+func b2i(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Eval executes the block on the given external input values and memory,
+// returning the value computed by every node (stores yield 0). Nodes are
+// already in a valid execution order because operands must refer to
+// strictly earlier nodes.
+func (b *Block) Eval(inputs []int32, mem Memory) ([]int32, error) {
+	if len(inputs) != b.NumInputs {
+		return nil, fmt.Errorf("ir: block %q: %d inputs supplied, want %d", b.Name, len(inputs), b.NumInputs)
+	}
+	if mem == nil {
+		mem = NewMapMemory()
+	}
+	vals := make([]int32, len(b.Nodes))
+	argBuf := make([]int32, 0, 3)
+	for i := range b.Nodes {
+		nd := &b.Nodes[i]
+		argBuf = argBuf[:0]
+		for _, a := range nd.Args {
+			switch a.Kind {
+			case FromNode:
+				argBuf = append(argBuf, vals[a.Index])
+			case FromInput:
+				argBuf = append(argBuf, inputs[a.Index])
+			case FromImm:
+				argBuf = append(argBuf, int32(a.Index))
+			}
+		}
+		switch nd.Op {
+		case OpLoad:
+			vals[i] = mem.Load(argBuf[0])
+		case OpStore:
+			mem.Store(argBuf[0], argBuf[1])
+		default:
+			v, err := EvalOp(nd.Op, nd.Imm, argBuf)
+			if err != nil {
+				return nil, fmt.Errorf("ir: block %q node %d: %w", b.Name, i, err)
+			}
+			vals[i] = v
+		}
+	}
+	return vals, nil
+}
+
+// EvalOutputs executes the block and returns only the live-out values,
+// keyed by node ID.
+func (b *Block) EvalOutputs(inputs []int32, mem Memory) (map[int]int32, error) {
+	vals, err := b.Eval(inputs, mem)
+	if err != nil {
+		return nil, err
+	}
+	out := map[int]int32{}
+	b.LiveOut.ForEach(func(i int) bool {
+		out[i] = vals[i]
+		return true
+	})
+	return out, nil
+}

@@ -1,0 +1,365 @@
+package ir
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestOpStringRoundTrip(t *testing.T) {
+	for _, op := range AllOps() {
+		got, err := OpFromString(op.String())
+		if err != nil {
+			t.Fatalf("OpFromString(%q): %v", op.String(), err)
+		}
+		if got != op {
+			t.Errorf("round trip %v -> %q -> %v", op, op.String(), got)
+		}
+	}
+	if _, err := OpFromString("bogus"); err == nil {
+		t.Error("OpFromString(bogus) should fail")
+	}
+}
+
+func TestOpTables(t *testing.T) {
+	for _, op := range AllOps() {
+		if !op.Valid() {
+			t.Errorf("%v should be valid", op)
+		}
+		if a := op.Arity(); a < 0 || a > 3 {
+			t.Errorf("%v arity %d out of range", op, a)
+		}
+	}
+	if OpInvalid.Valid() {
+		t.Error("OpInvalid must not be valid")
+	}
+	if !OpLoad.IsMem() || !OpStore.IsMem() || OpAdd.IsMem() {
+		t.Error("IsMem wrong")
+	}
+	if OpStore.HasValue() || !OpAdd.HasValue() {
+		t.Error("HasValue wrong")
+	}
+	if !OpAdd.IsCommutative() || OpSub.IsCommutative() || OpShl.IsCommutative() {
+		t.Error("IsCommutative wrong")
+	}
+}
+
+// buildMAC builds: out = a*b + acc, out live-out.
+func buildMAC(t *testing.T) *Block {
+	t.Helper()
+	bu := NewBuilder("mac", 100)
+	a, b, acc := bu.Input("a"), bu.Input("b"), bu.Input("acc")
+	p := bu.Mul(a, b)
+	s := bu.Add(p, acc)
+	bu.LiveOut(s)
+	blk, err := bu.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return blk
+}
+
+func TestBuilderBasics(t *testing.T) {
+	blk := buildMAC(t)
+	if blk.N() != 2 || blk.NumInputs != 3 {
+		t.Fatalf("got %d nodes %d inputs, want 2 and 3", blk.N(), blk.NumInputs)
+	}
+	if !blk.LiveOut.Has(1) || blk.LiveOut.Has(0) {
+		t.Error("live-out should be exactly node 1")
+	}
+	if blk.DAG().NumEdges() != 1 {
+		t.Errorf("edges = %d, want 1 (mul -> add)", blk.DAG().NumEdges())
+	}
+	// Node 0 consumes inputs 0,1; node 1 consumes node 0 and input 2.
+	if got := blk.Srcs(0); len(got) != 2 || got[0] != blk.InputValueID(0) || got[1] != blk.InputValueID(1) {
+		t.Errorf("Srcs(0) = %v", got)
+	}
+	if got := blk.Srcs(1); len(got) != 2 || got[0] != 0 || got[1] != blk.InputValueID(2) {
+		t.Errorf("Srcs(1) = %v", got)
+	}
+	if got := blk.Uses(0); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Uses(0) = %v", got)
+	}
+}
+
+func TestBuilderDuplicateOperandDeduped(t *testing.T) {
+	bu := NewBuilder("sq", 1)
+	x := bu.Input("x")
+	sq := bu.Mul(x, x)
+	bu.LiveOut(sq)
+	blk := bu.MustBuild()
+	if got := blk.Srcs(0); len(got) != 1 {
+		t.Errorf("x*x should have 1 distinct source, got %v", got)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	// Store result consumed.
+	blk := &Block{Name: "bad", NumInputs: 1, Nodes: []Node{
+		{Op: OpStore, Args: []Operand{InputRef(0), InputRef(0)}},
+		{Op: OpNeg, Args: []Operand{NodeRef(0)}},
+	}}
+	if err := blk.finalize(); err == nil {
+		t.Error("consuming a store result should fail")
+	}
+	// Forward reference.
+	blk2 := &Block{Name: "fwd", NumInputs: 0, Nodes: []Node{
+		{Op: OpNeg, Args: []Operand{NodeRef(0)}},
+	}}
+	if err := blk2.finalize(); err == nil {
+		t.Error("self reference should fail")
+	}
+	// Arity mismatch.
+	blk3 := &Block{Name: "arity", NumInputs: 1, Nodes: []Node{
+		{Op: OpAdd, Args: []Operand{InputRef(0)}},
+	}}
+	if err := blk3.finalize(); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	// Input out of range.
+	blk4 := &Block{Name: "inrange", NumInputs: 1, Nodes: []Node{
+		{Op: OpNeg, Args: []Operand{InputRef(5)}},
+	}}
+	if err := blk4.finalize(); err == nil {
+		t.Error("input index out of range should fail")
+	}
+}
+
+func TestEvalMAC(t *testing.T) {
+	blk := buildMAC(t)
+	vals, err := blk.Eval([]int32{6, 7, 100}, nil)
+	if err != nil {
+		t.Fatalf("Eval: %v", err)
+	}
+	if vals[1] != 142 {
+		t.Errorf("6*7+100 = %d, want 142", vals[1])
+	}
+	out, err := blk.EvalOutputs([]int32{2, 3, 4}, nil)
+	if err != nil {
+		t.Fatalf("EvalOutputs: %v", err)
+	}
+	if out[1] != 10 {
+		t.Errorf("2*3+4 = %d, want 10", out[1])
+	}
+}
+
+func TestEvalInputCountMismatch(t *testing.T) {
+	blk := buildMAC(t)
+	if _, err := blk.Eval([]int32{1}, nil); err == nil {
+		t.Error("wrong input count should fail")
+	}
+}
+
+func TestEvalOpSemantics(t *testing.T) {
+	cases := []struct {
+		op   Op
+		args []int32
+		want int32
+	}{
+		{OpAdd, []int32{3, 4}, 7},
+		{OpSub, []int32{3, 4}, -1},
+		{OpMul, []int32{-3, 4}, -12},
+		{OpNeg, []int32{5}, -5},
+		{OpAnd, []int32{0b1100, 0b1010}, 0b1000},
+		{OpOr, []int32{0b1100, 0b1010}, 0b1110},
+		{OpXor, []int32{0b1100, 0b1010}, 0b0110},
+		{OpNot, []int32{0}, -1},
+		{OpShl, []int32{1, 4}, 16},
+		{OpShrL, []int32{-1, 28}, 15},
+		{OpShrA, []int32{-16, 2}, -4},
+		{OpShl, []int32{1, 33}, 2}, // shift amount masked to 5 bits
+		{OpCmpEQ, []int32{2, 2}, 1},
+		{OpCmpNE, []int32{2, 2}, 0},
+		{OpCmpLT, []int32{-1, 0}, 1},
+		{OpCmpLE, []int32{0, 0}, 1},
+		{OpCmpGT, []int32{1, 0}, 1},
+		{OpCmpGE, []int32{-1, 0}, 0},
+		{OpSelect, []int32{1, 10, 20}, 10},
+		{OpSelect, []int32{0, 10, 20}, 20},
+		{OpMin, []int32{-5, 3}, -5},
+		{OpMax, []int32{-5, 3}, 3},
+	}
+	for _, c := range cases {
+		got, err := EvalOp(c.op, 0, c.args)
+		if err != nil {
+			t.Fatalf("EvalOp(%v): %v", c.op, err)
+		}
+		if got != c.want {
+			t.Errorf("EvalOp(%v, %v) = %d, want %d", c.op, c.args, got, c.want)
+		}
+	}
+	if got, err := EvalOp(OpConst, 42, nil); err != nil || got != 42 {
+		t.Errorf("EvalOp(const 42) = %d, %v", got, err)
+	}
+	if _, err := EvalOp(OpLoad, 0, []int32{0}); err == nil {
+		t.Error("EvalOp must reject memory opcodes")
+	}
+}
+
+func TestMemoryOps(t *testing.T) {
+	bu := NewBuilder("memtest", 1)
+	addr := bu.Input("addr")
+	v := bu.Load(addr)
+	one := bu.Const(1)
+	inc := bu.Add(v, one)
+	bu.Store(addr, inc)
+	v2 := bu.Load(addr)
+	bu.LiveOut(v2)
+	blk := bu.MustBuild()
+
+	mem := NewMapMemory()
+	mem.Preload(10, []int32{41})
+	out, err := blk.EvalOutputs([]int32{10}, mem)
+	if err != nil {
+		t.Fatalf("Eval: %v", err)
+	}
+	// Load-after-store in program order observes the incremented value.
+	if out[4] != 42 {
+		t.Errorf("reloaded value = %d, want 42", out[4])
+	}
+	if mem.Load(10) != 42 {
+		t.Errorf("mem[10] = %d, want 42", mem.Load(10))
+	}
+}
+
+func TestCutIOReference(t *testing.T) {
+	// DFG: n0 = i0 + i1; n1 = n0 * i2; n2 = n0 - n1; n2 live-out.
+	bu := NewBuilder("io", 1)
+	in := bu.Inputs(3)
+	n0 := bu.Add(in[0], in[1])
+	n1 := bu.Mul(n0, in[2])
+	n2 := bu.Sub(n0, n1)
+	bu.LiveOut(n2)
+	blk := bu.MustBuild()
+
+	cut := graph.NewBitSet(3)
+	cut.Set(1) // only the mul
+	if got := blk.CutInputs(cut); got != 2 {
+		t.Errorf("inputs of {mul} = %d, want 2 (n0, i2)", got)
+	}
+	if got := blk.CutOutputs(cut); got != 1 {
+		t.Errorf("outputs of {mul} = %d, want 1", got)
+	}
+
+	cut.Set(0)
+	cut.Set(2) // whole block
+	if got := blk.CutInputs(cut); got != 3 {
+		t.Errorf("inputs of full cut = %d, want 3", got)
+	}
+	if got := blk.CutOutputs(cut); got != 1 {
+		t.Errorf("outputs of full cut = %d, want 1 (live-out n2)", got)
+	}
+
+	cut.Reset()
+	cut.Set(0) // only the add: consumed by both mul and sub outside
+	if got := blk.CutOutputs(cut); got != 1 {
+		t.Errorf("outputs of {add} = %d, want 1 (single value, two consumers)", got)
+	}
+
+	empty := graph.NewBitSet(3)
+	if blk.CutInputs(empty) != 0 || blk.CutOutputs(empty) != 0 {
+		t.Error("empty cut must have zero I/O")
+	}
+}
+
+func TestCutOutputsLiveOutOnlyCountedOnce(t *testing.T) {
+	// n0 live-out AND consumed outside the cut: still one output port.
+	bu := NewBuilder("once", 1)
+	x := bu.Input("x")
+	n0 := bu.Neg(x)
+	n1 := bu.Neg(n0)
+	bu.LiveOut(n0, n1)
+	blk := bu.MustBuild()
+	cut := graph.NewBitSet(2)
+	cut.Set(0)
+	if got := blk.CutOutputs(cut); got != 1 {
+		t.Errorf("outputs = %d, want 1", got)
+	}
+}
+
+func TestApplicationAggregates(t *testing.T) {
+	b1 := buildMAC(t) // freq 100, 2 nodes
+	bu := NewBuilder("small", 10)
+	x := bu.Input("x")
+	bu.LiveOut(bu.Neg(x))
+	b2 := bu.MustBuild()
+	app := &Application{Name: "app", Blocks: []*Block{b1, b2}}
+	lat := func(op Op) int {
+		if op == OpMul {
+			return 3
+		}
+		return 1
+	}
+	// b1: (3+1)*100 = 400; b2: 1*10 = 10.
+	if got := app.TotalSWCycles(lat); got != 410 {
+		t.Errorf("TotalSWCycles = %v, want 410", got)
+	}
+	if got := app.MaxBlockSize(); got != 2 {
+		t.Errorf("MaxBlockSize = %v, want 2", got)
+	}
+}
+
+// randBlock builds a random valid block for property tests.
+func randBlock(rng *rand.Rand, n int) *Block {
+	bu := NewBuilder("rand", 1)
+	numIn := 1 + rng.Intn(4)
+	ins := bu.Inputs(numIn)
+	vals := append([]Value{}, ins...)
+	binOps := []func(a, b Value) Value{bu.Add, bu.Sub, bu.Mul, bu.And, bu.Or, bu.Xor, bu.Shl, bu.Min}
+	for i := 0; i < n; i++ {
+		a := vals[rng.Intn(len(vals))]
+		b := vals[rng.Intn(len(vals))]
+		v := binOps[rng.Intn(len(binOps))](a, b)
+		vals = append(vals, v)
+	}
+	// Mark a few values live-out (always the last node so every node can
+	// matter).
+	bu.LiveOut(vals[len(vals)-1])
+	return bu.MustBuild()
+}
+
+// Property: for random blocks and random cuts, CutInputs is bounded by the
+// total distinct sources and CutOutputs by the cut size; the full cut's
+// input count equals the number of distinct external inputs consumed.
+func TestCutIOBoundsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		blk := randBlock(rng, 2+rng.Intn(20))
+		cut := graph.NewBitSet(blk.N())
+		for i := 0; i < blk.N(); i++ {
+			if rng.Float64() < 0.5 {
+				cut.Set(i)
+			}
+		}
+		in, out := blk.CutInputs(cut), blk.CutOutputs(cut)
+		if in < 0 || out < 0 || out > cut.Count() {
+			t.Fatalf("bounds violated: in=%d out=%d |cut|=%d", in, out, cut.Count())
+		}
+		if cut.Empty() && (in != 0 || out != 0) {
+			t.Fatal("empty cut with non-zero IO")
+		}
+	}
+}
+
+// Property: Eval is deterministic.
+func TestEvalDeterministic(t *testing.T) {
+	f := func(a, b, c int32) bool {
+		bu := NewBuilder("det", 1)
+		x, y, z := bu.Input("x"), bu.Input("y"), bu.Input("z")
+		v := bu.Add(bu.Mul(x, y), bu.Xor(z, x))
+		bu.LiveOut(v)
+		blk := bu.MustBuild()
+		o1, err1 := blk.EvalOutputs([]int32{a, b, c}, nil)
+		o2, err2 := blk.EvalOutputs([]int32{a, b, c}, nil)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		want := a*b + (c ^ a)
+		return o1[2] == want && o2[2] == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,131 @@
+// Package ir defines the instruction-level intermediate representation that
+// the rest of the repository operates on: opcodes with executable
+// semantics, data-flow basic blocks, whole applications with block
+// execution frequencies, and a builder API for constructing them.
+//
+// The paper extracts basic-block data-flow graphs (DFGs) from MachSUIF;
+// this package plays that role. Every node is an instruction, every edge a
+// data dependency, and each block can also be executed directly, which the
+// cycle-level simulator in internal/sim uses to validate speedups.
+package ir
+
+import "fmt"
+
+// Op is an instruction opcode. All arithmetic is 32-bit; comparison ops
+// produce 0 or 1.
+type Op uint8
+
+// Opcode set. The mix mirrors what embedded media/crypto kernels need:
+// integer arithmetic, bitwise logic, shifts, comparisons, selection and
+// memory access.
+const (
+	OpInvalid Op = iota
+
+	OpConst // materialize an immediate value (Imm field)
+
+	OpAdd // a + b
+	OpSub // a - b
+	OpMul // a * b (low 32 bits)
+	OpNeg // -a
+
+	OpAnd // a & b
+	OpOr  // a | b
+	OpXor // a ^ b
+	OpNot // ^a
+
+	OpShl  // a << (b & 31)
+	OpShrL // logical a >> (b & 31)
+	OpShrA // arithmetic a >> (b & 31)
+
+	OpCmpEQ // a == b
+	OpCmpNE // a != b
+	OpCmpLT // signed a < b
+	OpCmpLE // signed a <= b
+	OpCmpGT // signed a > b
+	OpCmpGE // signed a >= b
+
+	OpSelect // c != 0 ? a : b (args: c, a, b)
+	OpMin    // signed min(a, b)
+	OpMax    // signed max(a, b)
+
+	OpLoad  // mem[a]; memory ops are AFU barriers
+	OpStore // mem[a] = b; produces no value
+
+	opCount
+)
+
+var opNames = [...]string{
+	OpInvalid: "invalid",
+	OpConst:   "const",
+	OpAdd:     "add", OpSub: "sub", OpMul: "mul", OpNeg: "neg",
+	OpAnd: "and", OpOr: "or", OpXor: "xor", OpNot: "not",
+	OpShl: "shl", OpShrL: "shrl", OpShrA: "shra",
+	OpCmpEQ: "cmpeq", OpCmpNE: "cmpne", OpCmpLT: "cmplt",
+	OpCmpLE: "cmple", OpCmpGT: "cmpgt", OpCmpGE: "cmpge",
+	OpSelect: "select", OpMin: "min", OpMax: "max",
+	OpLoad: "load", OpStore: "store",
+}
+
+var opArity = [...]int{
+	OpConst: 0,
+	OpAdd:   2, OpSub: 2, OpMul: 2, OpNeg: 1,
+	OpAnd: 2, OpOr: 2, OpXor: 2, OpNot: 1,
+	OpShl: 2, OpShrL: 2, OpShrA: 2,
+	OpCmpEQ: 2, OpCmpNE: 2, OpCmpLT: 2,
+	OpCmpLE: 2, OpCmpGT: 2, OpCmpGE: 2,
+	OpSelect: 3, OpMin: 2, OpMax: 2,
+	OpLoad: 1, OpStore: 2,
+}
+
+// String returns the lower-case mnemonic.
+func (op Op) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Valid reports whether op is a defined opcode.
+func (op Op) Valid() bool { return op > OpInvalid && op < opCount }
+
+// Arity returns the number of operands op takes.
+func (op Op) Arity() int { return opArity[op] }
+
+// IsMem reports whether op accesses memory. Memory operations act as
+// barriers for cut growth and are never included in an ISE.
+func (op Op) IsMem() bool { return op == OpLoad || op == OpStore }
+
+// HasValue reports whether op produces a value that other instructions can
+// consume. Only stores are pure effects.
+func (op Op) HasValue() bool { return op != OpStore && op.Valid() }
+
+// IsCommutative reports whether swapping the two operands leaves the result
+// unchanged. Used by the reuse matcher to identify isomorphic cut instances
+// regardless of operand order.
+func (op Op) IsCommutative() bool {
+	switch op {
+	case OpAdd, OpMul, OpAnd, OpOr, OpXor, OpCmpEQ, OpCmpNE, OpMin, OpMax:
+		return true
+	}
+	return false
+}
+
+// OpFromString parses a mnemonic produced by Op.String.
+func OpFromString(s string) (Op, error) {
+	for op := Op(1); op < opCount; op++ {
+		if opNames[op] == s {
+			return op, nil
+		}
+	}
+	return OpInvalid, fmt.Errorf("ir: unknown opcode %q", s)
+}
+
+// AllOps returns every defined opcode; useful for table validation and
+// property tests.
+func AllOps() []Op {
+	out := make([]Op, 0, int(opCount)-1)
+	for op := Op(1); op < opCount; op++ {
+		out = append(out, op)
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+package kernels
+
+import "repro/internal/ir"
+
+// adpcmQuantize emits the IMA-ADPCM quantization of one sample: the
+// 3-level successive approximation of |sample − valpred| against the step
+// size, the predictor update with clamping, and the table-driven index and
+// step updates. The final residual is returned so callers can keep it live
+// (the benchmark's noise-shaping uses it). 40 nodes per sample.
+func adpcmQuantize(bu *ir.Builder, sample, valpred, index, step, idxTab, stepTab ir.Value) (code, newPred, newIndex, newStep, residual ir.Value) {
+	diff := bu.Sub(sample, valpred)   // 1
+	sign := bu.CmpLT(diff, bu.Imm(0)) // 2
+	negd := bu.Neg(diff)              // 3
+	d := bu.Select(sign, negd, diff)  // 4
+	vp := bu.ShrAI(step, 3)           // 5
+
+	// Level 0 (bit 2): 7 nodes.
+	s := step
+	cmp := bu.CmpGE(d, s)
+	dsub := bu.Sub(d, s)
+	d = bu.Select(cmp, dsub, d)
+	vadd := bu.Add(vp, s)
+	vp = bu.Select(cmp, vadd, vp)
+	code = bu.ShlI(cmp, 2)
+	s = bu.ShrLI(s, 1)
+
+	// Level 1 (bit 1): 8 nodes.
+	cmp = bu.CmpGE(d, s)
+	dsub = bu.Sub(d, s)
+	d = bu.Select(cmp, dsub, d)
+	vadd = bu.Add(vp, s)
+	vp = bu.Select(cmp, vadd, vp)
+	bit := bu.ShlI(cmp, 1)
+	code = bu.Or(code, bit)
+	s = bu.ShrLI(s, 1)
+
+	// Level 2 (bit 0): 6 nodes; the residual d stays live.
+	cmp = bu.CmpGE(d, s)
+	dsub = bu.Sub(d, s)
+	residual = bu.Select(cmp, dsub, d)
+	vadd = bu.Add(vp, s)
+	vp = bu.Select(cmp, vadd, vp)
+	code = bu.Or(code, cmp)
+
+	vneg := bu.Sub(valpred, vp)       // 27
+	vpos := bu.Add(valpred, vp)       // 28
+	np := bu.Select(sign, vneg, vpos) // 29
+	np = bu.Min(np, bu.Imm(32767))    // 30
+	np = bu.Max(np, bu.Imm(-32768))   // 31
+
+	sbit := bu.ShlI(sign, 3) // 32
+	code = bu.Or(code, sbit) // 33
+
+	iaddr := bu.Add(idxTab, code) // 34
+	idelta := bu.Load(iaddr)      // 35
+	ni := bu.Add(index, idelta)   // 36
+	ni = bu.Max(ni, bu.Imm(0))    // 37
+	ni = bu.Min(ni, bu.Imm(88))   // 38
+
+	saddr := bu.Add(stepTab, ni) // 39
+	ns := bu.Load(saddr)         // 40
+	return code, np, ni, ns, residual
+}
+
+// ADPCMCoder is the MediaBench ADPCM (rawcaudio) encoder: two samples per
+// iteration are quantized and packed into one output byte, with the
+// benchmark's distortion-metric accumulation kept in the loop. Critical
+// block: 96 nodes.
+func ADPCMCoder() *ir.Application {
+	bu := ir.NewBuilder("adpcm_coder_loop", 8192)
+	s0, s1 := bu.Input("sample0"), bu.Input("sample1")
+	valpred, index, step := bu.Input("valpred"), bu.Input("index"), bu.Input("step")
+	idxTab, stepTab := bu.Input("indexTable"), bu.Input("stepTable")
+	outPtr, cnt, errAcc := bu.Input("outPtr"), bu.Input("count"), bu.Input("errAcc")
+
+	c0, p0, i0, st0, r0 := adpcmQuantize(bu, s0, valpred, index, step, idxTab, stepTab) // 40
+	c1, p1, i1, st1, r1 := adpcmQuantize(bu, s1, p0, i0, st0, idxTab, stepTab)          // 80
+
+	hi := bu.ShlI(c1, 4)             // 81
+	byteOut := bu.Or(c0, hi)         // 82
+	packed := bu.AndI(byteOut, 0xff) // 83
+	bu.Store(outPtr, packed)         // 84
+	nextPtr := bu.AddI(outPtr, 1)    // 85
+
+	ncnt := bu.SubI(cnt, 2)           // 86
+	done := bu.CmpLE(ncnt, bu.Imm(0)) // 87
+
+	// Distortion metric over the two residuals (noise shaping state).
+	sq0 := bu.Mul(r0, r0)                  // 88
+	sq1 := bu.Mul(r1, r1)                  // 89
+	e := bu.Add(sq0, sq1)                  // 90
+	e = bu.Add(e, errAcc)                  // 91
+	es := bu.ShrAI(e, 2)                   // 92
+	ec := bu.Min(es, bu.Imm(1<<20))        // 93
+	ec = bu.Max(ec, bu.Imm(0))             // 94
+	shaped := bu.Sub(p1, ec)               // 95
+	clip := bu.Max(shaped, bu.Imm(-32768)) // 96
+	bu.LiveOut(p1, i1, st1, nextPtr, ncnt, done, e, clip)
+	return withSupport("adpcm_coder", bu.MustBuild(), 0.25)
+}
+
+// adpcmDequantize emits the IMA-ADPCM reconstruction of one 4-bit code:
+// vpdiff accumulation from the code bits, predictor update with clamping,
+// and the table-driven index and step updates. 26 nodes per sample.
+func adpcmDequantize(bu *ir.Builder, code, valpred, index, step, idxTab, stepTab ir.Value) (newPred, newIndex, newStep ir.Value) {
+	sign := bu.AndI(code, 8)  // 1
+	delta := bu.AndI(code, 7) // 2
+
+	vpdiff := bu.ShrAI(step, 3) // 3
+	s := step
+	// Bit 2: 4 nodes.
+	b2 := bu.AndI(delta, 4)
+	a2 := bu.Add(vpdiff, s)
+	vpdiff = bu.Select(b2, a2, vpdiff)
+	s = bu.ShrLI(s, 1)
+	// Bit 1: 4 nodes.
+	b1 := bu.AndI(delta, 2)
+	a1 := bu.Add(vpdiff, s)
+	vpdiff = bu.Select(b1, a1, vpdiff)
+	s = bu.ShrLI(s, 1)
+	// Bit 0: 3 nodes (the step scratch ends here).
+	b0 := bu.AndI(delta, 1)
+	a0 := bu.Add(vpdiff, s)
+	vpdiff = bu.Select(b0, a0, vpdiff)
+
+	vneg := bu.Sub(valpred, vpdiff)   // 15
+	vpos := bu.Add(valpred, vpdiff)   // 16
+	np := bu.Select(sign, vneg, vpos) // 17
+	np = bu.Min(np, bu.Imm(32767))    // 18
+	np = bu.Max(np, bu.Imm(-32768))   // 19
+
+	iaddr := bu.Add(idxTab, delta) // 20
+	idelta := bu.Load(iaddr)       // 21
+	ni := bu.Add(index, idelta)    // 22
+	ni = bu.Max(ni, bu.Imm(0))     // 23
+	ni = bu.Min(ni, bu.Imm(88))    // 24
+
+	saddr := bu.Add(stepTab, ni) // 25
+	ns := bu.Load(saddr)         // 26
+	return np, ni, ns
+}
+
+// ADPCMDecoder is the MediaBench ADPCM (rawdaudio) decoder: three 4-bit
+// codes (unpacked by the preceding block) are reconstructed per iteration,
+// matching the unrolled inner loop of adpcm_decoder(). Critical block: 82
+// nodes (3 × 26-node reconstructions + output store + loop bookkeeping).
+func ADPCMDecoder() *ir.Application {
+	bu := ir.NewBuilder("adpcm_decoder_loop", 8192)
+	c0, c1, c2 := bu.Input("code0"), bu.Input("code1"), bu.Input("code2")
+	valpred, index, step := bu.Input("valpred"), bu.Input("index"), bu.Input("step")
+	idxTab, stepTab := bu.Input("indexTable"), bu.Input("stepTable")
+	outPtr, cnt := bu.Input("outPtr"), bu.Input("count")
+
+	p0, i0, st0 := adpcmDequantize(bu, c0, valpred, index, step, idxTab, stepTab) // 26
+	p1, i1, st1 := adpcmDequantize(bu, c1, p0, i0, st0, idxTab, stepTab)          // 52
+	p2, i2, st2 := adpcmDequantize(bu, c2, p1, i1, st1, idxTab, stepTab)          // 78
+	bu.Store(outPtr, p2)                                                          // 79
+	nextPtr := bu.AddI(outPtr, 1)                                                 // 80
+	ncnt := bu.SubI(cnt, 3)                                                       // 81
+	done := bu.CmpLE(ncnt, bu.Imm(0))                                             // 82
+	bu.LiveOut(p0, p1, p2, i2, st2, nextPtr, ncnt, done)
+
+	// The code-unpacking block that feeds the loop (three 4-bit fields).
+	ub := ir.NewBuilder("adpcm_decoder_unpack", 8192)
+	packed := ub.Input("packed")
+	u0 := ub.AndI(packed, 0xf)
+	m1 := ub.ShrLI(packed, 4)
+	u1 := ub.AndI(m1, 0xf)
+	m2 := ub.ShrLI(packed, 8)
+	u2 := ub.AndI(m2, 0xf)
+	ub.LiveOut(u0, u1, u2)
+
+	app := withSupport("adpcm_decoder", bu.MustBuild(), 0.25)
+	app.Blocks = append(app.Blocks, ub.MustBuild())
+	return app
+}

@@ -1,0 +1,99 @@
+package kernels
+
+import "repro/internal/ir"
+
+// AES builds the cryptographic benchmark of Figures 6 and 7: three fully
+// unrolled AES-128 encryption rounds operating on a 16-byte state held in
+// registers, with S-box lookups and round-key bytes fetched from memory
+// (loads are AFU barriers, exactly the paper's model) and MixColumns
+// expressed in GF(2^8) byte arithmetic.
+//
+// The critical block has exactly 696 nodes, matching the paper, and a
+// highly regular structure: 12 identical 36-node MixColumns columns and 48
+// identical 5-node xtime blocks, which is precisely the regularity ISEGEN
+// exploits through cut reuse.
+//
+// Node budget: 24 (state unpack) + 3 rounds × (32 S-box + 32 round key +
+// 144 MixColumns + 16 AddRoundKey) = 24 + 3·224 = 696.
+func AES() *ir.Application {
+	bu := ir.NewBuilder("aes_rounds", 1024)
+	w0, w1, w2, w3 := bu.Input("state0"), bu.Input("state1"), bu.Input("state2"), bu.Input("state3")
+	sbox := bu.Input("sboxBase")
+	key := bu.Input("keyBase")
+
+	// Unpack the four state words into 16 bytes: 6 nodes per word.
+	unpack := func(w ir.Value) [4]ir.Value {
+		b0 := bu.AndI(w, 0xff)
+		t1 := bu.ShrLI(w, 8)
+		b1 := bu.AndI(t1, 0xff)
+		t2 := bu.ShrLI(w, 16)
+		b2 := bu.AndI(t2, 0xff)
+		b3 := bu.ShrLI(w, 24)
+		return [4]ir.Value{b0, b1, b2, b3}
+	}
+	var state [16]ir.Value
+	for i, w := range []ir.Value{w0, w1, w2, w3} {
+		c := unpack(w)
+		copy(state[4*i:], c[:])
+	}
+
+	// xtime: multiplication by 2 in GF(2^8). 5 nodes.
+	xtime := func(b ir.Value) ir.Value {
+		hi := bu.AndI(b, 0x80)
+		sh := bu.ShlI(b, 1)
+		m := bu.AndI(sh, 0xff)
+		red := bu.Select(hi, bu.Imm(0x1b), bu.Imm(0))
+		return bu.Xor(m, red)
+	}
+
+	// One full round (224 nodes): SubBytes 32, ShiftRows 0 (wiring),
+	// MixColumns 144, AddRoundKey 48 (address + load + xor per byte).
+	keyOff := int32(0)
+	round := func(st [16]ir.Value) [16]ir.Value {
+		// SubBytes: addr = sbox + byte; load. 32 nodes.
+		var sb [16]ir.Value
+		for i := 0; i < 16; i++ {
+			addr := bu.Add(sbox, st[i])
+			sb[i] = bu.Load(addr)
+		}
+		// ShiftRows: row r rotates left by r. Column-major state
+		// layout: state[4c+r].
+		var sr [16]ir.Value
+		for c := 0; c < 4; c++ {
+			for r := 0; r < 4; r++ {
+				sr[4*c+r] = sb[4*((c+r)%4)+r]
+			}
+		}
+		// MixColumns per column: 4 xtimes (20) + 16 XORs = 36 nodes.
+		var mc [16]ir.Value
+		for c := 0; c < 4; c++ {
+			a0, a1, a2, a3 := sr[4*c], sr[4*c+1], sr[4*c+2], sr[4*c+3]
+			x0, x1, x2, x3 := xtime(a0), xtime(a1), xtime(a2), xtime(a3)
+			// r0 = x0 ^ x1 ^ a1 ^ a2 ^ a3
+			r0 := bu.Xor(bu.Xor(bu.Xor(bu.Xor(x0, x1), a1), a2), a3)
+			// r1 = a0 ^ x1 ^ x2 ^ a2 ^ a3
+			r1 := bu.Xor(bu.Xor(bu.Xor(bu.Xor(a0, x1), x2), a2), a3)
+			// r2 = a0 ^ a1 ^ x2 ^ x3 ^ a3
+			r2 := bu.Xor(bu.Xor(bu.Xor(bu.Xor(a0, a1), x2), x3), a3)
+			// r3 = x0 ^ a0 ^ a1 ^ a2 ^ x3
+			r3 := bu.Xor(bu.Xor(bu.Xor(bu.Xor(x0, a0), a1), a2), x3)
+			mc[4*c], mc[4*c+1], mc[4*c+2], mc[4*c+3] = r0, r1, r2, r3
+		}
+		// AddRoundKey: key byte address (immediate offset), load, XOR.
+		var out [16]ir.Value
+		for i := 0; i < 16; i++ {
+			kaddr := bu.AddI(key, keyOff)
+			keyOff++
+			kb := bu.Load(kaddr)
+			out[i] = bu.Xor(mc[i], kb)
+		}
+		return out
+	}
+
+	st := state
+	for r := 0; r < 3; r++ {
+		st = round(st)
+	}
+	bu.LiveOut(st[:]...)
+	return withSupport("aes", bu.MustBuild(), 0.08)
+}

@@ -1,0 +1,59 @@
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// FFT00 is the EEMBC fixed-point FFT kernel: eight unrolled radix-2
+// decimation-in-time butterflies with complex twiddle multiplication and
+// fixed-point rescaling, followed by the overflow-detection max-chain of
+// the block-floating-point stage. Critical block: 104 nodes
+// (8 × 12-node butterflies + 7-node max chain + the overflow compare).
+func FFT00() *ir.Application {
+	bu := ir.NewBuilder("fft00_butterflies", 1024)
+
+	type cplx struct{ re, im ir.Value }
+	inC := func(name string) cplx {
+		return cplx{bu.Input(name + "_re"), bu.Input(name + "_im")}
+	}
+
+	// butterfly computes a' = a + w·b, b' = a − w·b in Q15 fixed point.
+	// 12 nodes; the scaled twiddle product trs is also returned for the
+	// overflow detector.
+	butterfly := func(a, b, w cplx) (hi, lo cplx, trs ir.Value) {
+		t1 := bu.Mul(b.re, w.re) // 1
+		t2 := bu.Mul(b.im, w.im) // 2
+		tr := bu.Sub(t1, t2)     // 3
+		t3 := bu.Mul(b.re, w.im) // 4
+		t4 := bu.Mul(b.im, w.re) // 5
+		ti := bu.Add(t3, t4)     // 6
+		trs = bu.ShrAI(tr, 15)   // 7: Q15 rescale
+		tis := bu.ShrAI(ti, 15)  // 8
+		or0 := bu.Add(a.re, trs) // 9
+		oi0 := bu.Add(a.im, tis) // 10
+		or1 := bu.Sub(a.re, trs) // 11
+		oi1 := bu.Sub(a.im, tis) // 12
+		return cplx{or0, oi0}, cplx{or1, oi1}, trs
+	}
+
+	var taps []ir.Value
+	for k := 0; k < 8; k++ {
+		a := inC(fmt.Sprintf("a%d", k))
+		b := inC(fmt.Sprintf("b%d", k))
+		w := inC(fmt.Sprintf("w%d", k))
+		hi, lo, trs := butterfly(a, b, w)
+		taps = append(taps, trs)
+		bu.LiveOut(hi.re, hi.im, lo.re, lo.im)
+	}
+	// Block-floating-point overflow detection: max over the twiddle
+	// products, compared against the Q15 headroom. 8 nodes.
+	mx := taps[0]
+	for k := 1; k < 8; k++ {
+		mx = bu.Max(mx, taps[k]) // 97..103
+	}
+	guard := bu.CmpGT(mx, bu.Imm(16384)) // 104
+	bu.LiveOut(guard)
+	return withSupport("fft00", bu.MustBuild(), 0.20)
+}

@@ -1,0 +1,43 @@
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Figure1Example reproduces the paper's motivating example of large-scale
+// reuse (Figure 1): a DFG containing a computation motif repeated six
+// times, three of which are extended by two extra operations. The largest
+// convex template (motif + extension) has only three instances; the
+// slightly smaller motif has six. An identification algorithm that
+// maximizes template size times reuse must prefer the six-instance motif:
+//
+//	6 instances × merit(motif) > 3 instances × merit(motif+extension)
+//
+// The motif is a four-operation multiply/accumulate/align chain; the
+// extension adds a saturating clamp.
+func Figure1Example() *ir.Application {
+	bu := ir.NewBuilder("figure1_kernel", 1000)
+	base := bu.Input("base")
+	var outs []ir.Value
+	for k := 0; k < 6; k++ {
+		x := bu.Input(fmt.Sprintf("x%d", k))
+		y := bu.Input(fmt.Sprintf("y%d", k))
+		// The motif: mul, add, shift, xor. 4 nodes.
+		p := bu.Mul(x, y)
+		s := bu.Add(p, base)
+		sh := bu.ShrAI(s, 2)
+		v := bu.XorI(sh, 0x5a)
+		if k < 3 {
+			// The extension on half the motifs: clamp. 2 nodes.
+			hi := bu.Min(v, bu.Imm(4095))
+			lo := bu.Max(hi, bu.Imm(0))
+			outs = append(outs, lo)
+		} else {
+			outs = append(outs, v)
+		}
+	}
+	bu.LiveOut(outs...)
+	return withSupport("figure1", bu.MustBuild(), 0.10)
+}

@@ -1,0 +1,219 @@
+// Package kernels builds the benchmark applications of the paper's
+// evaluation as IR data-flow graphs: EEMBC telecom kernels (conven00,
+// fbital00, viterb00, autcor00, fft00), MediaBench ADPCM coder/decoder,
+// and AES.
+//
+// The paper extracts these DFGs from C sources through MachSUIF; here each
+// kernel's critical inner-loop body is written directly in the IR builder,
+// sized to the paper's reported critical-basic-block node counts (shown in
+// parentheses in Figure 4: conven00(6), fbital00(20), viterb00(23),
+// autcor00(25), adpcm_decoder(82), adpcm_coder(96), fft00(104), aes(696)).
+// Array accesses appear as load/store nodes, which are AFU barriers exactly
+// as in the paper. Execution frequencies are synthetic profile weights
+// reflecting each kernel's loop structure (the critical block dominates).
+//
+// Every application also carries one or two small supporting blocks so the
+// multi-cut driver's block selection is exercised.
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Spec pairs a benchmark application with the critical-block size the
+// paper reports for it.
+type Spec struct {
+	Name string
+	App  *ir.Application
+	// CriticalSize is the node count of the largest basic block,
+	// matching the number in parentheses in the paper's Figure 4.
+	CriticalSize int
+}
+
+// All returns the seven Figure 4 benchmarks in the paper's order
+// (increasing critical-block size). AES is separate (Figures 6 and 7).
+func All() []Spec {
+	return []Spec{
+		{"conven00", Conven00(), 6},
+		{"fbital00", Fbital00(), 20},
+		{"viterb00", Viterb00(), 23},
+		{"autcor00", Autcor00(), 25},
+		{"adpcm_decoder", ADPCMDecoder(), 82},
+		{"adpcm_coder", ADPCMCoder(), 96},
+		{"fft00", FFT00(), 104},
+	}
+}
+
+// withSupport wraps the hot kernel block with a "rest of the application"
+// block (buffer management, call overhead, I/O marshalling — dominated by
+// memory traffic, so ISE acceleration gains little there) plus a tiny
+// setup block. restFrac is the fraction of dynamic cycles spent outside
+// the kernel; it models the profile weights the paper obtains from
+// MachSUIF instrumentation and keeps whole-application speedups in the
+// realistic Amdahl regime.
+func withSupport(name string, hot *ir.Block, restFrac float64) *ir.Application {
+	// The glue block is kept smaller than every kernel's critical block
+	// (5 nodes, memory-dominated) so the critical-block size reported by
+	// MaxBlockSize stays the kernel's.
+	rb := ir.NewBuilder(name+"_glue", 1) // frequency fixed up below
+	src, dst, n := rb.Input("src"), rb.Input("dst"), rb.Input("n")
+	a0 := rb.Add(src, n)          // address arithmetic
+	v0 := rb.Load(a0)             // copy in
+	rb.Store(dst, v0)             // copy out
+	nn := rb.SubI(n, 1)           // loop bookkeeping
+	gd := rb.CmpGT(nn, rb.Imm(0)) //
+	rb.LiveOut(nn, gd)
+	rest := rb.MustBuild()
+
+	sb := ir.NewBuilder(name+"_setup", 1)
+	base, count := sb.Input("base"), sb.Input("count")
+	end := sb.Add(base, count)
+	guard := sb.CmpLT(base, end)
+	sb.LiveOut(end, guard)
+	setup := sb.MustBuild()
+
+	// Fix the glue-block frequency so it accounts for restFrac of the
+	// application's dynamic cycles (using the default latency model's
+	// relative costs: the exact model only shifts the split slightly).
+	hotCycles := hot.Freq * float64(approxCycles(hot))
+	restCycles := hotCycles * restFrac / (1 - restFrac)
+	rest.Freq = restCycles / float64(approxCycles(rest))
+
+	return &ir.Application{Name: name, Blocks: []*ir.Block{hot, rest, setup}}
+}
+
+// approxCycles estimates a block's software latency with the conventional
+// single-issue costs (mul 3, load 2, others 1), mirroring latency.Default
+// without importing it (kernels must stay model-agnostic).
+func approxCycles(b *ir.Block) int {
+	total := 0
+	for i := range b.Nodes {
+		switch b.Nodes[i].Op {
+		case ir.OpMul:
+			total += 3
+		case ir.OpLoad:
+			total += 2
+		default:
+			total++
+		}
+	}
+	return total
+}
+
+// Conven00 is the EEMBC convolutional encoder kernel: the inner loop
+// shifts the encoder state register and derives two generator-polynomial
+// output bits. Critical block: 6 nodes.
+func Conven00() *ir.Application {
+	bu := ir.NewBuilder("conven00_enc", 4096)
+	state, bit := bu.Input("state"), bu.Input("bit")
+	s1 := bu.ShlI(state, 1) // shift register
+	s2 := bu.Or(s1, bit)    // insert input bit
+	t1 := bu.ShrLI(s2, 2)   // tap at delay 2
+	o0 := bu.Xor(s2, t1)    // generator G0
+	t2 := bu.ShrLI(s2, 5)   // tap at delay 5
+	o1 := bu.Xor(o0, t2)    // generator G1
+	bu.LiveOut(s2, o1)
+	return withSupport("conven00", bu.MustBuild(), 0.45)
+}
+
+// Fbital00 is the EEMBC DSL bit-allocation kernel: two unrolled carriers
+// of the water-filling loop, each clamping the per-carrier bit load and
+// folding it into the running total, followed by the margin update.
+// Critical block: 20 nodes.
+func Fbital00() *ir.Application {
+	bu := ir.NewBuilder("fbital00_alloc", 2048)
+	pow0, pow1 := bu.Input("pow0"), bu.Input("pow1")
+	noise, margin := bu.Input("noise"), bu.Input("margin")
+	total, budget := bu.Input("total"), bu.Input("budget")
+
+	carrier := func(pow ir.Value, tot ir.Value) (ir.Value, ir.Value) {
+		snr := bu.Sub(pow, noise)       // 1
+		adj := bu.Sub(snr, margin)      // 2
+		scaled := bu.ShrAI(adj, 3)      // 3
+		lo := bu.Max(scaled, bu.Imm(0)) // 4
+		hi := bu.Min(lo, bu.Imm(15))    // 5
+		odd := bu.AndI(hi, 1)           // 6
+		even := bu.Sub(hi, odd)         // 7: round to even bit load
+		return even, bu.Add(tot, even)  // 8
+	}
+	b0, t0 := carrier(pow0, total)
+	_, t1 := carrier(pow1, t0)
+
+	over := bu.Sub(t1, budget)            // 17
+	cmp := bu.CmpGT(over, bu.Imm(0))      // 18
+	step := bu.ShrAI(over, 1)             // 19
+	nm := bu.Select(cmp, step, bu.Imm(0)) // 20: margin correction
+	bu.LiveOut(b0, t1, nm)
+	return withSupport("fbital00", bu.MustBuild(), 0.35)
+}
+
+// Viterb00 is the EEMBC Viterbi decoder kernel: one add-compare-select
+// butterfly pair with branch-metric computation and decision packing.
+// Critical block: 23 nodes.
+func Viterb00() *ir.Application {
+	bu := ir.NewBuilder("viterb00_acs", 2048)
+	pm0, pm1 := bu.Input("pm0"), bu.Input("pm1")
+	r0, r1 := bu.Input("r0"), bu.Input("r1")
+	s0, s1 := bu.Input("s0"), bu.Input("s1")
+
+	// Branch metrics |r - s| via max of the two differences.
+	bm := func(r, s ir.Value) ir.Value {
+		d0 := bu.Sub(r, s) // 1
+		d1 := bu.Sub(s, r) // 2
+		return bu.Max(d0, d1)
+	} // 3 nodes each
+	bm0 := bm(r0, s0)
+	bm1 := bm(r1, s1)
+
+	acs := func(a, b, ma, mb ir.Value) (ir.Value, ir.Value) {
+		p0 := bu.Add(a, ma)   // 1
+		p1 := bu.Add(b, mb)   // 2
+		m := bu.Min(p0, p1)   // 3
+		d := bu.CmpLT(p1, p0) // 4
+		return m, d
+	} // 4 nodes each
+	n0, d0 := acs(pm0, pm1, bm0, bm1)
+	n1, d1 := acs(pm0, pm1, bm1, bm0)
+	n2, d2 := acs(pm1, pm0, bm0, bm1)
+
+	// Pack the three survivor decisions into one word.
+	p1 := bu.ShlI(d1, 1)   // 19
+	p2 := bu.ShlI(d2, 2)   // 20
+	w0 := bu.Or(d0, p1)    // 21
+	w1 := bu.Or(w0, p2)    // 22
+	best := bu.Min(n0, n1) // 23
+	_ = n2
+	bu.LiveOut(n0, n1, n2, w1, best)
+	return withSupport("viterb00", bu.MustBuild(), 0.30)
+}
+
+// Autcor00 is the EEMBC autocorrelation kernel: eight unrolled
+// multiply-accumulate taps followed by fixed-point scaling and saturation.
+// Critical block: 25 nodes.
+func Autcor00() *ir.Application {
+	bu := ir.NewBuilder("autcor00_mac", 4096)
+	acc := bu.Input("acc")
+	var xs, ys []ir.Value
+	for i := 0; i < 8; i++ {
+		xs = append(xs, bu.Input(fmt.Sprintf("x%d", i)))
+		ys = append(ys, bu.Input(fmt.Sprintf("y%d", i)))
+	}
+	sum := acc
+	for i := 0; i < 8; i++ {
+		p := bu.Mul(xs[i], ys[i]) // 8 muls
+		sum = bu.Add(sum, p)      // 8 adds
+	}
+	scaled := bu.ShrAI(sum, 4)              // 17
+	satHi := bu.Min(scaled, bu.Imm(0x7fff)) // 18
+	satLo := bu.Max(satHi, bu.Imm(-0x8000)) // 19
+	rounded := bu.AddI(satLo, 1)            // 20
+	final := bu.ShrAI(rounded, 1)           // 21
+	energy := bu.Mul(final, final)          // 22
+	eshift := bu.ShrAI(energy, 6)           // 23
+	norm := bu.Sub(final, eshift)           // 24
+	out := bu.Max(norm, bu.Imm(0))          // 25
+	bu.LiveOut(sum, out)
+	return withSupport("autcor00", bu.MustBuild(), 0.20)
+}

@@ -1,0 +1,250 @@
+package kernels
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/latency"
+)
+
+// TestCriticalBlockSizes pins every benchmark to the critical-basic-block
+// node count the paper reports in Figure 4 (and 696 for AES).
+func TestCriticalBlockSizes(t *testing.T) {
+	for _, spec := range All() {
+		if got := spec.App.MaxBlockSize(); got != spec.CriticalSize {
+			t.Errorf("%s: critical block has %d nodes, paper reports %d",
+				spec.Name, got, spec.CriticalSize)
+		}
+	}
+	if got := AES().MaxBlockSize(); got != 696 {
+		t.Errorf("aes: critical block has %d nodes, paper reports 696", got)
+	}
+}
+
+func TestAllBenchmarksValid(t *testing.T) {
+	model := latency.Default()
+	apps := []*ir.Application{AES()}
+	for _, s := range All() {
+		apps = append(apps, s.App)
+	}
+	for _, app := range apps {
+		if len(app.Blocks) < 2 {
+			t.Errorf("%s: want at least 2 blocks (hot + support), got %d", app.Name, len(app.Blocks))
+		}
+		for _, blk := range app.Blocks {
+			if err := model.Validate(blk); err != nil {
+				t.Errorf("%s/%s: %v", app.Name, blk.Name, err)
+			}
+			if blk.Freq <= 0 {
+				t.Errorf("%s/%s: non-positive frequency", app.Name, blk.Name)
+			}
+			if blk.LiveOut.Empty() {
+				t.Errorf("%s/%s: no live-out values", app.Name, blk.Name)
+			}
+			// No dead value nodes: every value is consumed or live out.
+			// Dead values would let ISE selection earn merit with zero
+			// output ports, distorting every experiment.
+			for v := 0; v < blk.N(); v++ {
+				if !blk.Nodes[v].Op.HasValue() {
+					continue
+				}
+				if len(blk.Uses(v)) == 0 && !blk.LiveOut.Has(v) {
+					t.Errorf("%s/%s: node %d (%v) is dead", app.Name, blk.Name, v, blk.Nodes[v].Op)
+				}
+			}
+		}
+		// The first block must dominate the dynamic cycle count (it is
+		// the kernel the profile says to accelerate).
+		model := latency.Default()
+		hot := app.Blocks[0]
+		hotCycles := hot.Freq * float64(model.BlockSWLat(hot))
+		total := 0.0
+		for _, blk := range app.Blocks {
+			total += blk.Freq * float64(model.BlockSWLat(blk))
+		}
+		if hotCycles < 0.5*total {
+			t.Errorf("%s: critical block holds only %.0f%% of dynamic cycles",
+				app.Name, 100*hotCycles/total)
+		}
+	}
+}
+
+// All benchmark blocks must execute without error.
+func TestAllBenchmarksExecutable(t *testing.T) {
+	apps := []*ir.Application{AES()}
+	for _, s := range All() {
+		apps = append(apps, s.App)
+	}
+	for _, app := range apps {
+		for _, blk := range app.Blocks {
+			in := make([]int32, blk.NumInputs)
+			for k := range in {
+				in[k] = int32(k + 1)
+			}
+			mem := ir.NewMapMemory()
+			for a := int32(0); a < 4096; a++ {
+				mem.Store(a, (a*31+7)&0xff)
+			}
+			if _, err := blk.Eval(in, mem); err != nil {
+				t.Errorf("%s/%s: Eval: %v", app.Name, blk.Name, err)
+			}
+		}
+	}
+}
+
+func TestConven00Semantics(t *testing.T) {
+	app := Conven00()
+	blk := app.Blocks[0]
+	// state=0b1010, bit=1: s2 = 0b10101.
+	out, err := blk.EvalOutputs([]int32{0b1010, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := int32(0b10101)
+	o0 := s2 ^ (s2 >> 2)
+	o1 := o0 ^ (s2 >> 5)
+	if out[1] != s2 {
+		t.Errorf("state = %d, want %d", out[1], s2)
+	}
+	if out[5] != o1 {
+		t.Errorf("encoded = %d, want %d", out[5], o1)
+	}
+}
+
+// xtimeRef is the GF(2^8) doubling reference.
+func xtimeRef(b int32) int32 {
+	r := (b << 1) & 0xff
+	if b&0x80 != 0 {
+		r ^= 0x1b
+	}
+	return r
+}
+
+// TestAESRoundSemantics validates the full 3-round DFG against an
+// independent byte-level reference using the same (arbitrary) S-box.
+func TestAESRoundSemantics(t *testing.T) {
+	app := AES()
+	blk := app.Blocks[0]
+
+	const sboxBase, keyBase = 1000, 2000
+	mem := ir.NewMapMemory()
+	sboxAt := func(b int32) int32 { return (b*167 + 89) & 0xff }
+	for i := int32(0); i < 256; i++ {
+		mem.Store(sboxBase+i, sboxAt(i))
+	}
+	keyAt := func(off int32) int32 { return (off*53 + 11) & 0xff }
+	for off := int32(0); off < 48; off++ {
+		mem.Store(keyBase+off, keyAt(off))
+	}
+
+	words := []int32{0x03020100, 0x07060504, 0x0b0a0908, 0x0f0e0d0c}
+	inputs := append(append([]int32{}, words...), sboxBase, keyBase)
+	vals, err := blk.Eval(inputs, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: same unroll in plain Go.
+	var st [16]int32
+	for i := 0; i < 16; i++ {
+		st[i] = (words[i/4] >> (8 * (i % 4))) & 0xff
+	}
+	keyOff := int32(0)
+	for r := 0; r < 3; r++ {
+		var sb [16]int32
+		for i := 0; i < 16; i++ {
+			sb[i] = sboxAt(st[i])
+		}
+		var sr [16]int32
+		for c := 0; c < 4; c++ {
+			for row := 0; row < 4; row++ {
+				sr[4*c+row] = sb[4*((c+row)%4)+row]
+			}
+		}
+		var mc [16]int32
+		for c := 0; c < 4; c++ {
+			a0, a1, a2, a3 := sr[4*c], sr[4*c+1], sr[4*c+2], sr[4*c+3]
+			x0, x1, x2, x3 := xtimeRef(a0), xtimeRef(a1), xtimeRef(a2), xtimeRef(a3)
+			mc[4*c] = x0 ^ x1 ^ a1 ^ a2 ^ a3
+			mc[4*c+1] = a0 ^ x1 ^ x2 ^ a2 ^ a3
+			mc[4*c+2] = a0 ^ a1 ^ x2 ^ x3 ^ a3
+			mc[4*c+3] = x0 ^ a0 ^ a1 ^ a2 ^ x3
+		}
+		for i := 0; i < 16; i++ {
+			st[i] = mc[i] ^ keyAt(keyOff)
+			keyOff++
+		}
+	}
+
+	// Collect the 16 live-out values in node order; they are the final
+	// round's AddRoundKey XORs emitted in state order.
+	var liveVals []int32
+	blk.LiveOut.ForEach(func(v int) bool {
+		liveVals = append(liveVals, vals[v])
+		return true
+	})
+	if len(liveVals) != 16 {
+		t.Fatalf("AES live-outs = %d, want 16", len(liveVals))
+	}
+	for i := 0; i < 16; i++ {
+		if liveVals[i] != st[i] {
+			t.Errorf("state byte %d = %#x, reference %#x", i, liveVals[i], st[i])
+		}
+	}
+}
+
+// TestADPCMCoderDecoderRoundTrip quantizes two samples and reconstructs
+// them, checking the decoded predictor tracks the input within one step.
+func TestADPCMCoderDecoderRoundTrip(t *testing.T) {
+	coder := ADPCMCoder().Blocks[0]
+	decoder := ADPCMDecoder().Blocks[0]
+
+	const idxTab, stepTab, outBuf = 100, 200, 300
+	mem := ir.NewMapMemory()
+	indexTable := []int32{-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8}
+	mem.Preload(idxTab, indexTable)
+	// A geometric-ish step table segment.
+	steps := make([]int32, 89)
+	s := int32(7)
+	for i := range steps {
+		steps[i] = s
+		s += s >> 3
+		if s > 32767 {
+			s = 32767
+		}
+	}
+	mem.Preload(stepTab, steps)
+
+	// coder inputs: sample0, sample1, valpred, index, step, idxTab,
+	// stepTab, outPtr, count, errAcc
+	cin := []int32{1000, 1010, 0, 0, steps[0], idxTab, stepTab, outBuf, 16, 0}
+	cvals, err := coder.Eval(cin, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed := mem.Load(outBuf)
+	if packed == 0 {
+		t.Fatal("coder stored nothing")
+	}
+	c0 := packed & 0xf
+	c1 := (packed >> 4) & 0xf
+
+	// decoder inputs: code0..2, valpred, index, step, idxTab, stepTab,
+	// outPtr, count (decode the two real codes plus a zero code).
+	din := []int32{c0, c1, 0, 0, 0, steps[0], idxTab, stepTab, outBuf + 1, 16}
+	dvals, err := decoder.Eval(din, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = cvals
+	_ = dvals
+	// After decoding both codes the predictor must approach the inputs.
+	var lastPred int32
+	decoder.LiveOut.ForEach(func(v int) bool {
+		lastPred = dvals[v]
+		return false // p0 is the first live-out; enough to check trend
+	})
+	if lastPred <= 0 {
+		t.Errorf("decoded predictor %d should move toward the 1000-ish inputs", lastPred)
+	}
+}

@@ -1,0 +1,421 @@
+// Package reuse finds all instances of an identified cut in an
+// application's data-flow graphs: node sets that are isomorphic to the cut
+// pattern (same opcodes, same internal data-flow wiring, compatible
+// external port usage) and can therefore execute on the same AFU.
+//
+// Counting and claiming these instances is what lets ISEGEN exploit the
+// regularity of applications like AES (Figure 7 of the paper): one AFU
+// datapath serves many occurrences of the repeated computation.
+//
+// The matcher is a VF2-style backtracking search with operand-position
+// awareness: non-commutative operations must wire operands identically,
+// commutative ones may swap. A candidate instance is accepted only when
+//
+//   - it is convex in its block,
+//   - every instance value that escapes (is consumed outside the instance
+//     or is live out) corresponds to a pattern node that also escapes, so
+//     the existing AFU output ports suffice, and
+//   - its external inputs factor through the pattern's input ports.
+package reuse
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/ir"
+)
+
+// pattern is the preprocessed form of a cut to match against.
+type pattern struct {
+	blk   *ir.Block
+	nodes []int       // pattern node IDs in match order
+	pos   map[int]int // node ID -> index in nodes
+	// escapes[i] reports whether pattern node nodes[i] has an output
+	// port (value consumed outside the cut or live out).
+	escapes []bool
+}
+
+func newPattern(blk *ir.Block, cut *graph.BitSet) *pattern {
+	p := &pattern{blk: blk, pos: map[int]int{}}
+	// Match order: topological within the pattern so that matched
+	// predecessors constrain candidates; ties broken by scarcer opcode
+	// first via stable sorting on (topo position).
+	var ids []int
+	cut.ForEach(func(v int) bool {
+		ids = append(ids, v)
+		return true
+	})
+	sort.Slice(ids, func(a, b int) bool {
+		return blk.DAG().TopoPos(ids[a]) < blk.DAG().TopoPos(ids[b])
+	})
+	p.nodes = ids
+	for i, v := range ids {
+		p.pos[v] = i
+	}
+	p.escapes = make([]bool, len(ids))
+	for i, v := range ids {
+		if !blk.Nodes[v].Op.HasValue() {
+			continue
+		}
+		if blk.LiveOut.Has(v) {
+			p.escapes[i] = true
+			continue
+		}
+		for _, u := range blk.Uses(v) {
+			if !cut.Has(u) {
+				p.escapes[i] = true
+				break
+			}
+		}
+	}
+	return p
+}
+
+// valueKey identifies an operand source within a specific block for port
+// consistency: either a node value or an external input.
+type valueKey struct {
+	input bool
+	index int
+}
+
+func operandKey(o ir.Operand) valueKey {
+	return valueKey{input: o.Kind == ir.FromInput, index: o.Index}
+}
+
+// matcher performs the backtracking search of one pattern in one block.
+type matcher struct {
+	p         *pattern
+	blk       *ir.Block // target block
+	available *graph.BitSet
+	assign    []int // pattern index -> target node ID (-1 unset)
+	used      *graph.BitSet
+	// portMap maps pattern external operand keys to target operand
+	// keys, ensuring input-port consistency; inversePort need not be
+	// injective (two pattern ports may not collapse, see match()).
+	portMap map[valueKey]valueKey
+	// assignPorts stacks, per assigned pattern node, the port-map keys
+	// the assignment introduced (needed for rollback).
+	assignPorts [][]valueKey
+	// byOp indexes target nodes by opcode for unconstrained scans.
+	byOp  map[ir.Op][]int
+	out   []*graph.BitSet
+	limit int
+	// steps bounds the backtracking work: symmetric patterns (e.g. xor
+	// trees) have factorially many automorphic mappings and the search
+	// must not wander them forever. When the budget runs out the
+	// matches found so far are returned.
+	steps int64
+}
+
+// maxMatcherSteps bounds one FindInstances call. Large enough that every
+// pattern in the benchmark suite completes exhaustively; small enough
+// that adversarially symmetric patterns return promptly.
+const maxMatcherSteps = 2_000_000
+
+// FindInstances returns the node sets in target that are instances of the
+// cut pattern (taken from patBlk). Matches are restricted to the available
+// set when it is non-nil; forbidden nodes never match. The pattern's own
+// occurrence is returned too when it lies within available. limit > 0
+// bounds the number of matches returned (0 = unlimited). Matches are
+// deduplicated by node set.
+func FindInstances(patBlk *ir.Block, cut *graph.BitSet, target *ir.Block, available *graph.BitSet, limit int) []*graph.BitSet {
+	if cut.Empty() {
+		return nil
+	}
+	p := newPattern(patBlk, cut)
+	m := &matcher{
+		p:         p,
+		blk:       target,
+		available: available,
+		assign:    make([]int, len(p.nodes)),
+		used:      graph.NewBitSet(target.N()),
+		portMap:   map[valueKey]valueKey{},
+		limit:     limit,
+	}
+	for i := range m.assign {
+		m.assign[i] = -1
+	}
+	m.byOp = map[ir.Op][]int{}
+	for v := 0; v < target.N(); v++ {
+		op := target.Nodes[v].Op
+		m.byOp[op] = append(m.byOp[op], v)
+	}
+	m.search(0)
+	return dedup(m.out)
+}
+
+func dedup(sets []*graph.BitSet) []*graph.BitSet {
+	var out []*graph.BitSet
+	for _, s := range sets {
+		dup := false
+		for _, o := range out {
+			if o.Equal(s) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func (m *matcher) done() bool {
+	return (m.limit > 0 && len(m.out) >= m.limit) || m.steps > maxMatcherSteps
+}
+
+func (m *matcher) search(i int) {
+	m.steps++
+	if m.done() {
+		return
+	}
+	if i == len(m.p.nodes) {
+		m.accept()
+		return
+	}
+	pv := m.p.nodes[i]
+	pnode := &m.p.blk.Nodes[pv]
+
+	// Candidate generation: if some matched pattern node is a
+	// predecessor of pv, candidates are successors of its image;
+	// otherwise scan all nodes.
+	var candidates []int
+	narrowed := false
+	for _, a := range pnode.Args {
+		if a.Kind != ir.FromNode {
+			continue
+		}
+		if pi, ok := m.p.pos[a.Index]; ok && m.assign[pi] >= 0 {
+			candidates = m.blk.DAG().Succs(m.assign[pi])
+			narrowed = true
+			break
+		}
+	}
+	if !narrowed {
+		candidates = m.byOp[pnode.Op]
+	}
+	for _, v := range candidates {
+		if m.tryNode(i, v) {
+			m.search(i + 1)
+			m.unassign(i, v)
+			if m.done() {
+				return
+			}
+		}
+	}
+}
+
+// tryNode attempts to map pattern index i to target node v, committing the
+// port-map additions on success.
+func (m *matcher) tryNode(i, v int) bool {
+	pv := m.p.nodes[i]
+	pnode := &m.p.blk.Nodes[pv]
+	tnode := &m.blk.Nodes[v]
+	if tnode.Op != pnode.Op {
+		return false
+	}
+	if pnode.Op == ir.OpConst && tnode.Imm != pnode.Imm {
+		return false
+	}
+	if m.used.Has(v) {
+		return false
+	}
+	if m.available != nil && !m.available.Has(v) {
+		return false
+	}
+	if m.blk.ForbiddenInCut(v) {
+		return false
+	}
+
+	ok, added := m.argsCompatible(pnode, tnode)
+	if !ok {
+		return false
+	}
+	m.assign[i] = v
+	m.used.Set(v)
+	// Stash added port keys on the frame via closure-free bookkeeping:
+	// store them in assignPorts.
+	m.assignPorts = append(m.assignPorts, added)
+	return true
+}
+
+func (m *matcher) unassign(i, v int) {
+	added := m.assignPorts[len(m.assignPorts)-1]
+	m.assignPorts = m.assignPorts[:len(m.assignPorts)-1]
+	for _, k := range added {
+		delete(m.portMap, k)
+	}
+	m.used.Clear(v)
+	m.assign[i] = -1
+}
+
+// argsCompatible checks operand wiring between a pattern node and its
+// candidate image, trying the swapped order too for commutative ops.
+// On success it returns the pattern port keys newly added to portMap.
+func (m *matcher) argsCompatible(pnode, tnode *ir.Node) (bool, []valueKey) {
+	if ok, added := m.argsMatch(pnode.Args, tnode.Args); ok {
+		return true, added
+	}
+	if pnode.Op.IsCommutative() && len(pnode.Args) == 2 {
+		swapped := []ir.Operand{tnode.Args[1], tnode.Args[0]}
+		if ok, added := m.argsMatch(pnode.Args, swapped); ok {
+			return true, added
+		}
+	}
+	return false, nil
+}
+
+func (m *matcher) argsMatch(pargs, targs []ir.Operand) (bool, []valueKey) {
+	var added []valueKey
+	rollback := func() {
+		for _, k := range added {
+			delete(m.portMap, k)
+		}
+	}
+	for j := range pargs {
+		pa, ta := pargs[j], targs[j]
+		// Immediate operands are part of the AFU datapath: they must
+		// match exactly.
+		if pa.Kind == ir.FromImm || ta.Kind == ir.FromImm {
+			if pa != ta {
+				rollback()
+				return false, nil
+			}
+			continue
+		}
+		if pi, internal := m.patternIndexOf(pa); internal {
+			// Internal pattern edge: the image must be the mapped node.
+			if m.assign[pi] < 0 {
+				// Producer not yet mapped: cannot happen with
+				// topological match order, but guard anyway.
+				rollback()
+				return false, nil
+			}
+			if ta.Kind != ir.FromNode || ta.Index != m.assign[pi] {
+				rollback()
+				return false, nil
+			}
+			continue
+		}
+		// External pattern port: the image operand must be external to
+		// the instance and consistent with previous uses of this port.
+		if ta.Kind == ir.FromNode && m.used.Has(ta.Index) {
+			rollback()
+			return false, nil
+		}
+		pk := operandKey(pa)
+		tk := operandKey(ta)
+		if prev, ok := m.portMap[pk]; ok {
+			if prev != tk {
+				rollback()
+				return false, nil
+			}
+			continue
+		}
+		m.portMap[pk] = tk
+		added = append(added, pk)
+	}
+	return true, added
+}
+
+// patternIndexOf reports whether operand o refers to a node inside the
+// pattern, returning its match-order index.
+func (m *matcher) patternIndexOf(o ir.Operand) (int, bool) {
+	if o.Kind != ir.FromNode {
+		return 0, false
+	}
+	pi, ok := m.p.pos[o.Index]
+	return pi, ok
+}
+
+// accept validates the completed mapping (convexity, escape compatibility)
+// and records the instance.
+func (m *matcher) accept() {
+	inst := graph.NewBitSet(m.blk.N())
+	for _, v := range m.assign {
+		inst.Set(v)
+	}
+	// Escape compatibility: any instance value needed outside must map
+	// to a pattern output port.
+	for i, v := range m.assign {
+		if !m.blk.Nodes[v].Op.HasValue() {
+			continue
+		}
+		escapes := m.blk.LiveOut.Has(v)
+		if !escapes {
+			for _, u := range m.blk.Uses(v) {
+				if !inst.Has(u) {
+					escapes = true
+					break
+				}
+			}
+		}
+		if escapes && !m.p.escapes[i] {
+			return
+		}
+	}
+	if !m.blk.DAG().IsConvex(inst) {
+		return
+	}
+	m.out = append(m.out, inst)
+}
+
+// Instance locates one occurrence of a cut in a specific block of an
+// application.
+type Instance struct {
+	BlockIdx int
+	Nodes    *graph.BitSet
+}
+
+// FindAppInstances searches every block of the application for instances
+// of the cut identified in app.Blocks[patIdx], restricted to the per-block
+// available sets (nil entries mean fully available). perBlockLimit bounds
+// the matches per block (0 = unlimited).
+func FindAppInstances(app *ir.Application, patIdx int, cut *graph.BitSet, available []*graph.BitSet, perBlockLimit int) []Instance {
+	var out []Instance
+	patBlk := app.Blocks[patIdx]
+	for bi, blk := range app.Blocks {
+		var avail *graph.BitSet
+		if available != nil {
+			avail = available[bi]
+		}
+		for _, inst := range FindInstances(patBlk, cut, blk, avail, perBlockLimit) {
+			out = append(out, Instance{BlockIdx: bi, Nodes: inst})
+		}
+	}
+	return out
+}
+
+// ClaimDisjoint greedily selects pairwise-disjoint instances (per block)
+// from the candidate list, in order, always including any instance equal
+// to the seed cut first.
+func ClaimDisjoint(candidates []Instance, seedBlk int, seed *graph.BitSet) []Instance {
+	var picked []Instance
+	claimed := map[int]*graph.BitSet{}
+	take := func(in Instance) {
+		c, ok := claimed[in.BlockIdx]
+		if !ok {
+			c = graph.NewBitSet(in.Nodes.Cap())
+			claimed[in.BlockIdx] = c
+		}
+		c.Or(in.Nodes)
+		picked = append(picked, in)
+	}
+	for _, in := range candidates {
+		if in.BlockIdx == seedBlk && in.Nodes.Equal(seed) {
+			take(in)
+			break
+		}
+	}
+	for _, in := range candidates {
+		if in.BlockIdx == seedBlk && in.Nodes.Equal(seed) {
+			continue
+		}
+		if c, ok := claimed[in.BlockIdx]; ok && c.Intersects(in.Nodes) {
+			continue
+		}
+		take(in)
+	}
+	return picked
+}

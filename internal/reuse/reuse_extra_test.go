@@ -1,0 +1,107 @@
+package reuse
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/ir"
+)
+
+// TestMatcherBudgetTerminates: a pathologically symmetric pattern (a wide
+// xor reduction over interchangeable leaves) must return promptly with
+// whatever it found instead of enumerating automorphisms forever.
+func TestMatcherBudgetTerminates(t *testing.T) {
+	bu := ir.NewBuilder("sym", 1)
+	// 24 independent xors feeding a balanced reduction tree.
+	var layer []ir.Value
+	for i := 0; i < 24; i++ {
+		a, b := bu.Input("a"), bu.Input("b")
+		layer = append(layer, bu.Xor(a, b))
+	}
+	for len(layer) > 1 {
+		var next []ir.Value
+		for i := 0; i+1 < len(layer); i += 2 {
+			next = append(next, bu.Xor(layer[i], layer[i+1]))
+		}
+		if len(layer)%2 == 1 {
+			next = append(next, layer[len(layer)-1])
+		}
+		layer = next
+	}
+	bu.LiveOut(layer[0])
+	blk := bu.MustBuild()
+
+	// Pattern: a 4-leaf xor subtree — matches in factorially many ways.
+	cut := graph.NewBitSet(blk.N())
+	for _, v := range []int{0, 1, 24, 25} {
+		if v < blk.N() {
+			cut.Set(v)
+		}
+	}
+	if !blk.DAG().IsConvex(cut) {
+		t.Skip("pattern construction not convex on this topology")
+	}
+	got := FindInstances(blk, cut, blk, nil, 0)
+	// The exact count is not the point; termination and dedup are.
+	if len(got) == 0 {
+		t.Fatal("no instances found at all")
+	}
+	for i, a := range got {
+		for _, b := range got[i+1:] {
+			if a.Equal(b) {
+				t.Fatal("duplicate instances returned")
+			}
+		}
+	}
+}
+
+// TestInstanceLimitZeroMeansUnlimited documents the limit contract.
+func TestInstanceLimitContract(t *testing.T) {
+	bu := ir.NewBuilder("lim", 1)
+	acc := bu.Input("acc")
+	for k := 0; k < 6; k++ {
+		a, b := bu.Input("a"), bu.Input("b")
+		m := bu.Mul(a, b)
+		bu.LiveOut(bu.Add(m, acc))
+	}
+	blk := bu.MustBuild()
+	cut := graph.NewBitSet(blk.N())
+	cut.Set(0)
+	cut.Set(1)
+	if got := FindInstances(blk, cut, blk, nil, 0); len(got) != 6 {
+		t.Errorf("unlimited: %d, want 6", len(got))
+	}
+	for _, lim := range []int{1, 3, 6, 100} {
+		got := FindInstances(blk, cut, blk, nil, lim)
+		want := lim
+		if want > 6 {
+			want = 6
+		}
+		if len(got) != want {
+			t.Errorf("limit %d: got %d, want %d", lim, len(got), want)
+		}
+	}
+}
+
+// TestCrossBlockPortConsistency: instances in other blocks may use
+// different external values, as long as the wiring is consistent within
+// each instance.
+func TestCrossBlockPortConsistency(t *testing.T) {
+	mk := func(name string) *ir.Block {
+		bu := ir.NewBuilder(name, 1)
+		x, y := bu.Input("x"), bu.Input("y")
+		d := bu.Sub(x, y)
+		s := bu.ShrAI(d, 4)
+		bu.LiveOut(s)
+		return bu.MustBuild()
+	}
+	b0, b1 := mk("one"), mk("two")
+	app := &ir.Application{Name: "app", Blocks: []*ir.Block{b0, b1}}
+	cut := graph.NewBitSet(b0.N())
+	cut.Set(0)
+	cut.Set(1)
+	insts := FindAppInstances(app, 0, cut, nil, 0)
+	if len(insts) != 2 {
+		t.Fatalf("got %d instances, want one per block", len(insts))
+	}
+}

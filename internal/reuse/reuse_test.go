@@ -1,0 +1,280 @@
+package reuse
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/ir"
+)
+
+// buildRepeatedMACs builds a block with k independent MAC groups:
+// mul(i2j, i2j+1) followed by add(mul, acc), acc a shared input.
+func buildRepeatedMACs(t *testing.T, k int) (*ir.Block, *graph.BitSet) {
+	t.Helper()
+	bu := ir.NewBuilder("macs", 1)
+	acc := bu.Input("acc")
+	var firstCut *graph.BitSet
+	var firstIDs []int
+	for j := 0; j < k; j++ {
+		a, b := bu.Input("a"), bu.Input("b")
+		m := bu.Mul(a, b)
+		s := bu.Add(m, acc)
+		bu.LiveOut(s)
+		if j == 0 {
+			firstIDs = []int{bu.NumNodes() - 2, bu.NumNodes() - 1}
+		}
+	}
+	blk := bu.MustBuild()
+	firstCut = graph.NewBitSet(blk.N())
+	for _, id := range firstIDs {
+		firstCut.Set(id)
+	}
+	return blk, firstCut
+}
+
+func TestFindInstancesRepeatedMACs(t *testing.T) {
+	blk, cut := buildRepeatedMACs(t, 4)
+	got := FindInstances(blk, cut, blk, nil, 0)
+	if len(got) != 4 {
+		t.Fatalf("found %d instances, want 4", len(got))
+	}
+	// Each instance: one mul + one add, disjoint from the others.
+	seen := graph.NewBitSet(blk.N())
+	for _, in := range got {
+		if in.Count() != 2 {
+			t.Errorf("instance size %d, want 2", in.Count())
+		}
+		if seen.Intersects(in) {
+			t.Error("instances of independent MACs should be disjoint")
+		}
+		seen.Or(in)
+	}
+}
+
+func TestFindInstancesRespectsAvailable(t *testing.T) {
+	blk, cut := buildRepeatedMACs(t, 3)
+	avail := graph.NewBitSet(blk.N())
+	for v := 0; v < blk.N(); v++ {
+		avail.Set(v)
+	}
+	// Remove the second MAC's mul from availability.
+	avail.Clear(2)
+	got := FindInstances(blk, cut, blk, avail, 0)
+	if len(got) != 2 {
+		t.Fatalf("found %d instances, want 2 with one MAC unavailable", len(got))
+	}
+}
+
+func TestFindInstancesLimit(t *testing.T) {
+	blk, cut := buildRepeatedMACs(t, 5)
+	got := FindInstances(blk, cut, blk, nil, 2)
+	if len(got) != 2 {
+		t.Fatalf("found %d instances, want exactly the limit 2", len(got))
+	}
+}
+
+func TestNonCommutativeOperandOrder(t *testing.T) {
+	// sub(a, b) must not match sub(b, a) wiring: build one pattern
+	// sub(x, const) and a candidate sub(const, x).
+	bu := ir.NewBuilder("subs", 1)
+	x := bu.Input("x")
+	c1 := bu.Const(7)
+	s1 := bu.Sub(x, c1) // pattern: sub(ext, const7)
+	c2 := bu.Const(7)
+	s2 := bu.Sub(c2, x) // reversed operands
+	bu.LiveOut(s1, s2)
+	blk := bu.MustBuild()
+
+	cut := graph.NewBitSet(blk.N())
+	cut.Set(0) // c1
+	cut.Set(1) // s1 = sub(x, c1)
+	got := FindInstances(blk, cut, blk, nil, 0)
+	if len(got) != 1 {
+		t.Fatalf("found %d instances, want only the pattern itself (sub is not commutative)", len(got))
+	}
+	if !got[0].Has(1) {
+		t.Error("the single instance should be the pattern occurrence")
+	}
+}
+
+func TestCommutativeSwapAllowed(t *testing.T) {
+	// add(mul, acc) vs add(acc, mul): commutative, must match.
+	bu := ir.NewBuilder("swap", 1)
+	acc := bu.Input("acc")
+	a, b := bu.Input("a"), bu.Input("b")
+	m1 := bu.Mul(a, b)
+	s1 := bu.Add(m1, acc)
+	c, d := bu.Input("c"), bu.Input("d")
+	m2 := bu.Mul(c, d)
+	s2 := bu.Add(acc, m2) // swapped operand order
+	bu.LiveOut(s1, s2)
+	blk := bu.MustBuild()
+
+	cut := graph.NewBitSet(blk.N())
+	cut.Set(0)
+	cut.Set(1)
+	got := FindInstances(blk, cut, blk, nil, 0)
+	if len(got) != 2 {
+		t.Fatalf("found %d instances, want 2 (commutative swap)", len(got))
+	}
+}
+
+func TestConstImmediateMustMatch(t *testing.T) {
+	bu := ir.NewBuilder("imms", 1)
+	x := bu.Input("x")
+	c1 := bu.Const(3)
+	s1 := bu.Shl(x, c1)
+	c2 := bu.Const(5)
+	s2 := bu.Shl(x, c2)
+	bu.LiveOut(s1, s2)
+	blk := bu.MustBuild()
+	cut := graph.NewBitSet(blk.N())
+	cut.Set(0) // const 3
+	cut.Set(1) // shl
+	got := FindInstances(blk, cut, blk, nil, 0)
+	if len(got) != 1 {
+		t.Fatalf("found %d instances, want 1 (different immediates must not match)", len(got))
+	}
+}
+
+func TestEscapeCompatibilityRejected(t *testing.T) {
+	// Pattern: mul feeding add, mul value internal only. Candidate
+	// instance whose mul value is also consumed elsewhere must be
+	// rejected (the AFU has no port for it).
+	bu := ir.NewBuilder("escape", 1)
+	acc := bu.Input("acc")
+	a, b := bu.Input("a"), bu.Input("b")
+	m1 := bu.Mul(a, b)
+	s1 := bu.Add(m1, acc)
+	c, d := bu.Input("c"), bu.Input("d")
+	m2 := bu.Mul(c, d)
+	s2 := bu.Add(m2, acc)
+	extra := bu.Xor(m2, acc) // m2 escapes!
+	bu.LiveOut(s1, s2, extra)
+	blk := bu.MustBuild()
+
+	cut := graph.NewBitSet(blk.N())
+	cut.Set(0) // m1
+	cut.Set(1) // s1
+	got := FindInstances(blk, cut, blk, nil, 0)
+	if len(got) != 1 {
+		t.Fatalf("found %d instances, want 1 (second MAC's mul escapes)", len(got))
+	}
+	if !got[0].Has(0) {
+		t.Error("surviving instance should be the pattern itself")
+	}
+}
+
+func TestEscapeCompatibilityAllowedWhenPatternEscapes(t *testing.T) {
+	// If the pattern's mul escapes too, both match.
+	bu := ir.NewBuilder("escape2", 1)
+	acc := bu.Input("acc")
+	a, b := bu.Input("a"), bu.Input("b")
+	m1 := bu.Mul(a, b)
+	s1 := bu.Add(m1, acc)
+	e1 := bu.Xor(m1, acc)
+	c, d := bu.Input("c"), bu.Input("d")
+	m2 := bu.Mul(c, d)
+	s2 := bu.Add(m2, acc)
+	e2 := bu.Xor(m2, acc)
+	bu.LiveOut(s1, e1, s2, e2)
+	blk := bu.MustBuild()
+
+	cut := graph.NewBitSet(blk.N())
+	cut.Set(0)
+	cut.Set(1)
+	got := FindInstances(blk, cut, blk, nil, 0)
+	if len(got) != 2 {
+		t.Fatalf("found %d instances, want 2", len(got))
+	}
+}
+
+func TestPortConsistencySharedInput(t *testing.T) {
+	// Pattern adds the SAME external value twice: x+x. An instance
+	// adding two DIFFERENT values must not match.
+	bu := ir.NewBuilder("ports", 1)
+	x, y := bu.Input("x"), bu.Input("y")
+	dbl := bu.Add(x, x)
+	other := bu.Add(x, y)
+	bu.LiveOut(dbl, other)
+	blk := bu.MustBuild()
+
+	cut := graph.NewBitSet(blk.N())
+	cut.Set(0) // x+x
+	got := FindInstances(blk, cut, blk, nil, 0)
+	if len(got) != 1 {
+		t.Fatalf("found %d instances, want 1 (x+y must not match x+x)", len(got))
+	}
+}
+
+func TestConvexityRejectsInstance(t *testing.T) {
+	// Pattern: two chained adds. Candidate occurrence where the chain
+	// passes through a load (outside) is non-convex and must be
+	// rejected... construct: add -> add (pattern), and add -> load ->
+	// add elsewhere.
+	bu := ir.NewBuilder("convex", 1)
+	x, y := bu.Input("x"), bu.Input("y")
+	a1 := bu.Add(x, y)
+	a2 := bu.Add(a1, y)
+	bu.LiveOut(a2)
+	blk := bu.MustBuild()
+
+	cut := graph.NewBitSet(blk.N())
+	cut.Set(0)
+	cut.Set(1)
+	got := FindInstances(blk, cut, blk, nil, 0)
+	if len(got) != 1 {
+		t.Fatalf("found %d instances, want 1", len(got))
+	}
+	// Every returned instance must be convex by construction; assert it.
+	for _, in := range got {
+		if !blk.DAG().IsConvex(in) {
+			t.Error("matcher returned a non-convex instance")
+		}
+	}
+}
+
+func TestCrossBlockInstances(t *testing.T) {
+	blk1, cut := buildRepeatedMACs(t, 2)
+	blk2, _ := buildRepeatedMACs(t, 3)
+	app := &ir.Application{Name: "app", Blocks: []*ir.Block{blk1, blk2}}
+	insts := FindAppInstances(app, 0, cut, nil, 0)
+	if len(insts) != 5 {
+		t.Fatalf("found %d instances across blocks, want 5", len(insts))
+	}
+	byBlock := map[int]int{}
+	for _, in := range insts {
+		byBlock[in.BlockIdx]++
+	}
+	if byBlock[0] != 2 || byBlock[1] != 3 {
+		t.Errorf("per-block counts = %v, want map[0:2 1:3]", byBlock)
+	}
+}
+
+func TestClaimDisjoint(t *testing.T) {
+	blk, cut := buildRepeatedMACs(t, 3)
+	app := &ir.Application{Name: "app", Blocks: []*ir.Block{blk}}
+	insts := FindAppInstances(app, 0, cut, nil, 0)
+	picked := ClaimDisjoint(insts, 0, cut)
+	if len(picked) != 3 {
+		t.Fatalf("claimed %d, want 3 disjoint", len(picked))
+	}
+	// Seed must be claimed and come first.
+	if picked[0].BlockIdx != 0 || !picked[0].Nodes.Equal(cut) {
+		t.Error("seed instance must be claimed first")
+	}
+	seen := graph.NewBitSet(blk.N())
+	for _, in := range picked {
+		if seen.Intersects(in.Nodes) {
+			t.Fatal("claimed instances overlap")
+		}
+		seen.Or(in.Nodes)
+	}
+}
+
+func TestEmptyPattern(t *testing.T) {
+	blk, _ := buildRepeatedMACs(t, 1)
+	if got := FindInstances(blk, graph.NewBitSet(blk.N()), blk, nil, 0); got != nil {
+		t.Fatalf("empty pattern matched %d instances", len(got))
+	}
+}

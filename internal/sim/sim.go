@@ -1,0 +1,270 @@
+// Package sim is a cycle-level model of the paper's baseline architecture:
+// a simple in-order single-issue RISC core optionally extended with AFUs.
+// It executes IR blocks functionally (so ISE-covered results can be checked
+// against plain software execution) and reports cycle counts, realizing the
+// paper's future-work item of evaluating ISEs in a running system rather
+// than analytically.
+//
+// Scheduling model: the block's instructions issue one at a time; a
+// software instruction occupies the core for its software latency, an ISE
+// instance occupies it for ceil(latHW) cycles (the AFU datapath is
+// combinational, clocked at the core frequency, with the MAC delay defining
+// the cycle). Memory operations keep their program order.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/ir"
+	"repro/internal/latency"
+)
+
+// unit is one issue slot: either a single software instruction or an
+// atomic ISE instance.
+type unit struct {
+	nodes  []int // ascending original IDs
+	isISE  bool
+	cycles int64
+}
+
+// Schedule is a legal linearization of a block with ISE instances
+// contracted into atomic units.
+type Schedule struct {
+	blk   *ir.Block
+	units []unit
+	// Cycles is the total issue latency of the schedule.
+	Cycles int64
+}
+
+// ErrUnschedulable is reported when contracted ISE instances form a
+// dependency cycle.
+type ErrUnschedulable struct{ Block string }
+
+func (e *ErrUnschedulable) Error() string {
+	return fmt.Sprintf("sim: block %q: ISE instances form a dependency cycle", e.Block)
+}
+
+// NewSchedule linearizes the block with the given ISE instances (pairwise
+// disjoint node sets). Data dependencies, memory program order and
+// instance atomicity are preserved; a dependency cycle between instances
+// yields ErrUnschedulable.
+func NewSchedule(blk *ir.Block, model *latency.Model, instances []*graph.BitSet) (*Schedule, error) {
+	n := blk.N()
+	unitOf := make([]int, n)
+	for i := range unitOf {
+		unitOf[i] = -1
+	}
+	var units []unit
+	for _, inst := range instances {
+		if inst.Empty() {
+			continue
+		}
+		u := unit{isISE: true}
+		conflict := false
+		inst.ForEach(func(v int) bool {
+			if unitOf[v] >= 0 {
+				conflict = true
+				return false
+			}
+			unitOf[v] = len(units)
+			u.nodes = append(u.nodes, v)
+			return true
+		})
+		if conflict {
+			return nil, fmt.Errorf("sim: block %q: overlapping ISE instances", blk.Name)
+		}
+		_, cp := blk.DAG().LongestPath(inst, func(v int) float64 {
+			d, ok := model.HWLat(blk.Nodes[v].Op)
+			if !ok {
+				return math.Inf(1)
+			}
+			return d
+		})
+		if math.IsInf(cp, 1) {
+			return nil, fmt.Errorf("sim: block %q: ISE instance contains a non-implementable operation", blk.Name)
+		}
+		u.cycles = int64(math.Ceil(cp - 1e-9))
+		if u.cycles < 1 {
+			u.cycles = 1
+		}
+		units = append(units, u)
+	}
+	for v := 0; v < n; v++ {
+		if unitOf[v] >= 0 {
+			continue
+		}
+		unitOf[v] = len(units)
+		units = append(units, unit{
+			nodes:  []int{v},
+			cycles: int64(model.SWLat(blk.Nodes[v].Op)),
+		})
+	}
+
+	// Build the contracted dependence graph from the block DAG, which
+	// already includes the memory-ordering edges (store→load,
+	// load→store, store→store) alongside the data dependences.
+	nu := len(units)
+	succs := make([]map[int]bool, nu)
+	indeg := make([]int, nu)
+	addEdge := func(a, b int) {
+		if a == b {
+			return
+		}
+		if succs[a] == nil {
+			succs[a] = map[int]bool{}
+		}
+		if !succs[a][b] {
+			succs[a][b] = true
+			indeg[b]++
+		}
+	}
+	dag := blk.DAG()
+	for v := 0; v < n; v++ {
+		for _, s := range dag.Succs(v) {
+			addEdge(unitOf[v], unitOf[s])
+		}
+	}
+
+	// Kahn with deterministic (smallest first node) priority.
+	frontier := make([]int, 0, nu)
+	for u := 0; u < nu; u++ {
+		if indeg[u] == 0 {
+			frontier = append(frontier, u)
+		}
+	}
+	less := func(a, b int) bool { return units[a].nodes[0] < units[b].nodes[0] }
+	sort.Slice(frontier, func(i, j int) bool { return less(frontier[i], frontier[j]) })
+	sched := &Schedule{blk: blk}
+	for len(frontier) > 0 {
+		u := frontier[0]
+		frontier = frontier[1:]
+		sched.units = append(sched.units, units[u])
+		sched.Cycles += units[u].cycles
+		changed := false
+		for s := range succs[u] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				frontier = append(frontier, s)
+				changed = true
+			}
+		}
+		if changed {
+			sort.Slice(frontier, func(i, j int) bool { return less(frontier[i], frontier[j]) })
+		}
+	}
+	if len(sched.units) != nu {
+		return nil, &ErrUnschedulable{Block: blk.Name}
+	}
+	return sched, nil
+}
+
+// Run executes the schedule on the given inputs and memory, returning
+// every node's value. Functional behaviour is identical to ir.Block.Eval;
+// only the issue order (and hence the cycle count) differs.
+func (s *Schedule) Run(inputs []int32, mem ir.Memory) ([]int32, error) {
+	blk := s.blk
+	if len(inputs) != blk.NumInputs {
+		return nil, fmt.Errorf("sim: block %q: %d inputs supplied, want %d", blk.Name, len(inputs), blk.NumInputs)
+	}
+	if mem == nil {
+		mem = ir.NewMapMemory()
+	}
+	vals := make([]int32, blk.N())
+	argBuf := make([]int32, 0, 3)
+	for _, u := range s.units {
+		for _, v := range u.nodes {
+			nd := &blk.Nodes[v]
+			argBuf = argBuf[:0]
+			for _, a := range nd.Args {
+				switch a.Kind {
+				case ir.FromNode:
+					argBuf = append(argBuf, vals[a.Index])
+				case ir.FromInput:
+					argBuf = append(argBuf, inputs[a.Index])
+				case ir.FromImm:
+					argBuf = append(argBuf, int32(a.Index))
+				}
+			}
+			switch nd.Op {
+			case ir.OpLoad:
+				vals[v] = mem.Load(argBuf[0])
+			case ir.OpStore:
+				mem.Store(argBuf[0], argBuf[1])
+			default:
+				r, err := ir.EvalOp(nd.Op, nd.Imm, argBuf)
+				if err != nil {
+					return nil, fmt.Errorf("sim: block %q node %d: %w", blk.Name, v, err)
+				}
+				vals[v] = r
+			}
+		}
+	}
+	return vals, nil
+}
+
+// BlockCycles returns the issue latency of the block without any ISE.
+func BlockCycles(blk *ir.Block, model *latency.Model) int64 {
+	total := int64(0)
+	for i := range blk.Nodes {
+		total += int64(model.SWLat(blk.Nodes[i].Op))
+	}
+	return total
+}
+
+// AppResult reports an application-level simulation.
+type AppResult struct {
+	BaselineCycles float64
+	AccelCycles    float64
+	Speedup        float64
+}
+
+// RunApp computes freq-weighted cycle totals for the application, with
+// instances[bi] listing the ISE instances claimed in block bi (nil = no
+// ISEs there). Functional equivalence of every block's accelerated
+// schedule is verified against plain execution on deterministic inputs.
+func RunApp(app *ir.Application, model *latency.Model, instances map[int][]*graph.BitSet) (*AppResult, error) {
+	res := &AppResult{}
+	for bi, blk := range app.Blocks {
+		base := BlockCycles(blk, model)
+		res.BaselineCycles += blk.Freq * float64(base)
+		sched, err := NewSchedule(blk, model, instances[bi])
+		if err != nil {
+			return nil, err
+		}
+		res.AccelCycles += blk.Freq * float64(sched.Cycles)
+
+		// Functional check on deterministic inputs.
+		in := make([]int32, blk.NumInputs)
+		for k := range in {
+			in[k] = int32(k*2654435761 + bi*40503 + 17)
+		}
+		memRef, memAcc := ir.NewMapMemory(), ir.NewMapMemory()
+		for a := int32(0); a < 64; a++ {
+			v := a*1103515245 + 12345
+			memRef.Store(a, v)
+			memAcc.Store(a, v)
+		}
+		want, err := blk.Eval(in, memRef)
+		if err != nil {
+			return nil, err
+		}
+		got, err := sched.Run(in, memAcc)
+		if err != nil {
+			return nil, err
+		}
+		for v := range want {
+			if want[v] != got[v] {
+				return nil, fmt.Errorf("sim: block %q: accelerated execution diverges at node %d (%d != %d)",
+					blk.Name, v, got[v], want[v])
+			}
+		}
+	}
+	if res.AccelCycles <= 0 {
+		return nil, fmt.Errorf("sim: non-positive accelerated cycles")
+	}
+	res.Speedup = res.BaselineCycles / res.AccelCycles
+	return res, nil
+}

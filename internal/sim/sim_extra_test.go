@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/ir"
+	"repro/internal/latency"
+)
+
+// TestScheduleMultiCycleISE: an ISE whose datapath exceeds one MAC delay
+// occupies multiple core cycles.
+func TestScheduleMultiCycleISE(t *testing.T) {
+	bu := ir.NewBuilder("deep", 1)
+	a, b := bu.Input("a"), bu.Input("b")
+	v := bu.Mul(a, b) // 0.9
+	v = bu.Mul(v, a)  // 1.8
+	v = bu.Mul(v, b)  // 2.7
+	bu.LiveOut(v)
+	blk := bu.MustBuild()
+	cut := graph.NewBitSet(3)
+	for i := 0; i < 3; i++ {
+		cut.Set(i)
+	}
+	sched, err := NewSchedule(blk, latency.Default(), []*graph.BitSet{cut})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// cp = 2.7 -> 3 cycles (vs 9 in software).
+	if sched.Cycles != 3 {
+		t.Errorf("cycles = %d, want 3", sched.Cycles)
+	}
+}
+
+// TestScheduleEmptyInstanceIgnored: empty bitsets in the instance list are
+// skipped rather than crashing.
+func TestScheduleEmptyInstanceIgnored(t *testing.T) {
+	bu := ir.NewBuilder("e", 1)
+	a := bu.Input("a")
+	bu.LiveOut(bu.Neg(a))
+	blk := bu.MustBuild()
+	sched, err := NewSchedule(blk, latency.Default(), []*graph.BitSet{graph.NewBitSet(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Cycles != 1 {
+		t.Errorf("cycles = %d, want 1", sched.Cycles)
+	}
+}
+
+// TestScheduleInputMismatch reports input arity errors at Run time.
+func TestScheduleInputMismatch(t *testing.T) {
+	bu := ir.NewBuilder("m", 1)
+	a, b := bu.Input("a"), bu.Input("b")
+	bu.LiveOut(bu.Add(a, b))
+	blk := bu.MustBuild()
+	sched, err := NewSchedule(blk, latency.Default(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sched.Run([]int32{1}, nil); err == nil {
+		t.Fatal("short input vector must fail")
+	}
+}
+
+// TestRunAppMultipleBlocksAndInstances covers the map-driven instance
+// routing across blocks.
+func TestRunAppMultipleBlocksAndInstances(t *testing.T) {
+	mk := func(name string, freq float64) (*ir.Block, *graph.BitSet) {
+		bu := ir.NewBuilder(name, freq)
+		a, b, acc := bu.Input("a"), bu.Input("b"), bu.Input("acc")
+		s := bu.Add(bu.Mul(a, b), acc)
+		bu.LiveOut(s)
+		blk := bu.MustBuild()
+		cut := graph.NewBitSet(2)
+		cut.Set(0)
+		cut.Set(1)
+		return blk, cut
+	}
+	b0, c0 := mk("one", 10)
+	b1, c1 := mk("two", 5)
+	app := &ir.Application{Name: "multi", Blocks: []*ir.Block{b0, b1}}
+	res, err := RunApp(app, latency.Default(), map[int][]*graph.BitSet{0: {c0}, 1: {c1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both blocks: 4 sw cycles -> 2 accel; weighted 15 executions.
+	if res.BaselineCycles != 60 || res.AccelCycles != 30 {
+		t.Errorf("cycles %v -> %v, want 60 -> 30", res.BaselineCycles, res.AccelCycles)
+	}
+	// Only the hot block accelerated.
+	res, err = RunApp(app, latency.Default(), map[int][]*graph.BitSet{0: {c0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AccelCycles != 10*2+5*4 {
+		t.Errorf("partial accel cycles = %v, want 40", res.AccelCycles)
+	}
+}

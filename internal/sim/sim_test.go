@@ -1,0 +1,235 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/ir"
+	"repro/internal/latency"
+)
+
+func macBlock(t testing.TB) (*ir.Block, *graph.BitSet) {
+	bu := ir.NewBuilder("mac", 10)
+	a, b, acc := bu.Input("a"), bu.Input("b"), bu.Input("acc")
+	m := bu.Mul(a, b)
+	s := bu.Add(m, acc)
+	bu.LiveOut(s)
+	blk := bu.MustBuild()
+	cut := graph.NewBitSet(2)
+	cut.Set(0)
+	cut.Set(1)
+	return blk, cut
+}
+
+func TestScheduleNoISE(t *testing.T) {
+	blk, _ := macBlock(t)
+	model := latency.Default()
+	sched, err := NewSchedule(blk, model, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Cycles != int64(model.SWLat(ir.OpMul)+model.SWLat(ir.OpAdd)) {
+		t.Errorf("cycles = %d", sched.Cycles)
+	}
+	vals, err := sched.Run([]int32{6, 7, 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[1] != 50 {
+		t.Errorf("6*7+8 = %d, want 50", vals[1])
+	}
+}
+
+func TestScheduleWithISE(t *testing.T) {
+	blk, cut := macBlock(t)
+	model := latency.Default()
+	sched, err := NewSchedule(blk, model, []*graph.BitSet{cut})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MAC hw = 0.9 + 0.3 = 1.2 -> ceil = 2 cycles (vs 4 in software).
+	if sched.Cycles != 2 {
+		t.Errorf("ISE cycles = %d, want 2", sched.Cycles)
+	}
+	vals, err := sched.Run([]int32{6, 7, 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[1] != 50 {
+		t.Errorf("accelerated 6*7+8 = %d, want 50", vals[1])
+	}
+}
+
+func TestScheduleRejectsOverlap(t *testing.T) {
+	blk, cut := macBlock(t)
+	if _, err := NewSchedule(blk, latency.Default(), []*graph.BitSet{cut, cut}); err == nil {
+		t.Fatal("overlapping instances must be rejected")
+	}
+}
+
+func TestScheduleRejectsMemoryInISE(t *testing.T) {
+	bu := ir.NewBuilder("m", 1)
+	a := bu.Input("a")
+	ld := bu.Load(a)
+	s := bu.Add(ld, a)
+	bu.LiveOut(s)
+	blk := bu.MustBuild()
+	bad := graph.NewBitSet(2)
+	bad.Set(0)
+	bad.Set(1)
+	if _, err := NewSchedule(blk, latency.Default(), []*graph.BitSet{bad}); err == nil {
+		t.Fatal("ISE containing a load must be rejected")
+	}
+}
+
+func TestScheduleDetectsCycle(t *testing.T) {
+	// A = {0,3}, B = {1,2}: mutual dependency after contraction.
+	bu := ir.NewBuilder("cyc", 1)
+	x := bu.Input("x")
+	a1 := bu.Add(x, x)
+	b1 := bu.Neg(a1)
+	b2 := bu.Xor(x, x)
+	a2 := bu.Sub(b2, x)
+	o := bu.Or(b1, a2)
+	bu.LiveOut(o)
+	blk := bu.MustBuild()
+	setA := graph.NewBitSet(5)
+	setA.Set(0)
+	setA.Set(3)
+	setB := graph.NewBitSet(5)
+	setB.Set(1)
+	setB.Set(2)
+	_, err := NewSchedule(blk, latency.Default(), []*graph.BitSet{setA, setB})
+	if _, ok := err.(*ErrUnschedulable); !ok {
+		t.Fatalf("err = %v, want ErrUnschedulable", err)
+	}
+}
+
+func TestMemoryOrderPreserved(t *testing.T) {
+	// store mem[addr]=1; load mem[addr]; an ISE covering unrelated math
+	// must not reorder the memory ops.
+	bu := ir.NewBuilder("mem", 2)
+	addr, y := bu.Input("addr"), bu.Input("y")
+	one := bu.Const(1)
+	bu.Store(addr, one)
+	ld := bu.Load(addr)
+	m := bu.Mul(y, y)
+	s := bu.Add(m, ld)
+	bu.LiveOut(s)
+	blk := bu.MustBuild()
+
+	cut := graph.NewBitSet(blk.N())
+	cut.Set(3) // mul
+	cut.Set(4) // add
+	sched, err := NewSchedule(blk, latency.Default(), []*graph.BitSet{cut})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := ir.NewMapMemory()
+	vals, err := sched.Run([]int32{100, 3}, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[4] != 10 {
+		t.Errorf("3*3 + mem[100](=1 after store) = %d, want 10", vals[4])
+	}
+}
+
+// Property: for random blocks and a random feasible convex instance, the
+// accelerated schedule computes exactly the same values as plain Eval and
+// never takes more cycles than software.
+func TestScheduleEquivalenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	model := latency.Default()
+	for trial := 0; trial < 40; trial++ {
+		bu := ir.NewBuilder("r", 1)
+		ins := bu.Inputs(3)
+		vals := append([]ir.Value{}, ins...)
+		for i := 0; i < 4+rng.Intn(16); i++ {
+			a := vals[rng.Intn(len(vals))]
+			b := vals[rng.Intn(len(vals))]
+			var v ir.Value
+			switch rng.Intn(8) {
+			case 0:
+				v = bu.Mul(a, b)
+			case 1:
+				v = bu.Load(a)
+			case 2:
+				v = bu.Sub(a, b)
+			case 3:
+				bu.Store(a, b) // no value produced
+				continue
+			default:
+				v = bu.Add(a, b)
+			}
+			vals = append(vals, v)
+		}
+		last := bu.Xor(vals[len(vals)-1], ins[0])
+		bu.LiveOut(last)
+		blk := bu.MustBuild()
+
+		// Grow a random convex instance of arithmetic nodes.
+		inst := graph.NewBitSet(blk.N())
+		for v := 0; v < blk.N(); v++ {
+			if blk.Nodes[v].Op.IsMem() {
+				continue
+			}
+			inst.Set(v)
+			if !blk.DAG().IsConvex(inst) || rng.Intn(3) == 0 {
+				inst.Clear(v)
+			}
+		}
+		var instances []*graph.BitSet
+		if !inst.Empty() {
+			instances = append(instances, inst)
+		}
+		sched, err := NewSchedule(blk, model, instances)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if sched.Cycles > BlockCycles(blk, model) {
+			t.Fatalf("trial %d: accelerated %d cycles > software %d",
+				trial, sched.Cycles, BlockCycles(blk, model))
+		}
+		in := []int32{rng.Int31(), rng.Int31(), rng.Int31()}
+		m1, m2 := ir.NewMapMemory(), ir.NewMapMemory()
+		want, err := blk.Eval(in, m1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sched.Run(in, m2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("trial %d: node %d: %d != %d", trial, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestRunApp(t *testing.T) {
+	blk, cut := macBlock(t)
+	app := &ir.Application{Name: "a", Blocks: []*ir.Block{blk}}
+	res, err := RunApp(app, latency.Default(), map[int][]*graph.BitSet{0: {cut}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 cycles software, 2 accelerated, freq 10.
+	if res.BaselineCycles != 40 || res.AccelCycles != 20 {
+		t.Errorf("cycles %v -> %v, want 40 -> 20", res.BaselineCycles, res.AccelCycles)
+	}
+	if res.Speedup != 2 {
+		t.Errorf("speedup = %v, want 2", res.Speedup)
+	}
+	// Without ISEs: speedup 1.
+	res, err = RunApp(app, latency.Default(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Speedup != 1 {
+		t.Errorf("speedup without ISEs = %v, want 1", res.Speedup)
+	}
+}

@@ -1,0 +1,285 @@
+// Package isegen is the public API of the ISEGEN reproduction: automatic
+// generation of Instruction Set Extensions (ISEs) from basic-block
+// data-flow graphs by Kernighan–Lin-style iterative improvement, after
+//
+//	P. Biswas, S. Banerjee, N. Dutt, L. Pozzi, P. Ienne.
+//	"ISEGEN: Generation of High-Quality Instruction Set Extensions by
+//	Iterative Improvement." DATE 2005.
+//
+// Typical use:
+//
+//	app := ...                      // build an Application with isegen.NewBuilder
+//	cfg := isegen.DefaultConfig()   // I/O (4,2), 4 AFUs
+//	res, err := isegen.Generate(app, cfg)
+//	// res.Selections: each ISE with all its claimed instances
+//	// res.Report:     whole-application speedup, coverage, code size, energy
+//
+// The package re-exports the pieces a downstream user needs: the IR
+// builder and serialization, the latency model, the ISEGEN engine, the
+// exact and genetic baselines, the reuse matcher and the cycle-level
+// simulator. See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// the reproduced results.
+package isegen
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/dfgio"
+	"repro/internal/eval"
+	"repro/internal/exact"
+	"repro/internal/genetic"
+	"repro/internal/graph"
+	"repro/internal/hwgen"
+	"repro/internal/ir"
+	"repro/internal/latency"
+	"repro/internal/reuse"
+	"repro/internal/sim"
+)
+
+// Core re-exported types. These are aliases, so values flow freely between
+// the facade and the experiment harnesses.
+type (
+	// Application is a set of basic blocks with execution frequencies.
+	Application = ir.Application
+	// Block is one basic-block data-flow graph.
+	Block = ir.Block
+	// Builder constructs Blocks programmatically.
+	Builder = ir.Builder
+	// Value is an SSA-style handle produced by Builder methods.
+	Value = ir.Value
+	// Op is an instruction opcode.
+	Op = ir.Op
+	// Model supplies per-opcode software/hardware latency and energy.
+	Model = latency.Model
+	// Config controls ISE generation (port constraints, AFU budget,
+	// pass limit, gain weights, latency model).
+	Config = core.Config
+	// Weights are the five gain-function control parameters α1..α5.
+	Weights = core.Weights
+	// Cut is one identified ISE.
+	Cut = core.Cut
+	// Instance is one occurrence of a cut in some block.
+	Instance = reuse.Instance
+	// Selection pairs a cut with all its claimed instances.
+	Selection = eval.Selection
+	// Report aggregates speedup, coverage, code-size and energy metrics.
+	Report = eval.Report
+	// BitSet is the dense node-set type used throughout.
+	BitSet = graph.BitSet
+)
+
+// Re-exported opcodes (see ir.Op for semantics).
+const (
+	OpConst  = ir.OpConst
+	OpAdd    = ir.OpAdd
+	OpSub    = ir.OpSub
+	OpMul    = ir.OpMul
+	OpNeg    = ir.OpNeg
+	OpAnd    = ir.OpAnd
+	OpOr     = ir.OpOr
+	OpXor    = ir.OpXor
+	OpNot    = ir.OpNot
+	OpShl    = ir.OpShl
+	OpShrL   = ir.OpShrL
+	OpShrA   = ir.OpShrA
+	OpCmpEQ  = ir.OpCmpEQ
+	OpCmpNE  = ir.OpCmpNE
+	OpCmpLT  = ir.OpCmpLT
+	OpCmpLE  = ir.OpCmpLE
+	OpCmpGT  = ir.OpCmpGT
+	OpCmpGE  = ir.OpCmpGE
+	OpSelect = ir.OpSelect
+	OpMin    = ir.OpMin
+	OpMax    = ir.OpMax
+	OpLoad   = ir.OpLoad
+	OpStore  = ir.OpStore
+)
+
+// NewBuilder returns a Builder for a block with the given name and
+// execution frequency.
+func NewBuilder(name string, freq float64) *Builder { return ir.NewBuilder(name, freq) }
+
+// NewBitSet returns an empty node set of capacity n.
+func NewBitSet(n int) *BitSet { return graph.NewBitSet(n) }
+
+// DefaultModel returns the latency/energy model used by all experiments.
+func DefaultModel() *Model { return latency.Default() }
+
+// DefaultConfig returns the paper's main configuration: I/O constraints
+// (4,2), 4 AFUs, 5 K-L passes and the tuned gain weights.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Result is the outcome of Generate: the selected ISEs with every claimed
+// instance, plus the whole-application quality report.
+type Result struct {
+	Selections []Selection
+	Report     *Report
+}
+
+// Generate runs the full ISEGEN flow on the application: iterative K-L
+// bi-partitioning under the AFU budget, reuse matching to claim every
+// isomorphic instance of each identified cut (the paper's large-scale
+// reuse), schedulability filtering, and evaluation.
+func Generate(app *Application, cfg Config) (*Result, error) {
+	var sels []Selection
+	claimer := eval.NewClaimer(app)
+	// Reuse-aware candidate scoring (the paper's Figure 1 principle):
+	// a cut is worth its merit times the number of disjoint schedulable
+	// instances that can be claimed for it, weighted by block frequency.
+	score := func(bi int, cut *Cut, excluded []*graph.BitSet) float64 {
+		n := claimer.CountInstances(bi, cut, excluded)
+		return float64(n) * cut.Merit() * app.Blocks[bi].Freq
+	}
+	_, err := core.GenerateScored(app, cfg, score, func(bi int, cut *Cut, excluded []*graph.BitSet) {
+		// The seed itself is already excluded by the driver; the
+		// claimer finds every other instance among available nodes
+		// (and re-admits the seed occurrence), extending excluded. A
+		// cut whose every instance would form a dependency cycle with
+		// previously claimed instances yields no selection; its nodes
+		// stay excluded so the driver moves on.
+		sel := claimer.Claim(bi, cut, excluded)
+		if len(sel.Instances) > 0 {
+			sels = append(sels, sel)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rep, err := eval.Evaluate(app, cfg.Model, sels)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Selections: sels, Report: rep}, nil
+}
+
+// ClaimAllWithReuse converts cuts identified by any algorithm into
+// Selections with the same reuse treatment Generate applies.
+func ClaimAllWithReuse(app *Application, cuts []*Cut, blockIdxOf func(*Cut) int) []Selection {
+	return eval.ClaimAllWithReuse(app, cuts, blockIdxOf)
+}
+
+// GenerateCutsOnly runs ISEGEN without reuse matching: each identified cut
+// counts once. This is the configuration used for the Figure 4 comparison,
+// where all four algorithms are evaluated identically.
+func GenerateCutsOnly(app *Application, cfg Config) ([]*Cut, error) {
+	res, err := core.Generate(app, cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	return res.Cuts, nil
+}
+
+// Evaluate computes the quality report of an arbitrary selection set.
+func Evaluate(app *Application, model *Model, sels []Selection) (*Report, error) {
+	return eval.Evaluate(app, model, sels)
+}
+
+// EvaluateCuts computes the quality report counting each cut once.
+func EvaluateCuts(app *Application, model *Model, cuts []*Cut) (*Report, error) {
+	return eval.SpeedupOfCuts(app, model, cuts)
+}
+
+// Simulate runs the cycle-level core+AFU model over the application with
+// the given selections, verifying functional equivalence and returning
+// measured (rather than estimated) speedup.
+func Simulate(app *Application, model *Model, sels []Selection) (*sim.AppResult, error) {
+	instances := map[int][]*graph.BitSet{}
+	for _, sel := range sels {
+		for _, inst := range sel.Instances {
+			instances[inst.BlockIdx] = append(instances[inst.BlockIdx], inst.Nodes)
+		}
+	}
+	return sim.RunApp(app, model, instances)
+}
+
+// SimResult is the simulator's application-level outcome.
+type SimResult = sim.AppResult
+
+// FindInstances exposes the reuse matcher: all occurrences of the cut
+// (identified in app.Blocks[patIdx]) across the application.
+func FindInstances(app *Application, patIdx int, cut *BitSet, perBlockLimit int) []Instance {
+	return reuse.FindAppInstances(app, patIdx, cut, nil, perBlockLimit)
+}
+
+// Baseline algorithms (see DESIGN.md): the exact enumeration of Atasu et
+// al. (DAC'03) and the genetic formulation of Biswas et al. (DAC'04).
+
+// ExactOptions configures the exact baselines.
+type ExactOptions = exact.Options
+
+// ExactSingleCut finds the optimal single feasible cut of a block.
+func ExactSingleCut(blk *Block, opt ExactOptions, excluded *BitSet) (*Cut, error) {
+	return exact.SingleCut(blk, opt, excluded)
+}
+
+// ExactIterative repeatedly finds the optimal single cut (the paper's
+// "Iterative" baseline).
+func ExactIterative(blk *Block, opt ExactOptions, nise int) ([]*Cut, error) {
+	return exact.Iterative(blk, opt, nise)
+}
+
+// ExactMultiCut finds the jointly optimal assignment into nise cuts (the
+// paper's "Exact" baseline; tiny blocks only).
+func ExactMultiCut(blk *Block, opt ExactOptions, nise int) ([]*Cut, error) {
+	return exact.MultiCut(blk, opt, nise)
+}
+
+// GeneticOptions configures the genetic baseline.
+type GeneticOptions = genetic.Options
+
+// GeneticIterative finds up to nise cuts by repeated evolution.
+func GeneticIterative(blk *Block, opt GeneticOptions, nise int) ([]*Cut, error) {
+	return genetic.Iterative(blk, opt, nise)
+}
+
+// Hardware generation and area-constrained selection (extensions; see
+// DESIGN.md).
+
+// AFUModule is a generated combinational AFU datapath.
+type AFUModule = hwgen.Module
+
+// GenerateAFU builds the Verilog datapath module for a cut.
+func GenerateAFU(blk *Block, cut *BitSet, model *Model, name string) (*AFUModule, error) {
+	return hwgen.Generate(blk, cut, model, name)
+}
+
+// AFUArea returns a cut's datapath area in NAND2-equivalent gates.
+func AFUArea(blk *Block, model *Model, cut *BitSet) float64 {
+	return eval.AFUArea(blk, model, cut)
+}
+
+// SelectUnderAreaBudget picks the selection subset maximizing savings
+// under a total AFU area budget (0 = unlimited).
+func SelectUnderAreaBudget(app *Application, model *Model, sels []Selection, budget float64) []Selection {
+	return eval.SelectUnderAreaBudget(app, model, sels, budget)
+}
+
+// TotalAFUArea sums the AFU areas of the selections.
+func TotalAFUArea(model *Model, sels []Selection) float64 {
+	return eval.TotalAFUArea(model, sels)
+}
+
+// Serialization.
+
+// ParseApplication reads a multi-block .dfg stream.
+func ParseApplication(name string, r io.Reader) (*Application, error) {
+	return dfgio.ParseApplication(name, r)
+}
+
+// ParseBlock reads a single .dfg block.
+func ParseBlock(r io.Reader) (*Block, error) { return dfgio.Parse(r) }
+
+// WriteBlock serializes one block in .dfg form.
+func WriteBlock(w io.Writer, b *Block) error { return dfgio.Write(w, b) }
+
+// WriteApplication serializes all blocks of an application.
+func WriteApplication(w io.Writer, app *Application) error {
+	return dfgio.WriteApplication(w, app)
+}
+
+// WriteDOT renders a block (with optional highlighted cuts) as Graphviz.
+func WriteDOT(w io.Writer, b *Block, cuts []*BitSet) error {
+	return dfgio.WriteDOT(w, b, cuts)
+}

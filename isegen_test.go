@@ -1,0 +1,156 @@
+package isegen_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	isegen "repro"
+	"repro/internal/kernels"
+)
+
+// buildMACApp returns a one-block application through the public API only.
+func buildMACApp(t *testing.T) *isegen.Application {
+	t.Helper()
+	bu := isegen.NewBuilder("hot", 100)
+	a, b, acc := bu.Input("a"), bu.Input("b"), bu.Input("acc")
+	s := bu.Add(bu.Mul(a, b), acc)
+	bu.LiveOut(s)
+	blk, err := bu.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &isegen.Application{Name: "mac", Blocks: []*isegen.Block{blk}}
+}
+
+func TestGenerateFacade(t *testing.T) {
+	app := buildMACApp(t)
+	res, err := isegen.Generate(app, isegen.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Selections) == 0 {
+		t.Fatal("no ISEs found")
+	}
+	if res.Report.Speedup <= 1 {
+		t.Errorf("speedup = %v, want > 1", res.Report.Speedup)
+	}
+	sim, err := isegen.Simulate(app, isegen.DefaultModel(), res.Selections)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Speedup <= 1 {
+		t.Errorf("simulated speedup = %v, want > 1", sim.Speedup)
+	}
+}
+
+func TestGenerateCutsOnlyAndEvaluate(t *testing.T) {
+	app := buildMACApp(t)
+	cuts, err := isegen.GenerateCutsOnly(app, isegen.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cuts) == 0 {
+		t.Fatal("no cuts")
+	}
+	rep, err := isegen.EvaluateCuts(app, isegen.DefaultModel(), cuts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Speedup <= 1 {
+		t.Errorf("speedup = %v", rep.Speedup)
+	}
+}
+
+func TestBaselinesThroughFacade(t *testing.T) {
+	app := buildMACApp(t)
+	blk := app.Blocks[0]
+	model := isegen.DefaultModel()
+
+	ex, err := isegen.ExactSingleCut(blk, isegen.ExactOptions{MaxIn: 4, MaxOut: 2, Model: model}, nil)
+	if err != nil || ex == nil {
+		t.Fatalf("ExactSingleCut: %v, %v", ex, err)
+	}
+	it, err := isegen.ExactIterative(blk, isegen.ExactOptions{MaxIn: 4, MaxOut: 2, Model: model}, 2)
+	if err != nil || len(it) == 0 {
+		t.Fatalf("ExactIterative: %v, %v", it, err)
+	}
+	mc, err := isegen.ExactMultiCut(blk, isegen.ExactOptions{MaxIn: 4, MaxOut: 2, Model: model}, 2)
+	if err != nil || len(mc) == 0 {
+		t.Fatalf("ExactMultiCut: %v, %v", mc, err)
+	}
+	ga, err := isegen.GeneticIterative(blk, isegen.GeneticOptions{MaxIn: 4, MaxOut: 2, Model: model, Seed: 7}, 2)
+	if err != nil || len(ga) == 0 {
+		t.Fatalf("GeneticIterative: %v, %v", ga, err)
+	}
+	// All approaches find the same optimal merit on the tiny MAC.
+	if ex.Merit() != it[0].Merit() || ex.Merit() != ga[0].Merit() {
+		t.Errorf("merits differ: exact %v iterative %v genetic %v",
+			ex.Merit(), it[0].Merit(), ga[0].Merit())
+	}
+}
+
+func TestSerializationRoundTripFacade(t *testing.T) {
+	app := buildMACApp(t)
+	var buf bytes.Buffer
+	if err := isegen.WriteApplication(&buf, app); err != nil {
+		t.Fatal(err)
+	}
+	got, err := isegen.ParseApplication("mac", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MaxBlockSize() != app.MaxBlockSize() {
+		t.Error("round trip changed the application")
+	}
+	var dot bytes.Buffer
+	if err := isegen.WriteDOT(&dot, got.Blocks[0], nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dot.String(), "digraph") {
+		t.Error("DOT output malformed")
+	}
+}
+
+func TestFindInstancesFacade(t *testing.T) {
+	// Two identical MACs: the cut found on one must match both.
+	bu := isegen.NewBuilder("twomacs", 10)
+	acc := bu.Input("acc")
+	a, b := bu.Input("a"), bu.Input("b")
+	s1 := bu.Add(bu.Mul(a, b), acc)
+	c, d := bu.Input("c"), bu.Input("d")
+	s2 := bu.Add(bu.Mul(c, d), acc)
+	bu.LiveOut(s1, s2)
+	blk, err := bu.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := &isegen.Application{Name: "two", Blocks: []*isegen.Block{blk}}
+
+	cut := isegen.NewBitSet(blk.N())
+	cut.Set(0)
+	cut.Set(1)
+	insts := isegen.FindInstances(app, 0, cut, 0)
+	if len(insts) != 2 {
+		t.Fatalf("found %d instances, want 2", len(insts))
+	}
+}
+
+// The full pipeline on a real benchmark through the facade.
+func TestGenerateOnBenchmark(t *testing.T) {
+	app := kernels.Viterb00()
+	res, err := isegen.Generate(app, isegen.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Speedup <= 1.2 {
+		t.Errorf("viterb00 speedup = %v, want > 1.2", res.Report.Speedup)
+	}
+	sim, err := isegen.Simulate(app, isegen.DefaultModel(), res.Selections)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := res.Report.Speedup - sim.Speedup; d > 0.05 || d < -0.05 {
+		t.Errorf("estimate %.3f vs simulated %.3f diverge", res.Report.Speedup, sim.Speedup)
+	}
+}
