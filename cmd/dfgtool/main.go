@@ -3,6 +3,7 @@
 // Usage:
 //
 //	dfgtool list                        list built-in benchmarks
+//	dfgtool engines                     list search engines (for isegen -algo)
 //	dfgtool gen [-o file] <benchmark>   write a built-in benchmark as .dfg
 //	dfgtool check <file.dfg>            parse and validate a .dfg file
 //	dfgtool dot [-o file] <file.dfg>    render the first block as Graphviz
@@ -36,6 +37,14 @@ func main() {
 			fmt.Printf("%-16s critical block %d nodes, %d blocks\n", s.Name, s.CriticalSize, len(s.App.Blocks))
 		}
 		fmt.Printf("%-16s critical block %d nodes, %d blocks\n", "aes", 696, len(kernels.AES().Blocks))
+	case "engines":
+		for _, name := range isegen.SearchEngineNames() {
+			limit := "no block-size limit"
+			if n := isegen.DefaultNodeLimit(name); n > 0 {
+				limit = fmt.Sprintf("blocks up to ~%d nodes", n)
+			}
+			fmt.Printf("%-12s %s\n", name, limit)
+		}
 	case "gen":
 		err = gen(fs.Arg(0), *outPath)
 	case "check":
@@ -57,6 +66,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   dfgtool list
+  dfgtool engines
   dfgtool gen [-o file] <benchmark>
   dfgtool check <file.dfg>
   dfgtool dot [-o file] <file.dfg>

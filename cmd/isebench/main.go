@@ -11,6 +11,10 @@
 //	isebench -sim       only the cycle-level simulation validation
 //	isebench -energy    only the code-size / energy table
 //	isebench -area      only the AFU area-budget study
+//
+// All harnesses fan independent benchmark/configuration cells out across
+// -workers (default: one per CPU core); results are bit-identical to a
+// sequential run (-workers 1).
 package main
 
 import (
@@ -28,9 +32,11 @@ func main() {
 		simOnly  = flag.Bool("sim", false, "run only the simulation validation")
 		energy   = flag.Bool("energy", false, "run only the code-size/energy table")
 		area     = flag.Bool("area", false, "run only the AFU area-budget study")
+		workers  = flag.Int("workers", 0, "worker pool size (0 = one per CPU core; results are identical)")
 	)
 	flag.Parse()
 	o := experiments.DefaultOptions()
+	o.Workers = *workers
 	all := *fig == 0 && !*ablation && !*simOnly && !*energy && !*area
 
 	if all || *fig == 4 {

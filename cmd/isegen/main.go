@@ -8,26 +8,29 @@
 // printed per cut with node sets, I/O counts, merits and claimed instance
 // counts, followed by the whole-application report.
 //
-// Flags select the algorithm (-algo isegen|genetic|exact|iterative), the
-// port constraints (-in, -out), the AFU budget (-nise) and optional DOT
-// output highlighting the cuts (-dot file).
+// Flags select the algorithm (-algo isegen|genetic|exact|iterative — any
+// name in the unified search-engine registry), the port constraints (-in,
+// -out), the AFU budget (-nise), the worker-pool size (-workers) and
+// optional DOT output highlighting the cuts (-dot file).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	isegen "repro"
 )
 
 func main() {
 	var (
-		algo    = flag.String("algo", "isegen", "algorithm: isegen, genetic, exact, iterative")
+		algo    = flag.String("algo", "isegen", "algorithm: "+strings.Join(isegen.SearchEngineNames(), ", "))
 		maxIn   = flag.Int("in", 4, "maximum ISE input operands")
 		maxOut  = flag.Int("out", 2, "maximum ISE output operands")
 		nise    = flag.Int("nise", 4, "maximum number of ISEs (AFUs)")
 		seed    = flag.Int64("seed", 1, "random seed for the genetic algorithm")
+		workers = flag.Int("workers", 0, "worker pool size (0 = one per CPU core; results are identical)")
 		dotFile = flag.String("dot", "", "write a Graphviz rendering of the first block with cuts highlighted")
 		noReuse = flag.Bool("noreuse", false, "disable reuse matching (each cut counts once)")
 	)
@@ -37,13 +40,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *algo, *maxIn, *maxOut, *nise, *seed, *dotFile, *noReuse); err != nil {
+	if err := run(flag.Arg(0), *algo, *maxIn, *maxOut, *nise, *seed, *workers, *dotFile, *noReuse); err != nil {
 		fmt.Fprintln(os.Stderr, "isegen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, algo string, maxIn, maxOut, nise int, seed int64, dotFile string, noReuse bool) error {
+func run(path, algo string, maxIn, maxOut, nise int, seed int64, workers int, dotFile string, noReuse bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -56,10 +59,11 @@ func run(path, algo string, maxIn, maxOut, nise int, seed int64, dotFile string,
 	model := isegen.DefaultModel()
 
 	var sels []isegen.Selection
-	switch algo {
-	case "isegen":
+	if algo == "isegen" {
+		// The ISEGEN flow is application-level: the driver walks all
+		// blocks by speedup potential with reuse-aware scoring.
 		cfg := isegen.DefaultConfig()
-		cfg.MaxIn, cfg.MaxOut, cfg.NISE = maxIn, maxOut, nise
+		cfg.MaxIn, cfg.MaxOut, cfg.NISE, cfg.Workers = maxIn, maxOut, nise, workers
 		if noReuse {
 			cuts, err := isegen.GenerateCutsOnly(app, cfg)
 			if err != nil {
@@ -73,44 +77,41 @@ func run(path, algo string, maxIn, maxOut, nise int, seed int64, dotFile string,
 			}
 			sels = res.Selections
 		}
-	case "genetic", "exact", "iterative":
-		blockIdx := map[*isegen.Block]int{}
-		for i, b := range app.Blocks {
-			blockIdx[b] = i
+	} else {
+		// Baselines operate per block through the unified engine
+		// registry; run them on the largest block, as the paper does
+		// (the critical basic block).
+		eng, err := isegen.NewSearchEngine(algo, isegen.NewCostCache())
+		if err != nil {
+			return err
 		}
-		var cuts []*isegen.Cut
-		// The baselines operate per block; run them on the largest one,
-		// as the paper does (the critical basic block).
+		if ga, ok := eng.(interface{ SetSeed(int64) }); ok {
+			ga.SetSeed(seed)
+		}
 		hot := 0
 		for i, b := range app.Blocks {
 			if b.N() > app.Blocks[hot].N() {
 				hot = i
 			}
 		}
-		switch algo {
-		case "genetic":
-			cuts, err = isegen.GeneticIterative(app.Blocks[hot], isegen.GeneticOptions{
-				MaxIn: maxIn, MaxOut: maxOut, Model: model, Seed: seed,
-			}, nise)
-		case "exact":
-			cuts, err = isegen.ExactMultiCut(app.Blocks[hot], isegen.ExactOptions{
-				MaxIn: maxIn, MaxOut: maxOut, Model: model, NodeLimit: 25, Budget: 2_000_000_000,
-			}, nise)
-		case "iterative":
-			cuts, err = isegen.ExactIterative(app.Blocks[hot], isegen.ExactOptions{
-				MaxIn: maxIn, MaxOut: maxOut, Model: model, NodeLimit: 100, Budget: 2_000_000_000,
-			}, nise)
+		lim := &isegen.SearchLimits{
+			MaxIn: maxIn, MaxOut: maxOut, NISE: nise,
+			NodeLimit: isegen.DefaultNodeLimit(algo), Budget: 2_000_000_000,
+			Workers: workers,
 		}
+		cuts, _, err := eng.Run(app.Blocks[hot], isegen.MeritObjective(model), lim)
 		if err != nil {
 			return err
 		}
 		if noReuse {
 			sels = cutsToSelections(app, cuts)
 		} else {
+			blockIdx := map[*isegen.Block]int{}
+			for i, b := range app.Blocks {
+				blockIdx[b] = i
+			}
 			sels = isegen.ClaimAllWithReuse(app, cuts, func(c *isegen.Cut) int { return blockIdx[c.Block] })
 		}
-	default:
-		return fmt.Errorf("unknown algorithm %q", algo)
 	}
 
 	for i, sel := range sels {

@@ -47,9 +47,9 @@ type gainContext struct {
 	prepared bool
 }
 
-func (e *Engine) prepareGainContext() {
-	st := e.state
-	gc := &e.gc
+func (t *trajectory) prepareGainContext() {
+	st := t.st
+	gc := &t.gc
 	if cap(gc.compOf) < st.n {
 		gc.compOf = make([]int, st.n)
 	}
@@ -84,9 +84,9 @@ func (e *Engine) prepareGainContext() {
 // it grow toward legality). Vio counts port-constraint violations. Cv is
 // the neighbour term, L the directional-growth term, I the
 // independent-subgraphs term.
-func (e *Engine) gain(v int) float64 {
-	st := e.state
-	w := e.cfg.Weights
+func (t *trajectory) gain(v int) float64 {
+	st := t.st
+	w := t.cfg.Weights
 	eff := st.Probe(v)
 	adding := !st.H.Has(v)
 
@@ -101,10 +101,10 @@ func (e *Engine) gain(v int) float64 {
 
 	// α2: I/O port violation of the new cut.
 	vio := 0.0
-	if over := eff.NumIn - e.cfg.MaxIn; over > 0 {
+	if over := eff.NumIn - t.cfg.MaxIn; over > 0 {
 		vio += float64(over)
 	}
-	if over := eff.NumOut - e.cfg.MaxOut; over > 0 {
+	if over := eff.NumOut - t.cfg.MaxOut; over > 0 {
 		vio += float64(over)
 	}
 
@@ -143,8 +143,8 @@ func (e *Engine) gain(v int) float64 {
 	// when other components are large, freeing ports for them.
 	ind := 0.0
 	if !adding {
-		if ci := e.gc.compOf[v]; ci >= 0 {
-			ind = (e.gc.totalCP - e.gc.compCP[ci]) / (1 + e.gc.totalCP)
+		if ci := t.gc.compOf[v]; ci >= 0 {
+			ind = (t.gc.totalCP - t.gc.compCP[ci]) / (1 + t.gc.totalCP)
 		}
 	}
 

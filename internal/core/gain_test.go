@@ -8,15 +8,20 @@ import (
 	"repro/internal/ir"
 )
 
-// gainHarness exposes the engine internals for focused gain tests.
-func gainHarness(t *testing.T, blk *ir.Block, cfg Config) *Engine {
+// gainHarness exposes the trajectory internals for focused gain tests.
+func gainHarness(t *testing.T, blk *ir.Block, cfg Config) *trajectory {
 	t.Helper()
-	eng, err := NewEngine(blk, cfg, nil)
-	if err != nil {
+	if _, err := NewEngine(blk, cfg, nil); err != nil {
 		t.Fatal(err)
 	}
-	eng.prepareGainContext()
-	return eng
+	tr := &trajectory{
+		cfg:     &cfg,
+		st:      NewState(blk, cfg.Model, nil),
+		marked:  graph.NewBitSet(blk.N()),
+		curBest: graph.NewBitSet(blk.N()),
+	}
+	tr.prepareGainContext()
+	return tr
 }
 
 // TestGainIOPenaltyDominates: a candidate that violates the port limits
@@ -36,7 +41,7 @@ func TestGainIOPenaltyDominates(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.MaxIn, cfg.MaxOut = 2, 1
 	eng := gainHarness(t, blk, cfg)
-	eng.state.Toggle(0) // s1 in H
+	eng.st.Toggle(0) // s1 in H
 	eng.prepareGainContext()
 
 	gViolating := eng.gain(1) // adding s2: 4 inputs, 2 outputs -> violation
@@ -63,7 +68,7 @@ func TestGainConvexityTermSigns(t *testing.T) {
 	// Isolate the neighbour term: zero everything else.
 	cfg.Weights = Weights{Convexity: 1}
 	eng := gainHarness(t, blk, cfg)
-	eng.state.Toggle(0)
+	eng.st.Toggle(0)
 	eng.prepareGainContext()
 
 	gNeighbour := eng.gain(1)
@@ -73,7 +78,7 @@ func TestGainConvexityTermSigns(t *testing.T) {
 	}
 	// Removing n0 (one cut neighbour... none in cut; its neighbour n1
 	// is outside). Add n1 then check removal resistance of n0.
-	eng.state.Toggle(1)
+	eng.st.Toggle(1)
 	eng.prepareGainContext()
 	gRemove := eng.gain(0) // H->S toggle of n0, which has n1 in cut
 	if gRemove >= 0 {
@@ -96,9 +101,9 @@ func TestGainIndependentTerm(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Weights = Weights{Independent: 1}
 	eng := gainHarness(t, blk, cfg)
-	eng.state.Toggle(0)
-	eng.state.Toggle(1)
-	eng.state.Toggle(2) // H = {m1, m2} ∪ {x}
+	eng.st.Toggle(0)
+	eng.st.Toggle(1)
+	eng.st.Toggle(2) // H = {m1, m2} ∪ {x}
 	eng.prepareGainContext()
 
 	gX := eng.gain(2)  // removing the light xor: other component heavy
@@ -146,8 +151,8 @@ func TestSeedsDispersedAndDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s1 := eng.seeds()
-	s2 := eng.seeds()
+	s1 := eng.Seeds()
+	s2 := eng.Seeds()
 	if len(s1) != 4 {
 		t.Fatalf("got %d seeds, want 4", len(s1))
 	}
@@ -221,42 +226,5 @@ func TestCandidatesIncludeComponents(t *testing.T) {
 		if cand.Merit() <= 0 {
 			t.Errorf("non-positive merit candidate %v", cand.Nodes)
 		}
-	}
-}
-
-func TestGenerateScoredPrefersHighScore(t *testing.T) {
-	// Scorer that inverts preference: pick the SMALLEST candidate.
-	bu := ir.NewBuilder("scored", 1)
-	a, b := bu.Input("a"), bu.Input("b")
-	m := bu.Mul(a, b)
-	s := bu.Add(m, b)
-	x := bu.Xor(s, a)
-	bu.LiveOut(x)
-	blk := bu.MustBuild()
-	app := &ir.Application{Name: "s", Blocks: []*ir.Block{blk}}
-
-	cfg := DefaultConfig()
-	cfg.NISE = 1
-	smallest := func(bi int, cut *Cut, _ []*graph.BitSet) float64 {
-		return 1.0 / float64(cut.Size())
-	}
-	res, err := GenerateScored(app, cfg, smallest, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(res.Cuts) != 1 {
-		t.Fatalf("got %d cuts", len(res.Cuts))
-	}
-	// The smallest positive-merit candidate is the single mul.
-	if res.Cuts[0].Size() != 1 || !res.Cuts[0].Nodes.Has(0) {
-		t.Errorf("scored pick = %v, want the lone mul", res.Cuts[0].Nodes)
-	}
-	// Default scoring picks max merit instead.
-	res2, err := Generate(app, cfg, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res2.Cuts[0].Merit() < res.Cuts[0].Merit() {
-		t.Error("default scoring must pick at least the max-merit candidate")
 	}
 }

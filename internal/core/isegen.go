@@ -28,6 +28,12 @@ type Config struct {
 	// (AES is 696 nodes); dispersed seeds recover the global structure
 	// at a linear cost. 1 reproduces the paper's single-start loop.
 	Restarts int
+	// Workers bounds the concurrency of the search layer
+	// (internal/search): parallel K-L trajectories and per-block
+	// fan-out. 0 means one worker per CPU core, 1 forces the sequential
+	// path. Results are bit-identical either way; the engine itself
+	// ignores the field.
+	Workers int
 	// Weights are the gain-function control parameters.
 	Weights Weights
 	// Model supplies software and hardware latencies.
@@ -48,7 +54,8 @@ func DefaultConfig() Config {
 	}
 }
 
-func (c *Config) validate() error {
+// Validate checks the configuration invariants shared by every driver.
+func (c *Config) Validate() error {
 	if c.MaxIn < 1 || c.MaxOut < 1 {
 		return fmt.Errorf("core: I/O constraints (%d,%d) must be at least (1,1)", c.MaxIn, c.MaxOut)
 	}
@@ -91,46 +98,60 @@ func (c *Cut) Merit() float64 { return MeritOf(c.SWLat, c.HWLat) }
 // Size returns the number of instructions in the cut.
 func (c *Cut) Size() int { return c.Nodes.Count() }
 
-// Engine runs the modified Kernighan–Lin bi-partition on one block.
-// An Engine is single-use per Bipartition call but may be reused across
-// calls on the same block.
-type Engine struct {
-	cfg   Config
-	state *State
-	gc    gainContext
-
-	marked *graph.BitSet
-	// Reusable scratch for pass bookkeeping.
-	curBest      *graph.BitSet
-	curBestMerit float64
-	curBestOK    bool
-	// snaps accumulates every distinct feasible improvement the search
-	// passes through — the candidate pool for reuse-aware selection.
-	snaps []candidate
+// Candidate is one feasible cut encountered during the K-L search, before
+// metrics finalization.
+type Candidate struct {
+	Nodes *graph.BitSet
+	// Merit is the merit observed when the snapshot was taken —
+	// informational only: Finalize recosts every candidate through the
+	// metrics function (component-decomposed candidates never carry it).
+	Merit float64
 }
 
-// candidate is one feasible cut encountered during the search.
-type candidate struct {
-	nodes *graph.BitSet
-	merit float64
+// Engine runs the modified Kernighan–Lin bi-partition on one block. The
+// engine itself is immutable after construction: every restart trajectory
+// runs on a private State, so Trajectory may be called concurrently from
+// several goroutines (the search layer's restart fan-out).
+type Engine struct {
+	cfg      Config
+	blk      *ir.Block
+	excluded *graph.BitSet
+	// state backs Seeds and Frozen queries; trajectories get their own.
+	state   *State
+	metrics MetricsFunc
 }
 
 // NewEngine prepares a bi-partition engine for the block. Nodes in excluded
 // (may be nil) are frozen in software — the multi-cut driver passes the
 // nodes already claimed by earlier ISEs.
 func NewEngine(blk *ir.Block, cfg Config, excluded *graph.BitSet) (*Engine, error) {
-	if err := cfg.validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if err := cfg.Model.Validate(blk); err != nil {
 		return nil, err
 	}
+	var ex *graph.BitSet
+	if excluded != nil {
+		ex = excluded.Clone()
+	}
 	return &Engine{
-		cfg:     cfg,
-		state:   NewState(blk, cfg.Model, excluded),
-		marked:  graph.NewBitSet(blk.N()),
-		curBest: graph.NewBitSet(blk.N()),
+		cfg:      cfg,
+		blk:      blk,
+		excluded: ex,
+		state:    NewState(blk, cfg.Model, ex),
+		metrics:  MetricsOf,
 	}, nil
+}
+
+// SetMetrics installs a custom cut-costing function (e.g. the search
+// layer's memoized cache). f must be equivalent to MetricsOf; nil restores
+// the default.
+func (e *Engine) SetMetrics(f MetricsFunc) {
+	if f == nil {
+		f = MetricsOf
+	}
+	e.metrics = f
 }
 
 // Bipartition runs the ISEGEN algorithm of Figure 2 (with Config.Restarts
@@ -145,76 +166,28 @@ func (e *Engine) Bipartition() *Cut {
 	return cands[0]
 }
 
-// Candidates runs the full search and returns every distinct feasible cut
-// with positive merit the trajectories passed through, best merit first.
+// Candidates runs the full search sequentially and returns every distinct
+// feasible cut with positive merit the trajectories passed through, best
+// merit first. It is equivalent to running Trajectory over Seeds and
+// passing the concatenated snapshots to Finalize — which is exactly what
+// the search layer does, in parallel, with bit-identical results.
+//
 // The head of the list is what Bipartition returns; the tail contains
 // smaller cuts that a reuse-aware driver may prefer when they have many
 // isomorphic instances (the paper's Figure 1 principle).
-//
-// Each snapshot is additionally decomposed into its weakly-connected
-// components: components of a feasible cut are themselves feasible (no
-// edges cross components, so convexity and the I/O port sets inherit
-// subset-wise), and repeated patterns usually surface as components of
-// larger opportunistic cuts.
 func (e *Engine) Candidates() []*Cut {
-	st := e.state
-	e.snaps = e.snaps[:0]
-	for _, seed := range e.seeds() {
-		e.klLoop(seed)
+	var snaps []Candidate
+	for _, seed := range e.Seeds() {
+		snaps = append(snaps, e.Trajectory(seed)...)
 	}
-	dag := st.Blk.DAG()
-	pool := append([]candidate(nil), e.snaps...)
-	for _, c := range e.snaps {
-		comps := dag.ComponentsOf(c.nodes)
-		if len(comps) < 2 {
-			continue
-		}
-		for _, comp := range comps {
-			sub := graph.NewBitSet(st.n)
-			for _, v := range comp {
-				sub.Set(v)
-			}
-			pool = append(pool, candidate{nodes: sub}) // merit filled below
-		}
-	}
-	// Dedup by node set, keeping order of first appearance.
-	var uniq []candidate
-	for _, c := range pool {
-		dup := false
-		for _, u := range uniq {
-			if u.nodes.Equal(c.nodes) {
-				dup = true
-				break
-			}
-		}
-		if !dup {
-			uniq = append(uniq, c)
-		}
-	}
-	out := make([]*Cut, 0, len(uniq))
-	for _, c := range uniq {
-		st.SetCut(c.nodes)
-		if m := st.Merit(); m <= 0 {
-			continue
-		}
-		out = append(out, &Cut{
-			Block:  st.Blk,
-			Nodes:  c.nodes,
-			NumIn:  st.NumIn(),
-			NumOut: st.NumOut(),
-			SWLat:  st.SWSum(),
-			HWLat:  st.HWCP(),
-		})
-	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Merit() > out[j].Merit() })
-	return out
+	return e.Finalize(snaps)
 }
 
-// seeds returns the restart start configurations: the empty cut first,
+// Seeds returns the restart start configurations: the empty cut first,
 // then singleton cuts at unfrozen nodes evenly dispersed along the
 // topological order, so each restart explores a different region of large
 // DFGs.
-func (e *Engine) seeds() []*graph.BitSet {
+func (e *Engine) Seeds() []*graph.BitSet {
 	st := e.state
 	out := []*graph.BitSet{graph.NewBitSet(st.n)}
 	extra := e.cfg.Restarts - 1
@@ -242,56 +215,142 @@ func (e *Engine) seeds() []*graph.BitSet {
 	return out
 }
 
+// Trajectory runs one full Figure 2 K-L loop from the given start cut on a
+// private State and returns every feasible improvement it passed through.
+// Safe for concurrent use: trajectories share nothing but the immutable
+// block and config.
+func (e *Engine) Trajectory(seed *graph.BitSet) []Candidate {
+	t := &trajectory{
+		cfg:     &e.cfg,
+		st:      NewState(e.blk, e.cfg.Model, e.excluded),
+		marked:  graph.NewBitSet(e.blk.N()),
+		curBest: graph.NewBitSet(e.blk.N()),
+	}
+	t.klLoop(seed)
+	return t.snaps
+}
+
+// Finalize post-processes trajectory snapshots into ranked cuts: each
+// snapshot is additionally decomposed into its weakly-connected components
+// (components of a feasible cut are themselves feasible — no edges cross
+// components, so convexity and the I/O port sets inherit subset-wise, and
+// repeated patterns usually surface as components of larger opportunistic
+// cuts), the pool is deduplicated by node set, costed through the metrics
+// function, filtered to positive merit and sorted best merit first.
+func (e *Engine) Finalize(snaps []Candidate) []*Cut {
+	dag := e.blk.DAG()
+	n := e.blk.N()
+	pool := append([]Candidate(nil), snaps...)
+	for _, c := range snaps {
+		comps := dag.ComponentsOf(c.Nodes)
+		if len(comps) < 2 {
+			continue
+		}
+		for _, comp := range comps {
+			sub := graph.NewBitSet(n)
+			for _, v := range comp {
+				sub.Set(v)
+			}
+			pool = append(pool, Candidate{Nodes: sub}) // merit filled below
+		}
+	}
+	// Dedup by node set, keeping order of first appearance.
+	var uniq []Candidate
+	for _, c := range pool {
+		dup := false
+		for _, u := range uniq {
+			if u.Nodes.Equal(c.Nodes) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			uniq = append(uniq, c)
+		}
+	}
+	out := make([]*Cut, 0, len(uniq))
+	for _, c := range uniq {
+		m := e.metrics(e.blk, e.cfg.Model, c.Nodes)
+		if m.Merit() <= 0 {
+			continue
+		}
+		out = append(out, &Cut{
+			Block:  e.blk,
+			Nodes:  c.Nodes,
+			NumIn:  m.NumIn,
+			NumOut: m.NumOut,
+			SWLat:  m.SWLat,
+			HWLat:  m.HWLat,
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Merit() > out[j].Merit() })
+	return out
+}
+
+// trajectory is the mutable per-restart search state: one State plus the
+// pass bookkeeping and the snapshot pool.
+type trajectory struct {
+	cfg     *Config
+	st      *State
+	marked  *graph.BitSet
+	curBest *graph.BitSet
+
+	curBestMerit float64
+	curBestOK    bool
+	snaps        []Candidate
+	gc           gainContext
+}
+
 // klLoop is one full Figure 2 run from the given start cut: up to
 // MaxPasses passes, each toggling every unfrozen node once in best-gain
 // order, tracking the best feasible configuration. Every feasible
 // improvement is recorded into the candidate pool.
-func (e *Engine) klLoop(start *graph.BitSet) (*graph.BitSet, float64) {
-	st := e.state
+func (t *trajectory) klLoop(start *graph.BitSet) (*graph.BitSet, float64) {
+	st := t.st
 	best := start.Clone()
 	bestMerit := 0.0
 	// A non-empty seed may itself be feasible with positive merit.
 	st.SetCut(best)
-	if st.Feasible(e.cfg.MaxIn, e.cfg.MaxOut) {
+	if st.Feasible(t.cfg.MaxIn, t.cfg.MaxOut) {
 		bestMerit = st.Merit()
 		if bestMerit > 0 {
-			e.snaps = append(e.snaps, candidate{best.Clone(), bestMerit})
+			t.snaps = append(t.snaps, Candidate{best.Clone(), bestMerit})
 		}
 	}
 
-	for pass := 0; pass < e.cfg.MaxPasses; pass++ {
+	for pass := 0; pass < t.cfg.MaxPasses; pass++ {
 		// Each pass restarts from the best cut found so far with all
 		// nodes unmarked (Figure 2 lines 03, 18).
 		st.SetCut(best)
-		e.marked.Reset()
-		e.curBest.Reset()
-		e.curBestMerit = bestMerit
-		e.curBestOK = false
+		t.marked.Reset()
+		t.curBest.Reset()
+		t.curBestMerit = bestMerit
+		t.curBestOK = false
 
 		for {
-			v := e.selectBestGain()
+			v := t.selectBestGain()
 			if v < 0 {
 				break
 			}
 			st.Toggle(v)
-			e.marked.Set(v)
-			if st.Feasible(e.cfg.MaxIn, e.cfg.MaxOut) {
-				if m := st.Merit(); m > e.curBestMerit {
-					e.curBestMerit = m
-					e.curBest.CopyFrom(st.H)
-					e.curBestOK = true
+			t.marked.Set(v)
+			if st.Feasible(t.cfg.MaxIn, t.cfg.MaxOut) {
+				if m := st.Merit(); m > t.curBestMerit {
+					t.curBestMerit = m
+					t.curBest.CopyFrom(st.H)
+					t.curBestOK = true
 					if m > 0 {
-						e.snaps = append(e.snaps, candidate{st.H.Clone(), m})
+						t.snaps = append(t.snaps, Candidate{st.H.Clone(), m})
 					}
 				}
 			}
 		}
 
-		if !e.curBestOK {
+		if !t.curBestOK {
 			break // no improvement this pass: converged
 		}
-		best.CopyFrom(e.curBest)
-		bestMerit = e.curBestMerit
+		best.CopyFrom(t.curBest)
+		bestMerit = t.curBestMerit
 	}
 	if bestMerit <= 0 {
 		return graph.NewBitSet(st.n), 0
@@ -301,146 +360,17 @@ func (e *Engine) klLoop(start *graph.BitSet) (*graph.BitSet, float64) {
 
 // selectBestGain evaluates the gain of every unmarked, unfrozen node and
 // returns the argmax (lowest ID wins ties); -1 when no candidate remains.
-func (e *Engine) selectBestGain() int {
-	e.prepareGainContext()
+func (t *trajectory) selectBestGain() int {
+	t.prepareGainContext()
 	best, bestGain := -1, 0.0
-	for v := 0; v < e.state.n; v++ {
-		if e.marked.Has(v) || e.state.Frozen.Has(v) {
+	for v := 0; v < t.st.n; v++ {
+		if t.marked.Has(v) || t.st.Frozen.Has(v) {
 			continue
 		}
-		g := e.gain(v)
+		g := t.gain(v)
 		if best < 0 || g > bestGain {
 			best, bestGain = v, g
 		}
 	}
 	return best
-}
-
-// Result is the outcome of the multi-cut driver: the selected ISEs in
-// discovery order.
-type Result struct {
-	Cuts []*Cut
-}
-
-// Scorer ranks candidate cuts during the multi-cut drive. It may inspect
-// the per-block excluded sets (e.g. to count claimable reuse instances)
-// but must not modify them. A non-positive score rejects the candidate.
-type Scorer func(blockIdx int, cut *Cut, excluded []*graph.BitSet) float64
-
-// Generate solves Problem 2: it repeatedly selects the block with the
-// highest remaining speedup potential (execution frequency × estimated gain
-// of its remaining feasible nodes), bi-partitions it, freezes the selected
-// nodes and repeats until NISE cuts are found or no block yields a cut with
-// positive merit.
-//
-// If claim is non-nil it is invoked after each cut is found; it may freeze
-// additional nodes (e.g. other isomorphic instances of the cut discovered
-// by the reuse matcher) by mutating the per-block excluded sets it is
-// handed.
-func Generate(app *ir.Application, cfg Config, claim func(blockIdx int, cut *Cut, excluded []*graph.BitSet)) (*Result, error) {
-	return GenerateScored(app, cfg, nil, claim)
-}
-
-// GenerateScored is Generate with a custom candidate scorer: each
-// bi-partition yields a pool of feasible cuts (see Engine.Candidates) and
-// the scorer picks the winner — the hook through which the facade
-// implements reuse-aware selection (merit × claimable instances, the
-// paper's Figure 1 principle). A nil scorer selects by merit.
-func GenerateScored(app *ir.Application, cfg Config, score Scorer, claim func(blockIdx int, cut *Cut, excluded []*graph.BitSet)) (*Result, error) {
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
-	excluded := make([]*graph.BitSet, len(app.Blocks))
-	for i, blk := range app.Blocks {
-		if err := cfg.Model.Validate(blk); err != nil {
-			return nil, err
-		}
-		excluded[i] = graph.NewBitSet(blk.N())
-	}
-	res := &Result{}
-	exhausted := make([]bool, len(app.Blocks))
-	for len(res.Cuts) < cfg.NISE {
-		bi := selectBlock(app, cfg.Model, excluded, exhausted)
-		if bi < 0 {
-			break
-		}
-		eng, err := NewEngine(app.Blocks[bi], cfg, excluded[bi])
-		if err != nil {
-			return nil, err
-		}
-		cands := eng.Candidates()
-		var cut *Cut
-		if score == nil {
-			if len(cands) > 0 {
-				cut = cands[0] // highest merit
-			}
-		} else {
-			bestScore := 0.0
-			for _, c := range cands {
-				if s := score(bi, c, excluded); s > bestScore {
-					bestScore = s
-					cut = c
-				}
-			}
-		}
-		if cut == nil {
-			exhausted[bi] = true
-			continue
-		}
-		res.Cuts = append(res.Cuts, cut)
-		excluded[bi].Or(cut.Nodes)
-		if claim != nil {
-			claim(bi, cut, excluded)
-		}
-	}
-	return res, nil
-}
-
-// selectBlock returns the index of the non-exhausted block with the highest
-// speedup potential, or -1 when none remains. Potential follows the paper:
-// execution frequency times the estimated gain from mapping all remaining
-// feasible nodes of the block to hardware.
-func selectBlock(app *ir.Application, model *latency.Model, excluded []*graph.BitSet, exhausted []bool) int {
-	best, bestPot := -1, 0.0
-	for i, blk := range app.Blocks {
-		if exhausted[i] {
-			continue
-		}
-		pot := blockPotential(blk, model, excluded[i])
-		if pot <= 0 {
-			exhausted[i] = true
-			continue
-		}
-		if best < 0 || pot > bestPot {
-			best, bestPot = i, pot
-		}
-	}
-	return best
-}
-
-func blockPotential(blk *ir.Block, model *latency.Model, excluded *graph.BitSet) float64 {
-	feasible := graph.NewBitSet(blk.N())
-	swSum := 0
-	for v := 0; v < blk.N(); v++ {
-		if excluded.Has(v) || blk.ForbiddenInCut(v) {
-			continue
-		}
-		if !model.HWImplementable(blk.Nodes[v].Op) {
-			continue
-		}
-		feasible.Set(v)
-		swSum += model.SWLat(blk.Nodes[v].Op)
-	}
-	if feasible.Empty() {
-		return 0
-	}
-	_, cp := blk.DAG().LongestPath(feasible, func(v int) float64 {
-		d, _ := model.HWLat(blk.Nodes[v].Op)
-		return d
-	})
-	gain := MeritOf(swSum, cp)
-	if gain <= 0 {
-		return 0
-	}
-	return blk.Freq * gain
 }

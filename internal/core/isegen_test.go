@@ -250,106 +250,6 @@ func TestConfigValidation(t *testing.T) {
 	}
 }
 
-func TestGenerateMultiCut(t *testing.T) {
-	// Two hot blocks; NISE=3 should pick cuts from both, never reusing
-	// nodes.
-	bu1 := ir.NewBuilder("hot1", 100)
-	a, b := bu1.Input("a"), bu1.Input("b")
-	v1 := bu1.Add(bu1.Mul(a, b), b)
-	v2 := bu1.Xor(bu1.Shl(a, b), v1)
-	bu1.LiveOut(v2)
-	blk1 := bu1.MustBuild()
-
-	bu2 := ir.NewBuilder("hot2", 50)
-	c, d := bu2.Input("c"), bu2.Input("d")
-	w := bu2.Sub(bu2.Mul(c, d), c)
-	bu2.LiveOut(w)
-	blk2 := bu2.MustBuild()
-
-	app := &ir.Application{Name: "app", Blocks: []*ir.Block{blk1, blk2}}
-	cfg := DefaultConfig()
-	cfg.NISE = 3
-	res, err := Generate(app, cfg, nil)
-	if err != nil {
-		t.Fatalf("Generate: %v", err)
-	}
-	if len(res.Cuts) == 0 {
-		t.Fatal("no cuts found")
-	}
-	if len(res.Cuts) > 3 {
-		t.Fatalf("found %d cuts, budget 3", len(res.Cuts))
-	}
-	// Per-block disjointness.
-	used := map[*ir.Block]*graph.BitSet{}
-	for _, c := range res.Cuts {
-		assertFeasible(t, c.Block, c, cfg)
-		if prev, ok := used[c.Block]; ok {
-			if prev.Intersects(c.Nodes) {
-				t.Fatal("cuts overlap within a block")
-			}
-			prev.Or(c.Nodes)
-		} else {
-			used[c.Block] = c.Nodes.Clone()
-		}
-	}
-	// The first cut must come from the hotter block.
-	if res.Cuts[0].Block != blk1 {
-		t.Errorf("first cut from %q, want hot1", res.Cuts[0].Block.Name)
-	}
-}
-
-func TestGenerateRespectsNISEOne(t *testing.T) {
-	blk := buildDiamondBlock(t)
-	app := &ir.Application{Name: "one", Blocks: []*ir.Block{blk}}
-	cfg := DefaultConfig()
-	cfg.NISE = 1
-	res, err := Generate(app, cfg, nil)
-	if err != nil {
-		t.Fatalf("Generate: %v", err)
-	}
-	if len(res.Cuts) != 1 {
-		t.Fatalf("got %d cuts, want 1", len(res.Cuts))
-	}
-}
-
-func TestGenerateClaimCallback(t *testing.T) {
-	blk := buildDiamondBlock(t)
-	app := &ir.Application{Name: "cb", Blocks: []*ir.Block{blk}}
-	cfg := DefaultConfig()
-	cfg.NISE = 4
-	calls := 0
-	_, err := Generate(app, cfg, func(bi int, cut *Cut, excluded []*graph.BitSet) {
-		calls++
-		if bi != 0 {
-			t.Errorf("block index = %d, want 0", bi)
-		}
-		if !cut.Nodes.SubsetOf(excluded[bi]) {
-			t.Error("cut nodes must already be excluded when claim runs")
-		}
-	})
-	if err != nil {
-		t.Fatalf("Generate: %v", err)
-	}
-	if calls == 0 {
-		t.Fatal("claim callback never invoked")
-	}
-}
-
-func TestGenerateTerminatesWhenExhausted(t *testing.T) {
-	// Single small block, NISE huge: must stop once nothing remains.
-	blk := buildChain(t, 3)
-	app := &ir.Application{Name: "x", Blocks: []*ir.Block{blk}}
-	cfg := DefaultConfig()
-	cfg.NISE = 100
-	res, err := Generate(app, cfg, nil)
-	if err != nil {
-		t.Fatalf("Generate: %v", err)
-	}
-	if len(res.Cuts) == 0 || len(res.Cuts) > 3 {
-		t.Fatalf("got %d cuts", len(res.Cuts))
-	}
-}
-
 // Property: Bipartition output is deterministic.
 func TestBipartitionDeterministic(t *testing.T) {
 	rng := rand.New(rand.NewSource(77))

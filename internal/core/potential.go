@@ -1,0 +1,39 @@
+package core
+
+import (
+	"repro/internal/graph"
+	"repro/internal/ir"
+	"repro/internal/latency"
+)
+
+// BlockPotential estimates the remaining speedup potential of a block:
+// execution frequency times the gain from mapping every remaining feasible
+// (non-excluded, non-barrier, HW-implementable) node to hardware at once.
+// The multi-cut driver in internal/search uses it to pick the next block
+// to bi-partition; 0 means the block is exhausted.
+func BlockPotential(blk *ir.Block, model *latency.Model, excluded *graph.BitSet) float64 {
+	feasible := graph.NewBitSet(blk.N())
+	swSum := 0
+	for v := 0; v < blk.N(); v++ {
+		if excluded.Has(v) || blk.ForbiddenInCut(v) {
+			continue
+		}
+		if !model.HWImplementable(blk.Nodes[v].Op) {
+			continue
+		}
+		feasible.Set(v)
+		swSum += model.SWLat(blk.Nodes[v].Op)
+	}
+	if feasible.Empty() {
+		return 0
+	}
+	_, cp := blk.DAG().LongestPath(feasible, func(v int) float64 {
+		d, _ := model.HWLat(blk.Nodes[v].Op)
+		return d
+	})
+	gain := MeritOf(swSum, cp)
+	if gain <= 0 {
+		return 0
+	}
+	return blk.Freq * gain
+}

@@ -505,16 +505,55 @@ func (s *State) cpAfter(v int, adding bool) float64 {
 // Cut returns a copy of the current hardware set.
 func (s *State) Cut() *graph.BitSet { return s.H.Clone() }
 
-// CutMetrics evaluates an arbitrary cut of the block with the same latency
-// model, without touching the incremental state: returns software latency
-// sum, hardware critical path, input and output counts, and convexity.
-func CutMetrics(blk *ir.Block, model *latency.Model, cut *graph.BitSet) (swSum int, hwCP float64, in, out int, convex bool) {
+// Metrics is the full architectural costing of one cut: the quantities
+// every identification algorithm needs to score or validate it. It is the
+// value type of the search layer's memoized cut-costing cache.
+type Metrics struct {
+	// SWLat is the summed software latency of the cut's instructions.
+	SWLat int
+	// HWLat is the AFU critical path (normalized to MAC = 1.0).
+	HWLat float64
+	// NumIn and NumOut are the register-file operand counts.
+	NumIn, NumOut int
+	// NViol counts the convexity violators witnessing illegality (0 for
+	// a convex cut).
+	NViol int
+}
+
+// Convex reports whether the costed cut is convex.
+func (m Metrics) Convex() bool { return m.NViol == 0 }
+
+// Merit returns λ(C) = SWLat − cycles(HWLat) of the costed cut.
+func (m Metrics) Merit() float64 { return MeritOf(m.SWLat, m.HWLat) }
+
+// MetricsFunc costs an arbitrary cut of a block under a latency model.
+// MetricsOf is the direct implementation; the search layer substitutes a
+// memoized equivalent so exact, genetic and K-L restarts stop recomputing
+// identical cut costs.
+type MetricsFunc func(blk *ir.Block, model *latency.Model, cut *graph.BitSet) Metrics
+
+// MetricsOf evaluates an arbitrary cut of the block without any incremental
+// state: one longest-path sweep plus the I/O and convexity counts.
+func MetricsOf(blk *ir.Block, model *latency.Model, cut *graph.BitSet) Metrics {
+	var m Metrics
 	for _, v := range cut.Elems() {
-		swSum += model.SWLat(blk.Nodes[v].Op)
+		m.SWLat += model.SWLat(blk.Nodes[v].Op)
 	}
-	_, hwCP = blk.DAG().LongestPath(cut, func(v int) float64 {
+	_, m.HWLat = blk.DAG().LongestPath(cut, func(v int) float64 {
 		d, _ := model.HWLat(blk.Nodes[v].Op)
 		return d
 	})
-	return swSum, hwCP, blk.CutInputs(cut), blk.CutOutputs(cut), blk.DAG().IsConvex(cut)
+	m.NumIn = blk.CutInputs(cut)
+	m.NumOut = blk.CutOutputs(cut)
+	m.NViol = len(blk.DAG().ConvexViolators(cut))
+	return m
+}
+
+// CutMetrics evaluates an arbitrary cut of the block with the same latency
+// model, without touching the incremental state: returns software latency
+// sum, hardware critical path, input and output counts, and convexity.
+// It is the tuple form of MetricsOf.
+func CutMetrics(blk *ir.Block, model *latency.Model, cut *graph.BitSet) (swSum int, hwCP float64, in, out int, convex bool) {
+	m := MetricsOf(blk, model, cut)
+	return m.SWLat, m.HWLat, m.NumIn, m.NumOut, m.Convex()
 }

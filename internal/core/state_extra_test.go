@@ -109,9 +109,9 @@ func TestBlockPotentialOrdering(t *testing.T) {
 	hotDense := mk(100, 4)
 	coldDense := mk(1, 4)
 	hotThin := mk(100, 0)
-	pHD := blockPotential(hotDense, model, graph.NewBitSet(hotDense.N()))
-	pCD := blockPotential(coldDense, model, graph.NewBitSet(coldDense.N()))
-	pHT := blockPotential(hotThin, model, graph.NewBitSet(hotThin.N()))
+	pHD := BlockPotential(hotDense, model, graph.NewBitSet(hotDense.N()))
+	pCD := BlockPotential(coldDense, model, graph.NewBitSet(coldDense.N()))
+	pHT := BlockPotential(hotThin, model, graph.NewBitSet(hotThin.N()))
 	if !(pHD > pCD && pHD > pHT) {
 		t.Errorf("potential ordering wrong: HD=%v CD=%v HT=%v", pHD, pCD, pHT)
 	}
@@ -120,7 +120,7 @@ func TestBlockPotentialOrdering(t *testing.T) {
 	for v := 0; v < hotDense.N(); v++ {
 		all.Set(v)
 	}
-	if p := blockPotential(hotDense, model, all); p != 0 {
+	if p := BlockPotential(hotDense, model, all); p != 0 {
 		t.Errorf("fully excluded potential = %v, want 0", p)
 	}
 }

@@ -105,10 +105,10 @@ func MultiCut(blk *ir.Block, opt Options, nise int) ([]*core.Cut, error) {
 		if b.Empty() {
 			continue
 		}
-		sw, cp, in, out, _ := core.CutMetrics(blk, opt.Model, b)
+		m := opt.metricsOf()(blk, opt.Model, b)
 		cuts = append(cuts, &core.Cut{
 			Block: blk, Nodes: b.Clone(),
-			NumIn: in, NumOut: out, SWLat: sw, HWLat: cp,
+			NumIn: m.NumIn, NumOut: m.NumOut, SWLat: m.SWLat, HWLat: m.HWLat,
 		})
 	}
 	return cuts, nil

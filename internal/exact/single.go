@@ -42,6 +42,20 @@ type Options struct {
 	// Budget bounds the number of explored search-tree nodes
 	// (0 = no limit).
 	Budget int64
+	// Metrics costs the finished (winning) cuts — it is not on the
+	// branch-and-bound hot path, which keeps its own incremental
+	// bookkeeping. The search layer installs its shared memoized cache
+	// here so exact winners land in (and are served from) the same
+	// cache the other engines cost cuts through.
+	Metrics core.MetricsFunc
+}
+
+// metricsOf resolves the costing function.
+func (o *Options) metricsOf() core.MetricsFunc {
+	if o.Metrics != nil {
+		return o.Metrics
+	}
+	return core.MetricsOf
 }
 
 // singleCutSearch carries the branch-and-bound state for one block.
@@ -130,14 +144,14 @@ func SingleCut(blk *ir.Block, opt Options, excluded *graph.BitSet) (*core.Cut, e
 	if s.best.Empty() || s.bestMerit <= 0 {
 		return nil, nil
 	}
-	sw, cp, in, out, _ := core.CutMetrics(blk, opt.Model, s.best)
+	m := opt.metricsOf()(blk, opt.Model, s.best)
 	return &core.Cut{
 		Block:  blk,
 		Nodes:  s.best.Clone(),
-		NumIn:  in,
-		NumOut: out,
-		SWLat:  sw,
-		HWLat:  cp,
+		NumIn:  m.NumIn,
+		NumOut: m.NumOut,
+		SWLat:  m.SWLat,
+		HWLat:  m.HWLat,
 	}, nil
 }
 

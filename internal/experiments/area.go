@@ -31,7 +31,7 @@ func AreaStudy(o Options, budgets []float64) ([]AreaRow, error) {
 	for _, spec := range specs {
 		oo := o
 		oo.NISE = 8 // generous candidate pool for the knapsack
-		sels, err := selectionsWithReuse(spec.App, oo)
+		sels, err := selectionsWithReuse(spec.App, oo, nil)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", spec.Name, err)
 		}

@@ -12,8 +12,12 @@
 // count, restarts) and the future-work experiments of Section 6
 // (cycle-level simulation, code size and energy).
 //
-// Every harness returns plain row structs and has a Print* companion that
-// renders the same rows the paper plots.
+// Every harness drives the algorithms through the unified engine layer of
+// internal/search — there are no per-algorithm driver loops here — and
+// fans independent benchmark/configuration cells out across
+// Options.Workers with a deterministic merge, so results are identical to
+// a sequential run. Every harness returns plain row structs and has a
+// Print* companion that renders the same rows the paper plots.
 package experiments
 
 import (
@@ -25,11 +29,10 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/eval"
-	"repro/internal/exact"
-	"repro/internal/genetic"
 	"repro/internal/ir"
 	"repro/internal/kernels"
 	"repro/internal/latency"
+	"repro/internal/search"
 )
 
 // AlgoNames lists the four compared algorithms in the paper's legend order.
@@ -49,7 +52,11 @@ type Options struct {
 	Budget int64
 	// GASeed seeds the genetic baseline.
 	GASeed int64
-	Model  *latency.Model
+	// Workers bounds the harness fan-out (benchmark × configuration
+	// cells) and the driver's K-L restart concurrency. 0 = one worker
+	// per CPU core, 1 = fully sequential; results are identical.
+	Workers int
+	Model   *latency.Model
 }
 
 // DefaultOptions returns the paper's main configuration.
@@ -62,6 +69,13 @@ func DefaultOptions() Options {
 		GASeed:             1,
 		Model:              latency.Default(),
 	}
+}
+
+// runner builds the shared fan-out runner for one harness call. Harnesses
+// that benefit from a shared cost cache (same blocks costed repeatedly
+// across cells) attach one explicitly.
+func (o Options) runner() *search.Runner {
+	return &search.Runner{Workers: o.Workers}
 }
 
 // Fig4Row is one benchmark's outcome for both Figure 4 plots.
@@ -80,20 +94,39 @@ type Fig4Row struct {
 func (o Options) isegenConfig() core.Config {
 	cfg := core.DefaultConfig()
 	cfg.MaxIn, cfg.MaxOut, cfg.NISE = o.MaxIn, o.MaxOut, o.NISE
+	cfg.Workers = o.Workers
 	cfg.Model = o.Model
 	return cfg
 }
 
-func (o Options) exactOptions(nodeLimit int) exact.Options {
-	return exact.Options{
-		MaxIn: o.MaxIn, MaxOut: o.MaxOut, Model: o.Model,
+// limits builds the engine limits for the options; nodeLimit and budget
+// only constrain the exact engines.
+func (o Options) limits(nodeLimit int) *search.Limits {
+	return &search.Limits{
+		MaxIn: o.MaxIn, MaxOut: o.MaxOut, NISE: o.NISE,
 		NodeLimit: nodeLimit, Budget: o.Budget,
+		// Cells fan out across blocks; engines stay sequential inside a
+		// cell so the Figure 4 runtime comparison measures the
+		// algorithms, not the pool.
+		Workers: 1,
 	}
 }
 
-func (o Options) geneticOptions() genetic.Options {
-	return genetic.Options{
-		MaxIn: o.MaxIn, MaxOut: o.MaxOut, Model: o.Model, Seed: o.GASeed,
+// fig4Cell is one algorithm column of Figure 4: a factory (so each sweep
+// cell can get its own cost cache) plus the per-algorithm limits.
+type fig4Cell struct {
+	Name   string
+	New    func(cache *search.CostCache) search.Engine
+	Limits *search.Limits
+}
+
+// figure4Cells lists the paper's four algorithms in AlgoNames order.
+func (o Options) figure4Cells() []fig4Cell {
+	return []fig4Cell{
+		{"Exact", func(c *search.CostCache) search.Engine { return &search.ExactJoint{Cache: c} }, o.limits(o.ExactNodeLimit)},
+		{"Iterative", func(c *search.CostCache) search.Engine { return &search.ExactIterative{Cache: c} }, o.limits(o.IterativeNodeLimit)},
+		{"Genetic", func(c *search.CostCache) search.Engine { return &search.Genetic{Seed: o.GASeed, Cache: c} }, o.limits(0)},
+		{"ISEGEN", func(c *search.CostCache) search.Engine { return &search.KL{Cache: c} }, o.limits(0)},
 	}
 }
 
@@ -110,10 +143,43 @@ func speedupOf(app *ir.Application, model *latency.Model, cuts []*core.Cut) floa
 	return rep.Speedup
 }
 
-// Figure4 runs all four algorithms on the seven benchmarks.
+// Figure4 runs all four engines on the seven benchmarks: an embarrassingly
+// parallel sweep over 28 benchmark × algorithm cells. Each cell gets a
+// fresh cost cache, so no algorithm inherits warmth another one paid for
+// and the Runtime column compares the algorithms themselves; run with
+// Options.Workers = 1 when contention-free absolute runtimes matter.
 func Figure4(o Options) []Fig4Row {
-	var rows []Fig4Row
-	for _, spec := range kernels.All() {
+	specs := kernels.All()
+	r := o.runner()
+	cells := o.figure4Cells()
+	obj := search.Merit(o.Model)
+
+	type cellResult struct {
+		speed float64
+		dur   time.Duration
+		note  string
+		ok    bool
+	}
+	results := make([]cellResult, len(specs)*len(cells))
+	r.ForEach(len(results), func(i int) {
+		spec := specs[i/len(cells)]
+		cell := cells[i%len(cells)]
+		eng := cell.New(search.NewCostCache())
+		hot := spec.App.Blocks[0]
+		cuts, stats, err := eng.Run(hot, obj, cell.Limits)
+		if err != nil {
+			results[i] = cellResult{note: shortErr(err)}
+			return
+		}
+		results[i] = cellResult{
+			speed: speedupOf(spec.App, o.Model, cuts),
+			dur:   stats.Duration,
+			ok:    true,
+		}
+	})
+
+	rows := make([]Fig4Row, 0, len(specs))
+	for si, spec := range specs {
 		row := Fig4Row{
 			Benchmark: spec.Name,
 			Nodes:     spec.CriticalSize,
@@ -121,50 +187,15 @@ func Figure4(o Options) []Fig4Row {
 			Runtime:   map[string]time.Duration{},
 			Note:      map[string]string{},
 		}
-		hot := spec.App.Blocks[0]
-
-		// Exact (joint multi-cut; small blocks only).
-		start := time.Now()
-		cuts, err := exact.MultiCut(hot, o.exactOptions(o.ExactNodeLimit), o.NISE)
-		if err != nil {
-			row.Note["Exact"] = shortErr(err)
-		} else {
-			row.Runtime["Exact"] = time.Since(start)
-			row.Speedup["Exact"] = speedupOf(spec.App, o.Model, cuts)
+		for ei, cell := range cells {
+			res := results[si*len(cells)+ei]
+			if !res.ok {
+				row.Note[cell.Name] = res.note
+				continue
+			}
+			row.Speedup[cell.Name] = res.speed
+			row.Runtime[cell.Name] = res.dur
 		}
-
-		// Iterative exact single-cut.
-		start = time.Now()
-		cuts, err = exact.Iterative(hot, o.exactOptions(o.IterativeNodeLimit), o.NISE)
-		if err != nil {
-			row.Note["Iterative"] = shortErr(err)
-		} else {
-			row.Runtime["Iterative"] = time.Since(start)
-			row.Speedup["Iterative"] = speedupOf(spec.App, o.Model, cuts)
-		}
-
-		// Genetic.
-		start = time.Now()
-		cuts, err = genetic.Iterative(hot, o.geneticOptions(), o.NISE)
-		if err != nil {
-			row.Note["Genetic"] = shortErr(err)
-		} else {
-			row.Runtime["Genetic"] = time.Since(start)
-			row.Speedup["Genetic"] = speedupOf(spec.App, o.Model, cuts)
-		}
-
-		// ISEGEN, restricted to the same critical block the baselines
-		// see, so Figure 4 compares algorithms on identical problems.
-		hotApp := &ir.Application{Name: spec.Name, Blocks: []*ir.Block{hot}}
-		start = time.Now()
-		res, err := core.Generate(hotApp, o.isegenConfig(), nil)
-		if err != nil {
-			row.Note["ISEGEN"] = shortErr(err)
-		} else {
-			row.Runtime["ISEGEN"] = time.Since(start)
-			row.Speedup["ISEGEN"] = speedupOf(spec.App, o.Model, res.Cuts)
-		}
-
 		rows = append(rows, row)
 	}
 	return rows
@@ -221,17 +252,27 @@ type Fig6Point struct {
 }
 
 // Figure6 sweeps the I/O constraints on AES with the given AFU budget,
-// comparing the genetic baseline against ISEGEN. Both sides receive the
-// identical reuse treatment (every isomorphic instance of each cut is
-// claimed), so the difference isolates cut *quality*.
+// comparing the genetic baseline against ISEGEN; the six sweep points fan
+// out across the worker pool. Both sides receive the identical reuse
+// treatment (every isomorphic instance of each cut is claimed), so the
+// difference isolates cut *quality*.
 func Figure6(o Options, nise int) []Fig6Point {
-	var out []Fig6Point
-	for _, io := range IOSweep {
+	r := o.runner()
+	r.Cache = search.NewCostCache()
+	// One shared AES instance: blocks are immutable after construction,
+	// and cut metrics are I/O-constraint-independent, so all sweep
+	// cells (both the Genetic and the ISEGEN side) hit the same shared
+	// cost-cache entries.
+	app := kernels.AES()
+	out := make([]Fig6Point, len(IOSweep))
+	r.ForEach(len(IOSweep), func(i int) {
+		io := IOSweep[i]
 		oo := o
 		oo.MaxIn, oo.MaxOut, oo.NISE = io[0], io[1], nise
+		oo.Workers = 1 // sweep cells already saturate the pool
 
-		app := kernels.AES()
-		gaCuts, err := genetic.Iterative(app.Blocks[0], oo.geneticOptions(), nise)
+		ga := &search.Genetic{Seed: oo.GASeed, Cache: r.Cache}
+		gaCuts, _, err := ga.Run(app.Blocks[0], search.Merit(oo.Model), oo.limits(0))
 		gaSpeed := 1.0
 		if err == nil {
 			sels := eval.ClaimAllWithReuse(app, gaCuts, func(*core.Cut) int { return 0 })
@@ -240,14 +281,13 @@ func Figure6(o Options, nise int) []Fig6Point {
 			}
 		}
 
-		app2 := kernels.AES()
 		iseSpeed := 1.0
-		if rep, err := generateWithReuse(app2, oo); err == nil {
+		if rep, err := generateWithReuse(app, oo, r.Cache); err == nil {
 			iseSpeed = rep.Speedup
 		}
 
-		out = append(out, Fig6Point{IO: io, Genetic: gaSpeed, ISEGEN: iseSpeed})
-	}
+		out[i] = Fig6Point{IO: io, Genetic: gaSpeed, ISEGEN: iseSpeed}
+	})
 	return out
 }
 
@@ -269,25 +309,35 @@ type Fig7Row struct {
 }
 
 // Figure7 reproduces the reusability study: how many instances each AES
-// cut has under each I/O constraint.
+// cut has under each I/O constraint (sweep points fan out in parallel).
 func Figure7(o Options) []Fig7Row {
-	var rows []Fig7Row
-	for _, io := range IOSweep {
+	r := o.runner()
+	r.Cache = search.NewCostCache()
+	app := kernels.AES()
+	rows := make([]*Fig7Row, len(IOSweep))
+	r.ForEach(len(IOSweep), func(i int) {
+		io := IOSweep[i]
 		oo := o
 		oo.MaxIn, oo.MaxOut = io[0], io[1]
-		app := kernels.AES()
-		sels, err := selectionsWithReuse(app, oo)
+		oo.Workers = 1 // sweep cells already saturate the pool
+		sels, err := selectionsWithReuse(app, oo, r.Cache)
 		if err != nil {
-			continue
+			return
 		}
-		var sizes, insts []int
+		row := &Fig7Row{IO: io}
 		for _, sel := range sels {
-			sizes = append(sizes, sel.Cut.Size())
-			insts = append(insts, len(sel.Instances))
+			row.CutSizes = append(row.CutSizes, sel.Cut.Size())
+			row.Instances = append(row.Instances, len(sel.Instances))
 		}
-		rows = append(rows, Fig7Row{IO: io, CutSizes: sizes, Instances: insts})
+		rows[i] = row
+	})
+	out := make([]Fig7Row, 0, len(rows))
+	for _, row := range rows {
+		if row != nil {
+			out = append(out, *row)
+		}
 	}
-	return rows
+	return out
 }
 
 // PrintFigure7 renders the reusability table; each entry is
@@ -323,69 +373,92 @@ type AblationRow struct {
 	GeoMean float64
 }
 
-// AblationWeights zeroes each gain-function component in turn — the
-// design-choice study for Section 4.2.
-func AblationWeights(o Options) []AblationRow {
-	variants := []struct {
-		name string
-		mod  func(*core.Weights)
-	}{
-		{"full", func(*core.Weights) {}},
-		{"-merit (α1=0)", func(w *core.Weights) { w.Merit = 0 }},
-		{"-io-penalty (α2=0)", func(w *core.Weights) { w.IOPenalty = 0 }},
-		{"-convexity (α3=0)", func(w *core.Weights) { w.Convexity = 0 }},
-		{"-largecut (α4=0)", func(w *core.Weights) { w.LargeCut = 0 }},
-		{"-independent (α5=0)", func(w *core.Weights) { w.Independent = 0 }},
-	}
-	var rows []AblationRow
-	for _, v := range variants {
-		var speeds []float64
-		for _, spec := range kernels.All() {
-			cfg := o.isegenConfig()
-			v.mod(&cfg.Weights)
-			res, err := core.Generate(spec.App, cfg, nil)
-			if err != nil {
-				continue
-			}
-			speeds = append(speeds, speedupOf(spec.App, o.Model, res.Cuts))
+// ablationSweep evaluates one ISEGEN config variant per entry across the
+// Figure 4 suite (variant × benchmark cells fan out in parallel) and
+// reports the per-variant geometric-mean speedup.
+func ablationSweep(o Options, variants []string, mod func(i int, cfg *core.Config)) []AblationRow {
+	specs := kernels.All()
+	r := o.runner()
+	// Cut metrics are independent of the config variants, so one cache
+	// serves all variant × benchmark cells.
+	r.Cache = search.NewCostCache()
+	speeds := make([]float64, len(variants)*len(specs))
+	r.ForEach(len(speeds), func(i int) {
+		vi, si := i/len(specs), i%len(specs)
+		spec := specs[si]
+		cfg := o.isegenConfig()
+		cfg.Workers = 1 // cells already saturate the pool
+		mod(vi, &cfg)
+		inner := &search.Runner{Workers: 1, Cache: r.Cache}
+		cuts, _, err := inner.Generate(spec.App, cfg, search.Merit(o.Model), nil)
+		if err != nil {
+			speeds[i] = -1
+			return
 		}
-		rows = append(rows, AblationRow{Variant: v.name, GeoMean: geoMean(speeds)})
+		speeds[i] = speedupOf(spec.App, o.Model, cuts)
+	})
+	rows := make([]AblationRow, 0, len(variants))
+	for vi, name := range variants {
+		var ok []float64
+		for si := range specs {
+			if s := speeds[vi*len(specs)+si]; s > 0 {
+				ok = append(ok, s)
+			}
+		}
+		rows = append(rows, AblationRow{Variant: name, GeoMean: geoMean(ok)})
 	}
 	return rows
 }
 
+// AblationWeights zeroes each gain-function component in turn — the
+// design-choice study for Section 4.2.
+func AblationWeights(o Options) []AblationRow {
+	mods := []func(*core.Weights){
+		func(*core.Weights) {},
+		func(w *core.Weights) { w.Merit = 0 },
+		func(w *core.Weights) { w.IOPenalty = 0 },
+		func(w *core.Weights) { w.Convexity = 0 },
+		func(w *core.Weights) { w.LargeCut = 0 },
+		func(w *core.Weights) { w.Independent = 0 },
+	}
+	names := []string{
+		"full",
+		"-merit (α1=0)",
+		"-io-penalty (α2=0)",
+		"-convexity (α3=0)",
+		"-largecut (α4=0)",
+		"-independent (α5=0)",
+	}
+	return ablationSweep(o, names, func(i int, cfg *core.Config) { mods[i](&cfg.Weights) })
+}
+
 // AblationPasses sweeps the K-L pass bound (the paper found 5 sufficient).
 func AblationPasses(o Options) []AblationRow {
-	var rows []AblationRow
-	for _, passes := range []int{1, 2, 3, 5, 8} {
-		var speeds []float64
-		for _, spec := range kernels.All() {
-			cfg := o.isegenConfig()
-			cfg.MaxPasses = passes
-			res, err := core.Generate(spec.App, cfg, nil)
-			if err != nil {
-				continue
-			}
-			speeds = append(speeds, speedupOf(spec.App, o.Model, res.Cuts))
-		}
-		rows = append(rows, AblationRow{Variant: fmt.Sprintf("passes=%d", passes), GeoMean: geoMean(speeds)})
+	passes := []int{1, 2, 3, 5, 8}
+	names := make([]string, len(passes))
+	for i, p := range passes {
+		names[i] = fmt.Sprintf("passes=%d", p)
 	}
-	return rows
+	return ablationSweep(o, names, func(i int, cfg *core.Config) { cfg.MaxPasses = passes[i] })
 }
 
 // AblationRestarts sweeps the dispersed-restart count (our large-DFG
 // extension; 1 = the paper's single-trajectory loop) on AES at (4,2).
 func AblationRestarts(o Options) []AblationRow {
-	var rows []AblationRow
-	for _, restarts := range []int{1, 2, 4, 8} {
-		app := kernels.AES()
-		oo := o
+	restarts := []int{1, 2, 4, 8}
+	r := o.runner()
+	r.Cache = search.NewCostCache()
+	app := kernels.AES()
+	inner := o
+	inner.Workers = 1 // variant cells already saturate the pool
+	rows := make([]AblationRow, len(restarts))
+	r.ForEach(len(restarts), func(i int) {
 		speed := 1.0
-		if rep, err := generateWithReuseRestarts(app, oo, restarts); err == nil {
+		if rep, err := generateWithReuseRestarts(app, inner, restarts[i], r.Cache); err == nil {
 			speed = rep.Speedup
 		}
-		rows = append(rows, AblationRow{Variant: fmt.Sprintf("restarts=%d", restarts), GeoMean: speed})
-	}
+		rows[i] = AblationRow{Variant: fmt.Sprintf("restarts=%d", restarts[i]), GeoMean: speed}
+	})
 	return rows
 }
 
@@ -406,23 +479,24 @@ type SimRow struct {
 	RelErr    float64
 }
 
-// SimulationValidation runs ISEGEN with reuse on every benchmark and
-// replays the result on the cycle-level core model.
+// SimulationValidation runs ISEGEN with reuse on every benchmark (in
+// parallel across benchmarks) and replays the result on the cycle-level
+// core model.
 func SimulationValidation(o Options) ([]SimRow, error) {
-	var rows []SimRow
-	apps := kernels.All()
-	for _, spec := range apps {
-		row, err := simOne(spec.Name, spec.App, o)
+	specs := kernels.All()
+	specs = append(specs, kernels.Spec{Name: "aes", App: kernels.AES(), CriticalSize: 696})
+	rows := make([]SimRow, len(specs))
+	errs := make([]error, len(specs))
+	inner := o
+	inner.Workers = 1 // benchmark cells already saturate the pool
+	o.runner().ForEach(len(specs), func(i int) {
+		rows[i], errs[i] = simOne(specs[i].Name, specs[i].App, inner)
+	})
+	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", spec.Name, err)
+			return nil, fmt.Errorf("%s: %w", specs[i].Name, err)
 		}
-		rows = append(rows, row)
 	}
-	row, err := simOne("aes", kernels.AES(), o)
-	if err != nil {
-		return nil, fmt.Errorf("aes: %w", err)
-	}
-	rows = append(rows, row)
 	return rows, nil
 }
 
@@ -434,22 +508,33 @@ type EnergyRow struct {
 	EnergyRatio   float64 // energy after / before
 }
 
-// EnergyCodeSize evaluates ISEGEN's impact on static code size and energy.
+// EnergyCodeSize evaluates ISEGEN's impact on static code size and energy
+// (benchmarks fan out in parallel).
 func EnergyCodeSize(o Options) ([]EnergyRow, error) {
-	var rows []EnergyRow
 	specs := kernels.All()
 	specs = append(specs, kernels.Spec{Name: "aes", App: kernels.AES(), CriticalSize: 696})
-	for _, spec := range specs {
-		rep, err := generateWithReuse(spec.App, o)
+	rows := make([]EnergyRow, len(specs))
+	errs := make([]error, len(specs))
+	inner := o
+	inner.Workers = 1 // benchmark cells already saturate the pool
+	o.runner().ForEach(len(specs), func(i int) {
+		spec := specs[i]
+		rep, err := generateWithReuse(spec.App, inner, nil)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", spec.Name, err)
+			errs[i] = err
+			return
 		}
-		rows = append(rows, EnergyRow{
+		rows[i] = EnergyRow{
 			Benchmark:     spec.Name,
 			Speedup:       rep.Speedup,
 			CodeSizeRatio: float64(rep.StaticAfter) / float64(rep.StaticBefore),
 			EnergyRatio:   rep.EnergyAfter / rep.EnergyBefore,
-		})
+		}
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", specs[i].Name, err)
+		}
 	}
 	return rows, nil
 }

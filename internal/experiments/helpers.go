@@ -5,33 +5,36 @@ import (
 	"repro/internal/eval"
 	"repro/internal/graph"
 	"repro/internal/ir"
+	"repro/internal/search"
 	"repro/internal/sim"
 )
 
-// generateWithReuse runs the full ISEGEN flow (driver + reuse claiming)
-// and returns the evaluation report.
-func generateWithReuse(app *ir.Application, o Options) (*eval.Report, error) {
-	sels, err := selectionsWithReuse(app, o)
+// generateWithReuse runs the full ISEGEN flow (unified driver + reuse
+// claiming) and returns the evaluation report. A non-nil cache shares cut
+// costings across calls on the same blocks (e.g. the Figure 6/7 sweeps).
+func generateWithReuse(app *ir.Application, o Options, cache *search.CostCache) (*eval.Report, error) {
+	sels, err := selectionsWithReuse(app, o, cache)
 	if err != nil {
 		return nil, err
 	}
 	return eval.Evaluate(app, o.Model, sels)
 }
 
-// selectionsWithReuse is the shared ISEGEN-with-reuse pipeline.
-func selectionsWithReuse(app *ir.Application, o Options) ([]eval.Selection, error) {
+// selectionsWithReuse is the shared ISEGEN-with-reuse pipeline: the
+// search.Runner driver under the reuse-aware objective, claiming every
+// isomorphic instance of each selected cut.
+func selectionsWithReuse(app *ir.Application, o Options, cache *search.CostCache) ([]eval.Selection, error) {
 	cfg := o.isegenConfig()
 	var sels []eval.Selection
 	claimer := eval.NewClaimer(app)
-	score := func(bi int, cut *core.Cut, excluded []*graph.BitSet) float64 {
-		return float64(claimer.CountInstances(bi, cut, excluded)) * cut.Merit() * app.Blocks[bi].Freq
-	}
-	_, err := core.GenerateScored(app, cfg, score, func(bi int, cut *core.Cut, excluded []*graph.BitSet) {
-		sel := claimer.Claim(bi, cut, excluded)
-		if len(sel.Instances) > 0 {
-			sels = append(sels, sel)
-		}
-	})
+	r := &search.Runner{Workers: cfg.Workers, Cache: cache}
+	_, _, err := r.Generate(app, cfg, search.ReuseAware(app, o.Model, claimer),
+		func(bi int, cut *core.Cut, excluded []*graph.BitSet) {
+			sel := claimer.Claim(bi, cut, excluded)
+			if len(sel.Instances) > 0 {
+				sels = append(sels, sel)
+			}
+		})
 	if err != nil {
 		return nil, err
 	}
@@ -42,17 +45,19 @@ func selectionsWithReuse(app *ir.Application, o Options) ([]eval.Selection, erro
 // selected by merit only (no reuse-aware scoring), isolating the K-L
 // search quality that the dispersed restarts exist to improve; reuse
 // instances are still claimed for evaluation.
-func generateWithReuseRestarts(app *ir.Application, o Options, restarts int) (*eval.Report, error) {
+func generateWithReuseRestarts(app *ir.Application, o Options, restarts int, cache *search.CostCache) (*eval.Report, error) {
 	cfg := o.isegenConfig()
 	cfg.Restarts = restarts
 	var sels []eval.Selection
 	claimer := eval.NewClaimer(app)
-	_, err := core.Generate(app, cfg, func(bi int, cut *core.Cut, excluded []*graph.BitSet) {
-		sel := claimer.Claim(bi, cut, excluded)
-		if len(sel.Instances) > 0 {
-			sels = append(sels, sel)
-		}
-	})
+	r := &search.Runner{Workers: cfg.Workers, Cache: cache}
+	_, _, err := r.Generate(app, cfg, search.Merit(o.Model),
+		func(bi int, cut *core.Cut, excluded []*graph.BitSet) {
+			sel := claimer.Claim(bi, cut, excluded)
+			if len(sel.Instances) > 0 {
+				sels = append(sels, sel)
+			}
+		})
 	if err != nil {
 		return nil, err
 	}
@@ -61,7 +66,7 @@ func generateWithReuseRestarts(app *ir.Application, o Options, restarts int) (*e
 
 // simOne produces one SimulationValidation row.
 func simOne(name string, app *ir.Application, o Options) (SimRow, error) {
-	sels, err := selectionsWithReuse(app, o)
+	sels, err := selectionsWithReuse(app, o, nil)
 	if err != nil {
 		return SimRow{}, err
 	}

@@ -47,6 +47,13 @@ type Options struct {
 	// individuals (defaults 6 and 4 per violation unit).
 	IOPenalty     float64
 	ConvexPenalty float64
+
+	// Metrics costs chromosomes; nil uses core.MetricsOf directly. The
+	// search layer installs its shared memoized cache here — fitness
+	// evaluation is the genetic baseline's hot path, and converged
+	// populations re-evaluate the same chromosomes generation after
+	// generation.
+	Metrics core.MetricsFunc
 }
 
 func (o *Options) fill() {
@@ -100,19 +107,23 @@ type evaluator struct {
 	frozen *graph.BitSet
 	geneID []int // gene position -> node ID
 	cutBuf *graph.BitSet
-	swLat  []int
-	hwLat  []float64
+	// swLat/hwLat back the nil-Metrics fast path: fitness evaluation is
+	// the hot loop, and precomputed arrays beat per-node model lookups.
+	swLat   []int
+	hwLat   []float64
+	metrics core.MetricsFunc
 }
 
 func newEvaluator(blk *ir.Block, opt *Options, excluded *graph.BitSet) *evaluator {
 	n := blk.N()
 	e := &evaluator{
-		blk:    blk,
-		opt:    opt,
-		frozen: graph.NewBitSet(n),
-		cutBuf: graph.NewBitSet(n),
-		swLat:  make([]int, n),
-		hwLat:  make([]float64, n),
+		blk:     blk,
+		opt:     opt,
+		frozen:  graph.NewBitSet(n),
+		cutBuf:  graph.NewBitSet(n),
+		swLat:   make([]int, n),
+		hwLat:   make([]float64, n),
+		metrics: opt.Metrics,
 	}
 	if excluded != nil {
 		e.frozen.Or(excluded)
@@ -137,16 +148,16 @@ func newEvaluator(blk *ir.Block, opt *Options, excluded *graph.BitSet) *evaluato
 	return e
 }
 
-// eval computes penalty-shaped fitness for one chromosome.
+// eval computes penalty-shaped fitness for one chromosome. With an
+// installed MetricsFunc (the search layer's memoized cache) each distinct
+// chromosome is costed once; without one, the precomputed latency arrays
+// keep the per-evaluation cost to one longest-path sweep.
 func (e *evaluator) eval(ind *individual) {
 	cut := e.cutBuf
 	cut.Reset()
-	swSum := 0
 	for g, on := range ind.genes {
 		if on {
-			v := e.geneID[g]
-			cut.Set(v)
-			swSum += e.swLat[v]
+			cut.Set(e.geneID[g])
 		}
 	}
 	if cut.Empty() {
@@ -155,25 +166,41 @@ func (e *evaluator) eval(ind *individual) {
 		ind.feasibleMerit = 0
 		return
 	}
-	dag := e.blk.DAG()
-	_, cp := dag.LongestPath(cut, func(v int) float64 { return e.hwLat[v] })
-	merit := core.MeritOf(swSum, cp)
-	in := e.blk.CutInputs(cut)
-	out := e.blk.CutOutputs(cut)
-	nviol := len(dag.ConvexViolators(cut))
+	m := e.costCut(cut)
+	merit := m.Merit()
 
 	pen := 0.0
-	if over := in - e.opt.MaxIn; over > 0 {
+	if over := m.NumIn - e.opt.MaxIn; over > 0 {
 		pen += e.opt.IOPenalty * float64(over)
 	}
-	if over := out - e.opt.MaxOut; over > 0 {
+	if over := m.NumOut - e.opt.MaxOut; over > 0 {
 		pen += e.opt.IOPenalty * float64(over)
 	}
-	pen += e.opt.ConvexPenalty * float64(nviol)
+	pen += e.opt.ConvexPenalty * float64(m.NViol)
 
 	ind.fitness = merit - pen
 	ind.feasible = pen == 0
 	ind.feasibleMerit = merit
+}
+
+// costCut costs one chromosome's cut: through the installed MetricsFunc
+// when present, else directly via the precomputed latency arrays
+// (equivalent to core.MetricsOf — the cut never contains frozen nodes).
+func (e *evaluator) costCut(cut *graph.BitSet) core.Metrics {
+	if e.metrics != nil {
+		return e.metrics(e.blk, e.opt.Model, cut)
+	}
+	var m core.Metrics
+	cut.ForEach(func(v int) bool {
+		m.SWLat += e.swLat[v]
+		return true
+	})
+	dag := e.blk.DAG()
+	_, m.HWLat = dag.LongestPath(cut, func(v int) float64 { return e.hwLat[v] })
+	m.NumIn = e.blk.CutInputs(cut)
+	m.NumOut = e.blk.CutOutputs(cut)
+	m.NViol = len(dag.ConvexViolators(cut))
+	return m
 }
 
 // growCluster marks a connected region of up to target unfrozen nodes,
@@ -312,10 +339,10 @@ func SingleCut(blk *ir.Block, opt Options, excluded *graph.BitSet) (*core.Cut, e
 	if bestFeasible.Empty() || bestMerit <= 0 {
 		return nil, nil
 	}
-	sw, cp, in, out, _ := core.CutMetrics(blk, opt.Model, bestFeasible)
+	m := e.costCut(bestFeasible)
 	return &core.Cut{
 		Block: blk, Nodes: bestFeasible,
-		NumIn: in, NumOut: out, SWLat: sw, HWLat: cp,
+		NumIn: m.NumIn, NumOut: m.NumOut, SWLat: m.SWLat, HWLat: m.HWLat,
 	}, nil
 }
 

@@ -176,6 +176,11 @@ func (b *BitSet) ForEach(fn func(i int) bool) {
 	}
 }
 
+// Words exposes the backing word slice (little-endian bit order) so
+// callers can hash or serialize the set without per-element iteration.
+// The caller must not modify the returned slice.
+func (b *BitSet) Words() []uint64 { return b.words }
+
 // Elems returns the elements in ascending order.
 func (b *BitSet) Elems() []int {
 	out := make([]int, 0, b.Count())

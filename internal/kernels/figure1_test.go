@@ -7,6 +7,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/graph"
 	"repro/internal/latency"
+	"repro/internal/search"
 )
 
 // TestFigure1LargeScaleReuse verifies the paper's Figure 1 principle end
@@ -64,15 +65,14 @@ func TestFigure1LargeScaleReuse(t *testing.T) {
 	cfg.NISE = 1
 	var got []eval.Selection
 	claimer := eval.NewClaimer(app)
-	score := func(bi int, cut *core.Cut, excluded []*graph.BitSet) float64 {
-		return float64(claimer.CountInstances(bi, cut, excluded)) * cut.Merit() * app.Blocks[bi].Freq
-	}
-	_, err := core.GenerateScored(app, cfg, score, func(bi int, cut *core.Cut, excluded []*graph.BitSet) {
-		sel := claimer.Claim(bi, cut, excluded)
-		if len(sel.Instances) > 0 {
-			got = append(got, sel)
-		}
-	})
+	r := &search.Runner{Workers: 1}
+	_, _, err := r.Generate(app, cfg, search.ReuseAware(app, model, claimer),
+		func(bi int, cut *core.Cut, excluded []*graph.BitSet) {
+			sel := claimer.Claim(bi, cut, excluded)
+			if len(sel.Instances) > 0 {
+				got = append(got, sel)
+			}
+		})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,99 @@
+package search
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/ir"
+	"repro/internal/latency"
+)
+
+// CostCache memoizes cut costing (core.MetricsOf) per block: the key is
+// the cut's backing bit words, the value the full core.Metrics. All three
+// identification algorithms cost cuts through the same signature, so one
+// cache shared across exact, genetic and K-L restarts (and across the
+// multi-cut driver's successive rounds, whose candidate pools overlap
+// heavily) eliminates the repeated longest-path/port/convexity sweeps.
+//
+// Metrics is a pure function of (block, model, cut); concurrent lookups
+// from the worker pool therefore stay deterministic no matter how they
+// interleave. A CostCache is safe for concurrent use.
+type CostCache struct {
+	mu     sync.RWMutex
+	blocks map[blockModelKey]*blockCache
+
+	hits, misses atomic.Int64
+}
+
+type blockModelKey struct {
+	blk   *ir.Block
+	model *latency.Model
+}
+
+type blockCache struct {
+	mu sync.RWMutex
+	m  map[string]core.Metrics
+}
+
+// NewCostCache returns an empty cache.
+func NewCostCache() *CostCache {
+	return &CostCache{blocks: map[blockModelKey]*blockCache{}}
+}
+
+// Metrics is a core.MetricsFunc: it returns the memoized costing of the
+// cut, computing and storing it on first sight.
+func (c *CostCache) Metrics(blk *ir.Block, model *latency.Model, cut *graph.BitSet) core.Metrics {
+	bc := c.blockFor(blk, model)
+	key := cutKey(cut)
+
+	bc.mu.RLock()
+	m, ok := bc.m[key]
+	bc.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return m
+	}
+	c.misses.Add(1)
+	m = core.MetricsOf(blk, model, cut)
+	bc.mu.Lock()
+	bc.m[key] = m
+	bc.mu.Unlock()
+	return m
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *CostCache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+func (c *CostCache) blockFor(blk *ir.Block, model *latency.Model) *blockCache {
+	key := blockModelKey{blk, model}
+	c.mu.RLock()
+	bc, ok := c.blocks[key]
+	c.mu.RUnlock()
+	if ok {
+		return bc
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if bc, ok = c.blocks[key]; ok {
+		return bc
+	}
+	bc = &blockCache{m: map[string]core.Metrics{}}
+	c.blocks[key] = bc
+	return bc
+}
+
+// cutKey serializes the cut's words into a map key. Two cuts of the same
+// block collide exactly when they contain the same nodes.
+func cutKey(cut *graph.BitSet) string {
+	words := cut.Words()
+	buf := make([]byte, 8*len(words))
+	for i, w := range words {
+		binary.LittleEndian.PutUint64(buf[8*i:], w)
+	}
+	return string(buf)
+}

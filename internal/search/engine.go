@@ -1,0 +1,281 @@
+// Package search is the unified engine layer over the three ISE
+// identification algorithms: ISEGEN's K-L iterative improvement
+// (internal/core), the exact enumerations of Atasu et al. DAC'03
+// (internal/exact) and the genetic formulation of Biswas et al. DAC'04
+// (internal/genetic). Every algorithm sits behind the same Engine
+// interface, costs cuts through one shared memoized CostCache, and is
+// driven by a pluggable Objective, so the experiment harnesses, the public
+// facade and the command-line tools contain no per-algorithm driver loops.
+//
+// The Runner adds bounded-worker parallelism on the two independent axes —
+// basic blocks and K-L restart trajectories — with a deterministic merge
+// order, so parallel results are bit-identical to the sequential path.
+// See DESIGN.md for how the layer fits the rest of the system.
+package search
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/genetic"
+	"repro/internal/ir"
+)
+
+// Limits bundles the architectural and computational constraints every
+// engine understands: the register-file port constraints, the AFU budget,
+// and the resource bounds of the exact searches.
+type Limits struct {
+	// MaxIn and MaxOut are the I/O port constraints (INmax, OUTmax).
+	MaxIn, MaxOut int
+	// NISE is the AFU budget: the maximum number of cuts to identify.
+	NISE int
+	// NodeLimit refuses larger blocks up front (exact engines only;
+	// 0 = no limit).
+	NodeLimit int
+	// Budget bounds explored search-tree nodes (exact engines only;
+	// 0 = no limit).
+	Budget int64
+	// Workers bounds the engine's internal concurrency (K-L restart
+	// trajectories). 0 means one worker per CPU core, 1 forces the
+	// sequential path. Results are identical either way.
+	Workers int
+}
+
+// Stats reports what one Engine.Run did.
+type Stats struct {
+	// Engine is the canonical algorithm name (see Engine.Name).
+	Engine string
+	// Candidates counts the feasible candidate cuts the engine examined
+	// (K-L candidate pools; 0 for engines that only expose winners).
+	Candidates int
+	// Cuts is the number of cuts returned.
+	Cuts int
+	// Duration is the wall-clock time of the run.
+	Duration time.Duration
+}
+
+// Engine identifies up to lim.NISE instruction-set extensions in one basic
+// block under the given objective. Implementations are stateless apart
+// from configuration and may be reused across blocks and goroutines.
+// Run requires an objective with a model (unlike Runner.Generate, which
+// can fall back to its Config's model when handed nil).
+type Engine interface {
+	// Name returns the canonical algorithm name, matching the paper's
+	// Figure 4 legend ("ISEGEN", "Exact", "Iterative", "Genetic").
+	Name() string
+	Run(blk *ir.Block, obj *Objective, lim *Limits) ([]*core.Cut, Stats, error)
+}
+
+// KL is the ISEGEN engine: iterative Kernighan–Lin bi-partition with
+// dispersed restarts, candidate pools and objective-driven selection.
+type KL struct {
+	// Passes and Restarts override core.DefaultConfig when positive.
+	Passes, Restarts int
+	// Weights overrides the gain-function parameters when non-nil.
+	Weights *core.Weights
+	// Cache is the shared cut-costing cache (nil = cost directly).
+	Cache *CostCache
+}
+
+// Name implements Engine.
+func (e *KL) Name() string { return "ISEGEN" }
+
+// config assembles the core.Config for one run.
+func (e *KL) config(obj *Objective, lim *Limits) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.MaxIn, cfg.MaxOut, cfg.NISE = lim.MaxIn, lim.MaxOut, lim.NISE
+	cfg.Workers = lim.Workers
+	cfg.Model = obj.Model
+	if e.Passes > 0 {
+		cfg.MaxPasses = e.Passes
+	}
+	if e.Restarts > 0 {
+		cfg.Restarts = e.Restarts
+	}
+	if e.Weights != nil {
+		cfg.Weights = *e.Weights
+	}
+	return cfg
+}
+
+// Run implements Engine: the greedy multi-cut drive of a single block,
+// delegated to Runner.Generate over a synthetic single-block application
+// so the round semantics live in exactly one place. Block-local scorers
+// see blockIdx 0 and a single-element excluded slice; application-scoped
+// objectives (ReuseAware, EnergyWeighted) are rejected — run those
+// through Runner.Generate with their own application.
+func (e *KL) Run(blk *ir.Block, obj *Objective, lim *Limits) ([]*core.Cut, Stats, error) {
+	stats := Stats{Engine: e.Name()}
+	if err := checkObjective(obj); err != nil {
+		return nil, stats, err
+	}
+	if obj.AppScoped() {
+		return nil, stats, fmt.Errorf("search: objective %q needs application context; use Runner.Generate", obj.Name)
+	}
+	r := &Runner{Workers: lim.Workers, Cache: e.Cache}
+	app := &ir.Application{Name: blk.Name, Blocks: []*ir.Block{blk}}
+	return r.Generate(app, e.config(obj, lim), obj, nil)
+}
+
+// ExactJoint is the paper's "Exact" baseline: joint optimal assignment of
+// block nodes to NISE disjoint feasible cuts (tiny blocks only).
+type ExactJoint struct {
+	Cache *CostCache
+	// Metrics overrides the costing function (takes precedence over
+	// Cache); used by facade callers that bring their own memoization.
+	Metrics core.MetricsFunc
+}
+
+// Name implements Engine.
+func (e *ExactJoint) Name() string { return "Exact" }
+
+// Run implements Engine. The exact search optimizes merit internally, so
+// objectives with a custom scorer are rejected rather than ignored.
+func (e *ExactJoint) Run(blk *ir.Block, obj *Objective, lim *Limits) ([]*core.Cut, Stats, error) {
+	start := time.Now()
+	opt, err := exactOptions(e.Name(), obj, lim, e.Cache, e.Metrics)
+	if err != nil {
+		return nil, Stats{Engine: e.Name()}, err
+	}
+	cuts, err := exact.MultiCut(blk, opt, lim.NISE)
+	return cuts, Stats{Engine: e.Name(), Cuts: len(cuts), Duration: time.Since(start)}, err
+}
+
+// ExactIterative is the paper's "Iterative" baseline: the exact best
+// single cut is found, frozen, and the search repeats.
+type ExactIterative struct {
+	Cache *CostCache
+	// Metrics overrides the costing function (takes precedence over
+	// Cache); used by facade callers that bring their own memoization.
+	Metrics core.MetricsFunc
+}
+
+// Name implements Engine.
+func (e *ExactIterative) Name() string { return "Iterative" }
+
+// Run implements Engine. The exact search optimizes merit internally, so
+// objectives with a custom scorer are rejected rather than ignored.
+func (e *ExactIterative) Run(blk *ir.Block, obj *Objective, lim *Limits) ([]*core.Cut, Stats, error) {
+	start := time.Now()
+	opt, err := exactOptions(e.Name(), obj, lim, e.Cache, e.Metrics)
+	if err != nil {
+		return nil, Stats{Engine: e.Name()}, err
+	}
+	cuts, err := exact.Iterative(blk, opt, lim.NISE)
+	return cuts, Stats{Engine: e.Name(), Cuts: len(cuts), Duration: time.Since(start)}, err
+}
+
+// checkObjective rejects objectives no per-block engine can run with.
+func checkObjective(obj *Objective) error {
+	if obj == nil || obj.Model == nil {
+		return fmt.Errorf("search: Engine.Run needs an objective with a model (e.g. search.Merit(model))")
+	}
+	return nil
+}
+
+func exactOptions(name string, obj *Objective, lim *Limits, cache *CostCache, metrics core.MetricsFunc) (exact.Options, error) {
+	if err := checkObjective(obj); err != nil {
+		return exact.Options{}, err
+	}
+	if obj.Score != nil {
+		return exact.Options{}, fmt.Errorf("search: engine %q optimizes merit and cannot honor objective %q's scorer", name, obj.Name)
+	}
+	opt := exact.Options{
+		MaxIn: lim.MaxIn, MaxOut: lim.MaxOut, Model: obj.Model,
+		NodeLimit: lim.NodeLimit, Budget: lim.Budget,
+	}
+	if cache != nil {
+		opt.Metrics = cache.Metrics
+	}
+	if metrics != nil {
+		opt.Metrics = metrics
+	}
+	return opt, nil
+}
+
+// Genetic is the DAC'04 baseline: iterated single-cut evolution.
+type Genetic struct {
+	// Seed makes runs repeatable (successive cuts decorrelate from it).
+	Seed int64
+	// Opt optionally overrides the full genetic parameter set; MaxIn,
+	// MaxOut, Model, Seed and Metrics are still taken from the run.
+	Opt *genetic.Options
+	// Cache is the shared cut-costing cache — fitness evaluation is the
+	// genetic algorithm's hot path.
+	Cache *CostCache
+}
+
+// Name implements Engine.
+func (e *Genetic) Name() string { return "Genetic" }
+
+// SetSeed reseeds the engine (registry callers discover it by interface).
+func (e *Genetic) SetSeed(seed int64) { e.Seed = seed }
+
+// Run implements Engine. The evolution optimizes (penalty-shaped) merit
+// internally, so objectives with a custom scorer are rejected rather than
+// ignored.
+func (e *Genetic) Run(blk *ir.Block, obj *Objective, lim *Limits) ([]*core.Cut, Stats, error) {
+	start := time.Now()
+	if err := checkObjective(obj); err != nil {
+		return nil, Stats{Engine: e.Name()}, err
+	}
+	if obj.Score != nil {
+		return nil, Stats{Engine: e.Name()},
+			fmt.Errorf("search: engine %q optimizes merit and cannot honor objective %q's scorer", e.Name(), obj.Name)
+	}
+	var opt genetic.Options
+	if e.Opt != nil {
+		opt = *e.Opt
+	}
+	opt.MaxIn, opt.MaxOut, opt.Model, opt.Seed = lim.MaxIn, lim.MaxOut, obj.Model, e.Seed
+	if e.Cache != nil {
+		opt.Metrics = e.Cache.Metrics
+	}
+	cuts, err := genetic.Iterative(blk, opt, lim.NISE)
+	return cuts, Stats{Engine: e.Name(), Cuts: len(cuts), Duration: time.Since(start)}, err
+}
+
+// engineFactories maps registry names (lower-case CLI spellings) to
+// constructors. Canonical display names come from Engine.Name.
+var engineFactories = map[string]func(cache *CostCache) Engine{
+	"isegen":    func(c *CostCache) Engine { return &KL{Cache: c} },
+	"exact":     func(c *CostCache) Engine { return &ExactJoint{Cache: c} },
+	"iterative": func(c *CostCache) Engine { return &ExactIterative{Cache: c} },
+	"genetic":   func(c *CostCache) Engine { return &Genetic{Seed: 1, Cache: c} },
+}
+
+// New returns the named engine ("isegen", "exact", "iterative" or
+// "genetic") wired to the given shared cost cache (which may be nil).
+func New(name string, cache *CostCache) (Engine, error) {
+	f, ok := engineFactories[name]
+	if !ok {
+		return nil, fmt.Errorf("search: unknown engine %q (have %v)", name, Names())
+	}
+	return f(cache), nil
+}
+
+// Names lists the registry names in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(engineFactories))
+	for n := range engineFactories {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DefaultNodeLimit returns the paper's block-size limit for the named
+// engine: the joint Exact search handled ~25 nodes and Iterative ~100;
+// the heuristics have no limit (0).
+func DefaultNodeLimit(name string) int {
+	switch name {
+	case "exact":
+		return 25
+	case "iterative":
+		return 100
+	}
+	return 0
+}

@@ -1,0 +1,122 @@
+package search
+
+import (
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/graph"
+	"repro/internal/ir"
+	"repro/internal/latency"
+)
+
+// Scorer ranks candidate cuts during a multi-cut drive. It may inspect the
+// per-block excluded sets (e.g. to count claimable reuse instances) but
+// must not modify them. A non-positive score rejects the candidate.
+type Scorer func(blockIdx int, cut *core.Cut, excluded []*graph.BitSet) float64
+
+// Objective is the pluggable goal function of a search: the latency model
+// every engine costs cuts with, plus an optional candidate scorer. A nil
+// Score selects the maximum-merit candidate — the paper's single gain
+// function; the constructors below open further scenarios (reuse-aware,
+// area-weighted, energy-weighted) without touching any engine.
+type Objective struct {
+	// Name labels the objective in reports.
+	Name string
+	// Model supplies software/hardware latencies, energy and area.
+	Model *latency.Model
+	// Score ranks candidates; nil picks maximum merit. When an
+	// objective is used through a per-block Engine.Run, the scorer is
+	// invoked with blockIdx 0 and a single-element excluded slice;
+	// application-scoped objectives (marked by their constructors) are
+	// rejected there and only valid with Runner.Generate.
+	Score Scorer
+
+	// appScoped marks scorers that index into a whole application
+	// (block frequencies, cross-block reuse) and therefore cannot run
+	// through a per-block engine.
+	appScoped bool
+}
+
+// AppScoped reports whether the objective needs application context and
+// is only usable with Runner.Generate.
+func (o *Objective) AppScoped() bool { return o != nil && o.appScoped }
+
+// pick selects the best-scoring candidate from a merit-sorted pool, or nil
+// when every candidate is rejected. With a nil scorer the head of the pool
+// (maximum merit) wins, matching the paper's selection rule.
+func (o *Objective) pick(blockIdx int, cands []*core.Cut, excluded []*graph.BitSet) *core.Cut {
+	if len(cands) == 0 {
+		return nil
+	}
+	if o == nil || o.Score == nil {
+		return cands[0]
+	}
+	bestScore := 0.0
+	var best *core.Cut
+	for _, c := range cands {
+		if s := o.Score(blockIdx, c, excluded); s > bestScore {
+			bestScore = s
+			best = c
+		}
+	}
+	return best
+}
+
+// Merit is the paper's objective: select the feasible cut with the highest
+// merit λ(C) = latSW(C) − cycles(latHW(C)).
+func Merit(model *latency.Model) *Objective {
+	return &Objective{Name: "merit", Model: model}
+}
+
+// ReuseAware implements the paper's Figure 1 principle: a candidate is
+// worth its merit times the number of disjoint schedulable instances the
+// claimer could claim for it, weighted by block frequency — many small
+// reusable cuts beat one large single-use cut. The claimer must be the
+// same one the driver claims through, so scoring sees claimed state.
+func ReuseAware(app *ir.Application, model *latency.Model, claimer *eval.Claimer) *Objective {
+	return &Objective{
+		Name:  "reuse-aware",
+		Model: model,
+		Score: func(bi int, cut *core.Cut, excluded []*graph.BitSet) float64 {
+			n := claimer.CountInstances(bi, cut, excluded)
+			return float64(n) * cut.Merit() * app.Blocks[bi].Freq
+		},
+		appScoped: true,
+	}
+}
+
+// AreaWeighted discounts merit by the cut's estimated AFU datapath area:
+// score = merit − gatePenalty × area(C), in NAND2-equivalent gates. With a
+// small gatePenalty it breaks merit ties toward cheaper silicon; larger
+// values model an area-constrained deployment where big AFUs must buy
+// proportionally more cycles.
+func AreaWeighted(model *latency.Model, gatePenalty float64) *Objective {
+	return &Objective{
+		Name:  "area-weighted",
+		Model: model,
+		Score: func(bi int, cut *core.Cut, excluded []*graph.BitSet) float64 {
+			return cut.Merit() - gatePenalty*eval.AFUArea(cut.Block, model, cut.Nodes)
+		},
+	}
+}
+
+// EnergyWeighted scores a candidate by its estimated per-execution energy
+// saving (software energy of the covered operations minus their AFU energy
+// and one instruction-issue overhead), weighted by block frequency — the
+// Section 6 energy scenario as a first-class objective.
+func EnergyWeighted(app *ir.Application, model *latency.Model) *Objective {
+	const issueOverheadEnergy = 1.0
+	return &Objective{
+		Name:  "energy-weighted",
+		Model: model,
+		Score: func(bi int, cut *core.Cut, excluded []*graph.BitSet) float64 {
+			saved := -issueOverheadEnergy
+			cut.Nodes.ForEach(func(v int) bool {
+				op := cut.Block.Nodes[v].Op
+				saved += model.SWEnergy[op] - model.HWEnergy[op]
+				return true
+			})
+			return saved * app.Blocks[bi].Freq
+		},
+		appScoped: true,
+	}
+}

@@ -1,0 +1,216 @@
+package search
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/ir"
+	"repro/internal/latency"
+)
+
+// Runner executes searches across the two independent axes of an
+// application — basic blocks and K-L restart trajectories — on a bounded
+// worker pool. Merge order is deterministic (input order for blocks, seed
+// order for trajectories), so a Runner with N workers produces results
+// bit-identical to the sequential path; only wall-clock time changes.
+type Runner struct {
+	// Workers bounds the pool; 0 means one worker per CPU core
+	// (runtime.GOMAXPROCS), 1 forces the sequential path.
+	Workers int
+	// Cache is the shared cut-costing cache. Nil is fine: Generate then
+	// memoizes within a single call (its driver rounds still overlap),
+	// while RunBlocks passes nil through to the engines.
+	Cache *CostCache
+}
+
+// workers normalizes a worker-count knob.
+func workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parallelFor runs fn(0..n-1) on at most w workers and waits for all.
+// With w <= 1 it degenerates to a plain loop on the calling goroutine.
+func parallelFor(w, n int, fn func(i int)) {
+	if n == 0 {
+		return
+	}
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// candidates runs the engine's restart trajectories — in parallel when
+// w > 1 — and finalizes the merged snapshot pool. Snapshots are merged in
+// seed order, which is exactly the order the sequential Candidates path
+// produces, so the result is identical for every worker count.
+func candidates(eng *core.Engine, w int) []*core.Cut {
+	seeds := eng.Seeds()
+	if workers(w) <= 1 || len(seeds) <= 1 {
+		return eng.Candidates()
+	}
+	perSeed := make([][]core.Candidate, len(seeds))
+	parallelFor(workers(w), len(seeds), func(i int) {
+		perSeed[i] = eng.Trajectory(seeds[i])
+	})
+	var snaps []core.Candidate
+	for _, s := range perSeed {
+		snaps = append(snaps, s...)
+	}
+	return eng.Finalize(snaps)
+}
+
+// ClaimFunc is invoked by Generate after each cut is selected; it may
+// freeze additional nodes (e.g. other isomorphic instances of the cut
+// discovered by the reuse matcher) by mutating the per-block excluded sets
+// it is handed. Claims run sequentially in selection order.
+type ClaimFunc func(blockIdx int, cut *core.Cut, excluded []*graph.BitSet)
+
+// Generate solves the paper's Problem 2 over a whole application: it
+// repeatedly selects the block with the highest remaining speedup
+// potential (execution frequency × estimated gain of its remaining
+// feasible nodes), bi-partitions it with restart trajectories fanned out
+// across the worker pool, lets the objective pick from the candidate pool,
+// freezes the selected nodes and repeats until cfg.NISE cuts are found or
+// no block yields an accepted candidate.
+//
+// The greedy round structure is inherently sequential — each round's
+// exclusions depend on the previous selection — so the parallelism lives
+// inside the rounds, and the output is bit-identical for every worker
+// count.
+func (r *Runner) Generate(app *ir.Application, cfg core.Config, obj *Objective, claim ClaimFunc) ([]*core.Cut, Stats, error) {
+	start := time.Now()
+	stats := Stats{Engine: "ISEGEN"}
+	if err := cfg.Validate(); err != nil {
+		return nil, stats, err
+	}
+	if obj == nil {
+		obj = Merit(cfg.Model)
+	} else if obj.Model == nil {
+		// Resolve on a copy: the caller's Objective may be shared
+		// across concurrent Generate calls.
+		resolved := *obj
+		resolved.Model = cfg.Model
+		obj = &resolved
+	}
+	cfg.Model = obj.Model
+	cache := r.Cache
+	if cache == nil {
+		cache = NewCostCache()
+	}
+	w := workers(r.Workers)
+	if cfg.Workers > 0 {
+		w = cfg.Workers
+	}
+
+	excluded := make([]*graph.BitSet, len(app.Blocks))
+	for i, blk := range app.Blocks {
+		if err := cfg.Model.Validate(blk); err != nil {
+			return nil, stats, err
+		}
+		excluded[i] = graph.NewBitSet(blk.N())
+	}
+	var cuts []*core.Cut
+	exhausted := make([]bool, len(app.Blocks))
+	for len(cuts) < cfg.NISE {
+		bi := selectBlock(app, cfg.Model, excluded, exhausted)
+		if bi < 0 {
+			break
+		}
+		eng, err := core.NewEngine(app.Blocks[bi], cfg, excluded[bi])
+		if err != nil {
+			return nil, stats, err
+		}
+		eng.SetMetrics(cache.Metrics)
+		cands := candidates(eng, w)
+		stats.Candidates += len(cands)
+		cut := obj.pick(bi, cands, excluded)
+		if cut == nil {
+			exhausted[bi] = true
+			continue
+		}
+		cuts = append(cuts, cut)
+		excluded[bi].Or(cut.Nodes)
+		if claim != nil {
+			claim(bi, cut, excluded)
+		}
+	}
+	stats.Cuts = len(cuts)
+	stats.Duration = time.Since(start)
+	return cuts, stats, nil
+}
+
+// RunBlocks fans the engine out over independent basic blocks on the
+// worker pool and merges results in input order. Per-block failures do not
+// stop the fan-out; the first error (by block order) is returned alongside
+// the full result and stats slices, whose entries are valid wherever the
+// corresponding error slot was nil.
+func (r *Runner) RunBlocks(blocks []*ir.Block, eng Engine, obj *Objective, lim *Limits) ([][]*core.Cut, []Stats, error) {
+	cuts := make([][]*core.Cut, len(blocks))
+	stats := make([]Stats, len(blocks))
+	errs := make([]error, len(blocks))
+	parallelFor(workers(r.Workers), len(blocks), func(i int) {
+		cuts[i], stats[i], errs[i] = eng.Run(blocks[i], obj, lim)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return cuts, stats, err
+		}
+	}
+	return cuts, stats, nil
+}
+
+// ForEach runs fn(0..n-1) on the runner's worker pool and waits. It is the
+// deterministic fan-out primitive the experiment harnesses use for
+// embarrassingly parallel sweeps (results must be written to slot i only).
+func (r *Runner) ForEach(n int, fn func(i int)) {
+	parallelFor(workers(r.Workers), n, fn)
+}
+
+// selectBlock returns the index of the non-exhausted block with the
+// highest speedup potential, or -1 when none remains.
+func selectBlock(app *ir.Application, model *latency.Model, excluded []*graph.BitSet, exhausted []bool) int {
+	best, bestPot := -1, 0.0
+	for i, blk := range app.Blocks {
+		if exhausted[i] {
+			continue
+		}
+		pot := core.BlockPotential(blk, model, excluded[i])
+		if pot <= 0 {
+			exhausted[i] = true
+			continue
+		}
+		if best < 0 || pot > bestPot {
+			best, bestPot = i, pot
+		}
+	}
+	return best
+}

@@ -15,10 +15,10 @@
 //	// res.Report:     whole-application speedup, coverage, code size, energy
 //
 // The package re-exports the pieces a downstream user needs: the IR
-// builder and serialization, the latency model, the ISEGEN engine, the
-// exact and genetic baselines, the reuse matcher and the cycle-level
-// simulator. See DESIGN.md for the system inventory and EXPERIMENTS.md for
-// the reproduced results.
+// builder and serialization, the latency model, the unified search layer
+// over the ISEGEN engine and the exact and genetic baselines, the reuse
+// matcher and the cycle-level simulator. See DESIGN.md for the system
+// inventory; `go run ./cmd/isebench` regenerates the reproduced results.
 package isegen
 
 import (
@@ -34,6 +34,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/latency"
 	"repro/internal/reuse"
+	"repro/internal/search"
 	"repro/internal/sim"
 )
 
@@ -67,6 +68,21 @@ type (
 	Report = eval.Report
 	// BitSet is the dense node-set type used throughout.
 	BitSet = graph.BitSet
+
+	// SearchEngine is the unified interface over the three
+	// identification algorithms (see internal/search).
+	SearchEngine = search.Engine
+	// SearchLimits bundles port/AFU/resource constraints for an engine.
+	SearchLimits = search.Limits
+	// SearchStats reports what one engine run did.
+	SearchStats = search.Stats
+	// Objective is the pluggable goal function of a search.
+	Objective = search.Objective
+	// Runner fans work out across blocks and K-L restarts with
+	// deterministic, bit-identical-to-sequential results.
+	Runner = search.Runner
+	// CostCache is the shared memoized cut-costing cache.
+	CostCache = search.CostCache
 )
 
 // Re-exported opcodes (see ir.Op for semantics).
@@ -118,20 +134,19 @@ type Result struct {
 }
 
 // Generate runs the full ISEGEN flow on the application: iterative K-L
-// bi-partitioning under the AFU budget, reuse matching to claim every
-// isomorphic instance of each identified cut (the paper's large-scale
-// reuse), schedulability filtering, and evaluation.
+// bi-partitioning under the AFU budget (with restart trajectories fanned
+// out across Config.Workers), reuse-aware candidate scoring, reuse
+// matching to claim every isomorphic instance of each identified cut (the
+// paper's large-scale reuse), schedulability filtering, and evaluation.
 func Generate(app *Application, cfg Config) (*Result, error) {
 	var sels []Selection
 	claimer := eval.NewClaimer(app)
+	r := &search.Runner{Workers: cfg.Workers}
 	// Reuse-aware candidate scoring (the paper's Figure 1 principle):
 	// a cut is worth its merit times the number of disjoint schedulable
 	// instances that can be claimed for it, weighted by block frequency.
-	score := func(bi int, cut *Cut, excluded []*graph.BitSet) float64 {
-		n := claimer.CountInstances(bi, cut, excluded)
-		return float64(n) * cut.Merit() * app.Blocks[bi].Freq
-	}
-	_, err := core.GenerateScored(app, cfg, score, func(bi int, cut *Cut, excluded []*graph.BitSet) {
+	obj := search.ReuseAware(app, cfg.Model, claimer)
+	_, _, err := r.Generate(app, cfg, obj, func(bi int, cut *Cut, excluded []*graph.BitSet) {
 		// The seed itself is already excluded by the driver; the
 		// claimer finds every other instance among available nodes
 		// (and re-admits the seed occurrence), extending excluded. A
@@ -164,11 +179,12 @@ func ClaimAllWithReuse(app *Application, cuts []*Cut, blockIdxOf func(*Cut) int)
 // counts once. This is the configuration used for the Figure 4 comparison,
 // where all four algorithms are evaluated identically.
 func GenerateCutsOnly(app *Application, cfg Config) ([]*Cut, error) {
-	res, err := core.Generate(app, cfg, nil)
+	r := &search.Runner{Workers: cfg.Workers}
+	cuts, _, err := r.Generate(app, cfg, search.Merit(cfg.Model), nil)
 	if err != nil {
 		return nil, err
 	}
-	return res.Cuts, nil
+	return cuts, nil
 }
 
 // Evaluate computes the quality report of an arbitrary selection set.
@@ -205,6 +221,26 @@ func FindInstances(app *Application, patIdx int, cut *BitSet, perBlockLimit int)
 
 // Baseline algorithms (see DESIGN.md): the exact enumeration of Atasu et
 // al. (DAC'03) and the genetic formulation of Biswas et al. (DAC'04).
+// All drivers route through the unified internal/search engine layer.
+
+// NewSearchEngine returns the named engine ("isegen", "exact",
+// "iterative" or "genetic") wired to the shared cost cache (may be nil).
+func NewSearchEngine(name string, cache *CostCache) (SearchEngine, error) {
+	return search.New(name, cache)
+}
+
+// NewCostCache returns an empty shared cut-costing cache.
+func NewCostCache() *CostCache { return search.NewCostCache() }
+
+// SearchEngineNames lists the engine registry names.
+func SearchEngineNames() []string { return search.Names() }
+
+// DefaultNodeLimit returns the paper's block-size limit for the named
+// engine (25 for "exact", 100 for "iterative", 0 = unlimited otherwise).
+func DefaultNodeLimit(name string) int { return search.DefaultNodeLimit(name) }
+
+// MeritObjective is the paper's objective: highest-merit candidate wins.
+func MeritObjective(model *Model) *Objective { return search.Merit(model) }
 
 // ExactOptions configures the exact baselines.
 type ExactOptions = exact.Options
@@ -217,13 +253,24 @@ func ExactSingleCut(blk *Block, opt ExactOptions, excluded *BitSet) (*Cut, error
 // ExactIterative repeatedly finds the optimal single cut (the paper's
 // "Iterative" baseline).
 func ExactIterative(blk *Block, opt ExactOptions, nise int) ([]*Cut, error) {
-	return exact.Iterative(blk, opt, nise)
+	eng := &search.ExactIterative{Metrics: opt.Metrics}
+	cuts, _, err := eng.Run(blk, search.Merit(opt.Model), exactLimits(opt, nise))
+	return cuts, err
 }
 
 // ExactMultiCut finds the jointly optimal assignment into nise cuts (the
 // paper's "Exact" baseline; tiny blocks only).
 func ExactMultiCut(blk *Block, opt ExactOptions, nise int) ([]*Cut, error) {
-	return exact.MultiCut(blk, opt, nise)
+	eng := &search.ExactJoint{Metrics: opt.Metrics}
+	cuts, _, err := eng.Run(blk, search.Merit(opt.Model), exactLimits(opt, nise))
+	return cuts, err
+}
+
+func exactLimits(opt ExactOptions, nise int) *SearchLimits {
+	return &SearchLimits{
+		MaxIn: opt.MaxIn, MaxOut: opt.MaxOut, NISE: nise,
+		NodeLimit: opt.NodeLimit, Budget: opt.Budget,
+	}
 }
 
 // GeneticOptions configures the genetic baseline.
@@ -231,7 +278,11 @@ type GeneticOptions = genetic.Options
 
 // GeneticIterative finds up to nise cuts by repeated evolution.
 func GeneticIterative(blk *Block, opt GeneticOptions, nise int) ([]*Cut, error) {
-	return genetic.Iterative(blk, opt, nise)
+	eng := &search.Genetic{Seed: opt.Seed, Opt: &opt}
+	cuts, _, err := eng.Run(blk, search.Merit(opt.Model), &SearchLimits{
+		MaxIn: opt.MaxIn, MaxOut: opt.MaxOut, NISE: nise,
+	})
+	return cuts, err
 }
 
 // Hardware generation and area-constrained selection (extensions; see
