@@ -12,27 +12,37 @@
 // name in the unified search-engine registry), the port constraints (-in,
 // -out), the AFU budget (-nise), the worker-pool size (-workers) and
 // optional DOT output highlighting the cuts (-dot file).
+//
+// -json switches to the machine-readable NDJSON result stream — the same
+// schema, code path and byte-for-byte output as the isegend service
+// (internal/service.Run), so offline and served runs are diffable.
+// -cache-dir persists cut costings across runs (keyed by canonical block
+// hash), making repeated sweeps over the same file near-free.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	isegen "repro"
+	"repro/internal/service"
 )
 
 func main() {
 	var (
-		algo    = flag.String("algo", "isegen", "algorithm: "+strings.Join(isegen.SearchEngineNames(), ", "))
-		maxIn   = flag.Int("in", 4, "maximum ISE input operands")
-		maxOut  = flag.Int("out", 2, "maximum ISE output operands")
-		nise    = flag.Int("nise", 4, "maximum number of ISEs (AFUs)")
-		seed    = flag.Int64("seed", 1, "random seed for the genetic algorithm")
-		workers = flag.Int("workers", 0, "worker pool size (0 = one per CPU core; results are identical)")
-		dotFile = flag.String("dot", "", "write a Graphviz rendering of the first block with cuts highlighted")
-		noReuse = flag.Bool("noreuse", false, "disable reuse matching (each cut counts once)")
+		algo     = flag.String("algo", "isegen", "algorithm: "+strings.Join(isegen.SearchEngineNames(), ", "))
+		maxIn    = flag.Int("in", 4, "maximum ISE input operands")
+		maxOut   = flag.Int("out", 2, "maximum ISE output operands")
+		nise     = flag.Int("nise", 4, "maximum number of ISEs (AFUs)")
+		seed     = flag.Int64("seed", 1, "random seed for the genetic algorithm")
+		workers  = flag.Int("workers", 0, "worker pool size (0 = one per CPU core; results are identical)")
+		dotFile  = flag.String("dot", "", "write a Graphviz rendering of the first block with cuts highlighted")
+		noReuse  = flag.Bool("noreuse", false, "disable reuse matching (each cut counts once)")
+		jsonOut  = flag.Bool("json", false, "emit the NDJSON result stream (same schema and bytes as the isegend service)")
+		cacheDir = flag.String("cache-dir", "", "persist cut costings under this directory across runs")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -40,13 +50,72 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *algo, *maxIn, *maxOut, *nise, *seed, *workers, *dotFile, *noReuse); err != nil {
+	var err error
+	if *jsonOut {
+		if *dotFile != "" {
+			fmt.Fprintln(os.Stderr, "isegen: -dot is not supported with -json (the NDJSON stream carries no render); drop one of the two flags")
+			os.Exit(2)
+		}
+		err = runJSON(flag.Arg(0), *algo, *maxIn, *maxOut, *nise, *seed, *workers, *cacheDir, *noReuse)
+	} else {
+		err = run(flag.Arg(0), *algo, *maxIn, *maxOut, *nise, *seed, *workers, *dotFile, *cacheDir, *noReuse)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "isegen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, algo string, maxIn, maxOut, nise int, seed int64, workers int, dotFile string, noReuse bool) error {
+// openCache builds the run's cut-costing cache: disk-persistent when
+// cacheDir is set (content-hash-keyed, flushed by the caller), otherwise
+// a plain in-memory cache.
+func openCache(cacheDir string) (*isegen.CostCache, error) {
+	if cacheDir == "" {
+		return isegen.NewCostCache(), nil
+	}
+	store, err := isegen.NewCostCacheStore(cacheDir, 0)
+	if err != nil {
+		return nil, err
+	}
+	return isegen.NewPersistentCostCache(store), nil
+}
+
+// runJSON is the machine-readable path: service.Run streaming NDJSON to
+// stdout — exactly what the isegend daemon serves, so the outputs diff
+// clean. With -cache-dir the cut-costing cache is loaded from and flushed
+// back to disk, so a repeated run skips costing entirely.
+func runJSON(path, algo string, maxIn, maxOut, nise int, seed int64, workers int, cacheDir string, noReuse bool) (err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	// The application name is not part of the result stream, so the
+	// upload name used by the service and the file path used here cannot
+	// break the determinism contract.
+	app, err := isegen.ParseApplication(path, f)
+	if err != nil {
+		return err
+	}
+	cache, err := openCache(cacheDir)
+	if err != nil {
+		return err
+	}
+	// Flush on every outcome: costings computed before a late failure
+	// are still worth persisting for the next run.
+	defer func() {
+		if ferr := cache.Flush(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
+	p := service.Params{
+		Algo: algo, MaxIn: maxIn, MaxOut: maxOut, NISE: nise,
+		Seed: seed, Workers: workers, Reuse: !noReuse,
+	}
+	return service.Run(context.Background(), app, p, cache, service.NDJSONEmitter(os.Stdout))
+}
+
+func run(path, algo string, maxIn, maxOut, nise int, seed int64, workers int, dotFile, cacheDir string, noReuse bool) (err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -57,6 +126,16 @@ func run(path, algo string, maxIn, maxOut, nise int, seed int64, workers int, do
 		return err
 	}
 	model := isegen.DefaultModel()
+	cache, err := openCache(cacheDir)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if ferr := cache.Flush(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
+	ctx := context.Background()
 
 	var sels []isegen.Selection
 	if algo == "isegen" {
@@ -65,13 +144,13 @@ func run(path, algo string, maxIn, maxOut, nise int, seed int64, workers int, do
 		cfg := isegen.DefaultConfig()
 		cfg.MaxIn, cfg.MaxOut, cfg.NISE, cfg.Workers = maxIn, maxOut, nise, workers
 		if noReuse {
-			cuts, err := isegen.GenerateCutsOnly(app, cfg)
+			cuts, err := isegen.GenerateCutsOnlyContext(ctx, app, cfg, cache)
 			if err != nil {
 				return err
 			}
-			sels = cutsToSelections(app, cuts)
+			sels = service.SingleInstanceSelections(app, cuts)
 		} else {
-			res, err := isegen.Generate(app, cfg)
+			res, err := isegen.GenerateContext(ctx, app, cfg, cache)
 			if err != nil {
 				return err
 			}
@@ -81,7 +160,7 @@ func run(path, algo string, maxIn, maxOut, nise int, seed int64, workers int, do
 		// Baselines operate per block through the unified engine
 		// registry; run them on the largest block, as the paper does
 		// (the critical basic block).
-		eng, err := isegen.NewSearchEngine(algo, isegen.NewCostCache())
+		eng, err := isegen.NewSearchEngine(algo, cache)
 		if err != nil {
 			return err
 		}
@@ -96,7 +175,7 @@ func run(path, algo string, maxIn, maxOut, nise int, seed int64, workers int, do
 		}
 		lim := &isegen.SearchLimits{
 			MaxIn: maxIn, MaxOut: maxOut, NISE: nise,
-			NodeLimit: isegen.DefaultNodeLimit(algo), Budget: 2_000_000_000,
+			NodeLimit: isegen.DefaultNodeLimit(algo), Budget: isegen.DefaultSearchBudget,
 			Workers: workers,
 		}
 		cuts, _, err := eng.Run(app.Blocks[hot], isegen.MeritObjective(model), lim)
@@ -104,7 +183,7 @@ func run(path, algo string, maxIn, maxOut, nise int, seed int64, workers int, do
 			return err
 		}
 		if noReuse {
-			sels = cutsToSelections(app, cuts)
+			sels = service.SingleInstanceSelections(app, cuts)
 		} else {
 			blockIdx := map[*isegen.Block]int{}
 			for i, b := range app.Blocks {
@@ -144,19 +223,4 @@ func run(path, algo string, maxIn, maxOut, nise int, seed int64, workers int, do
 		fmt.Println("wrote", dotFile)
 	}
 	return nil
-}
-
-func cutsToSelections(app *isegen.Application, cuts []*isegen.Cut) []isegen.Selection {
-	blockIdx := map[*isegen.Block]int{}
-	for i, b := range app.Blocks {
-		blockIdx[b] = i
-	}
-	var sels []isegen.Selection
-	for _, c := range cuts {
-		sels = append(sels, isegen.Selection{
-			Cut:       c,
-			Instances: []isegen.Instance{{BlockIdx: blockIdx[c.Block], Nodes: c.Nodes}},
-		})
-	}
-	return sels
 }

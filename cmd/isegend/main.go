@@ -1,0 +1,107 @@
+// Command isegend is the long-lived ISE-selection service: it accepts
+// .dfg uploads over HTTP, queues them on a bounded FIFO with per-tenant
+// worker budgets, runs them on the unified search engine, and streams
+// per-block selections back as NDJSON — bit-identical to what
+// `isegen -json` produces offline for the same input and parameters.
+//
+// Endpoints:
+//
+//	POST /v1/select?algo=isegen&in=4&out=2&nise=4&workers=0&reuse=true
+//	     body: .dfg text; optional X-Tenant header (or ?tenant=) for
+//	     budget accounting. Response: NDJSON — one "block" record per
+//	     basic block in block order, then one "summary" record.
+//	GET  /v1/metrics    queue + cost-cache statistics (JSON)
+//	GET  /healthz       liveness probe
+//
+// With -cache-dir, cut costings persist on disk keyed by canonical block
+// hash (size-bounded, LRU-evicted), so repeated sweeps over the same
+// application skip cut costing entirely — even across daemon restarts.
+//
+// Example:
+//
+//	isegend -addr :8080 -cache-dir /var/cache/isegend &
+//	isegen -json file.dfg > offline.ndjson
+//	curl -sS --data-binary @file.dfg 'localhost:8080/v1/select' > served.ndjson
+//	diff offline.ndjson served.ndjson   # empty: determinism contract
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/search"
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		queueCap   = flag.Int("queue", 64, "bounded FIFO capacity; further submissions get 503")
+		jobs       = flag.Int("jobs", 2, "jobs executed concurrently (queue workers)")
+		budget     = flag.Int("tenant-budget", 1, "max concurrently running jobs per tenant")
+		workers    = flag.Int("workers", 0, "per-job search worker pool bound (0 = one per CPU core)")
+		cacheDir   = flag.String("cache-dir", "", "persist cut costings under this directory (empty = memory only)")
+		cacheBytes = flag.Int64("cache-bytes", search.DefaultStoreBytes, "disk cache size bound in bytes (LRU-evicted; negative = unbounded)")
+		maxBody    = flag.Int64("max-body", 16<<20, "maximum upload size in bytes")
+	)
+	flag.Parse()
+	if err := run(*addr, *queueCap, *jobs, *budget, *workers, *cacheDir, *cacheBytes, *maxBody); err != nil {
+		fmt.Fprintln(os.Stderr, "isegend:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, queueCap, jobs, budget, workers int, cacheDir string, cacheBytes, maxBody int64) error {
+	var store *search.Store
+	if cacheDir != "" {
+		var err error
+		if store, err = search.NewStore(cacheDir, cacheBytes); err != nil {
+			return err
+		}
+		log.Printf("persistent cost cache at %s (bound %d bytes)", cacheDir, cacheBytes)
+	}
+	srv := service.NewServer(service.Config{
+		QueueCapacity: queueCap,
+		Workers:       jobs,
+		TenantBudget:  budget,
+		RunnerWorkers: workers,
+		Cache:         search.NewPersistentCostCache(store),
+		MaxBodyBytes:  maxBody,
+	})
+
+	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("isegend listening on %s (queue %d, jobs %d, tenant budget %d)", addr, queueCap, jobs, budget)
+
+	select {
+	case err := <-errc:
+		srv.Close()
+		return err
+	case <-ctx.Done():
+	}
+	log.Print("shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err := hs.Shutdown(shutCtx)
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		// Graceful drain timed out: force-close the connections so the
+		// in-flight request contexts cancel and the queue workers'
+		// searches abort — otherwise srv.Close below would wait for a
+		// long-running job with nothing left to cancel it.
+		log.Printf("graceful drain incomplete (%v); closing connections", err)
+		_ = hs.Close()
+	}
+	srv.Close() // drains workers, flushes the cache to disk
+	return nil
+}

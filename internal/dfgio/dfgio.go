@@ -127,6 +127,12 @@ func Parse(r io.Reader) (*ir.Block, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := p.sc.Err(); err != nil {
+		// A read failure looks like EOF to the line loop; surfacing it
+		// prevents a truncated stream (size-limited upload, I/O error)
+		// from silently parsing as a shorter, valid-looking input.
+		return nil, err
+	}
 	if b == nil {
 		return nil, &ParseError{Line: p.line, Msg: "no dfg header found"}
 	}
@@ -147,6 +153,11 @@ func ParseApplication(name string, r io.Reader) (*ir.Application, error) {
 			break
 		}
 		app.Blocks = append(app.Blocks, b)
+	}
+	if err := p.sc.Err(); err != nil {
+		// See Parse: a read failure must not masquerade as EOF, or a
+		// truncated stream would yield a silently shortened application.
+		return nil, err
 	}
 	if len(app.Blocks) == 0 {
 		return nil, &ParseError{Line: p.line, Msg: "no blocks in application"}

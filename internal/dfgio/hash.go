@@ -1,0 +1,50 @@
+package dfgio
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+
+	"repro/internal/ir"
+)
+
+// BlockHash returns a stable, canonical content hash of the block's
+// structure: node opcodes, operands, immediates, the live-out set and the
+// input count. Everything the cut-costing metrics depend on is covered;
+// everything they ignore — the block name, the execution frequency, node
+// debug labels, and the textual field order of the .dfg source — is
+// deliberately excluded, so re-parsing, renaming or re-profiling the same
+// DFG yields the same hash. Two blocks hash equal exactly when cut costing
+// is interchangeable between them, which makes the hash a safe persistent
+// cache key (see search.CostCache) and a safe dedup key for uploads.
+//
+// The hash is a hex-encoded SHA-256 over a versioned binary encoding; it
+// never changes across processes or platforms for the same structure.
+func BlockHash(b *ir.Block) string {
+	h := sha256.New()
+	var buf [10]byte
+	wu := func(v uint64) {
+		n := binary.PutUvarint(buf[:], v)
+		h.Write(buf[:n])
+	}
+	h.Write([]byte("dfgv1\x00"))
+	wu(uint64(b.NumInputs))
+	wu(uint64(len(b.Nodes)))
+	for i := range b.Nodes {
+		nd := &b.Nodes[i]
+		wu(uint64(nd.Op))
+		wu(uint64(len(nd.Args)))
+		for _, a := range nd.Args {
+			wu(uint64(a.Kind))
+			// Index may be a negative immediate; zig-zag it.
+			wu(uint64((int64(a.Index) << 1) ^ (int64(a.Index) >> 63)))
+		}
+		wu(uint64(uint32(nd.Imm)))
+		if b.LiveOut.Has(i) {
+			wu(1)
+		} else {
+			wu(0)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

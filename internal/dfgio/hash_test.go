@@ -1,0 +1,106 @@
+package dfgio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/kernels"
+)
+
+// mac builds the documented example block, optionally tweaked.
+func macBlock(t *testing.T, text string) *ir.Block {
+	t.Helper()
+	b, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return b
+}
+
+const macText = `dfg mac
+freq 100
+inputs 3
+0 mul i0 i1
+1 add n0 i2 !out
+`
+
+func TestBlockHashStableAcrossFieldReorderings(t *testing.T) {
+	base := macBlock(t, macText)
+	variants := map[string]string{
+		"header fields swapped": "dfg mac\ninputs 3\nfreq 100\n0 mul i0 i1\n1 add n0 i2 !out\n",
+		"comments and blanks":   "# a comment\ndfg mac\n\nfreq 100\n# another\ninputs 3\n\n0 mul i0 i1\n1 add n0 i2 !out\n",
+		"different name":        strings.Replace(macText, "dfg mac", "dfg renamed", 1),
+		"different freq":        strings.Replace(macText, "freq 100", "freq 7", 1),
+	}
+	want := BlockHash(base)
+	if want == "" || len(want) != 64 {
+		t.Fatalf("BlockHash returned %q, want 64 hex chars", want)
+	}
+	for name, text := range variants {
+		if got := BlockHash(macBlock(t, text)); got != want {
+			t.Errorf("%s: hash %s != base %s", name, got, want)
+		}
+	}
+}
+
+func TestBlockHashDistinguishesMutations(t *testing.T) {
+	base := BlockHash(macBlock(t, macText))
+	mutants := map[string]string{
+		"different op":      strings.Replace(macText, "0 mul i0 i1", "0 add i0 i1", 1),
+		"different operand": strings.Replace(macText, "1 add n0 i2 !out", "1 add n0 i0 !out", 1),
+		"liveout dropped":   strings.Replace(macText, " !out", "", 1),
+		"extra liveout":     strings.Replace(macText, "0 mul i0 i1", "0 mul i0 i1 !out", 1),
+		"more inputs":       strings.Replace(macText, "inputs 3", "inputs 4", 1),
+		"extra node":        macText + "2 not n1\n",
+	}
+	seen := map[string]string{"base": base}
+	for name, text := range mutants {
+		got := BlockHash(macBlock(t, text))
+		for prev, h := range seen {
+			if got == h {
+				t.Errorf("%s: hash collides with %s (%s)", name, prev, h)
+			}
+		}
+		seen[name] = got
+	}
+}
+
+func TestBlockHashDistinguishesImmediates(t *testing.T) {
+	a := macBlock(t, "dfg c\ninputs 0\n0 const imm=1 !out\n")
+	b := macBlock(t, "dfg c\ninputs 0\n0 const imm=-1 !out\n")
+	if BlockHash(a) == BlockHash(b) {
+		t.Fatal("different immediates hash equal")
+	}
+}
+
+// TestRoundTripPreservesHash pins the serialization round trip on every
+// kernel benchmark: Write → Parse reproduces a structurally identical
+// application (same canonical hash per block, same freq and name).
+func TestRoundTripPreservesHash(t *testing.T) {
+	specs := kernels.All()
+	specs = append(specs, kernels.Spec{Name: "aes", App: kernels.AES()})
+	for _, spec := range specs {
+		var buf bytes.Buffer
+		if err := WriteApplication(&buf, spec.App); err != nil {
+			t.Fatalf("%s: WriteApplication: %v", spec.Name, err)
+		}
+		got, err := ParseApplication(spec.Name, bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: ParseApplication: %v", spec.Name, err)
+		}
+		if len(got.Blocks) != len(spec.App.Blocks) {
+			t.Fatalf("%s: %d blocks, want %d", spec.Name, len(got.Blocks), len(spec.App.Blocks))
+		}
+		for i, want := range spec.App.Blocks {
+			b := got.Blocks[i]
+			if b.Name != want.Name || b.Freq != want.Freq {
+				t.Errorf("%s block %d: name/freq %q/%g, want %q/%g", spec.Name, i, b.Name, b.Freq, want.Name, want.Freq)
+			}
+			if BlockHash(b) != BlockHash(want) {
+				t.Errorf("%s block %d (%s): hash changed across round trip", spec.Name, i, want.Name)
+			}
+		}
+	}
+}

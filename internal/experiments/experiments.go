@@ -65,7 +65,7 @@ func DefaultOptions() Options {
 		MaxIn: 4, MaxOut: 2, NISE: 4,
 		ExactNodeLimit:     25,
 		IterativeNodeLimit: 100,
-		Budget:             2_000_000_000,
+		Budget:             search.DefaultBudget,
 		GASeed:             1,
 		Model:              latency.Default(),
 	}

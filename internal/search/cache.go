@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/dfgio"
 	"repro/internal/graph"
 	"repro/internal/ir"
 	"repro/internal/latency"
@@ -21,9 +22,26 @@ import (
 // Metrics is a pure function of (block, model, cut); concurrent lookups
 // from the worker pool therefore stay deterministic no matter how they
 // interleave. A CostCache is safe for concurrent use.
+//
+// By default blocks are keyed by pointer identity, which is free but
+// means two parses of the same .dfg text never share entries. A cache
+// created with NewPersistentCostCache instead keys blocks by their
+// canonical content hash (dfgio.BlockHash) combined with the model
+// fingerprint: structurally identical blocks share one costing map no
+// matter how many times they were parsed — the long-lived service's
+// repeated-upload scenario — and, when a Store is attached, the maps are
+// loaded from and flushed to disk so they survive process restarts.
 type CostCache struct {
 	mu     sync.RWMutex
 	blocks map[blockModelKey]*blockCache
+	// byKey indexes block caches by stable content key (persistent mode
+	// only); pointer-keyed entries alias into it.
+	byKey map[string]*blockCache
+	store *Store
+	// modelFPs memoizes ModelFingerprint per model (persistent mode):
+	// the fingerprint is re-needed on every block's first touch, and the
+	// handful of long-lived models a process uses makes this map tiny.
+	modelFPs map[*latency.Model]string
 
 	hits, misses atomic.Int64
 }
@@ -36,11 +54,50 @@ type blockModelKey struct {
 type blockCache struct {
 	mu sync.RWMutex
 	m  map[string]core.Metrics
+	// key is the stable content key ("" in pointer-keyed mode); dirty
+	// tracks whether entries were added since the last Flush/load.
+	key   string
+	dirty bool
 }
 
-// NewCostCache returns an empty cache.
+// NewCostCache returns an empty, in-memory, pointer-keyed cache.
 func NewCostCache() *CostCache {
 	return &CostCache{blocks: map[blockModelKey]*blockCache{}}
+}
+
+// NewPersistentCostCache returns a cache that keys blocks by canonical
+// content hash, so structurally identical blocks share entries across
+// parses, and that loads/flushes per-block costing maps through the given
+// store. A nil store is allowed: the cache is then content-keyed but
+// memory-only (shared across uploads, lost on exit).
+func NewPersistentCostCache(store *Store) *CostCache {
+	return &CostCache{
+		blocks:   map[blockModelKey]*blockCache{},
+		byKey:    map[string]*blockCache{},
+		store:    store,
+		modelFPs: map[*latency.Model]string{},
+	}
+}
+
+// modelFP returns the memoized model fingerprint.
+func (c *CostCache) modelFP(model *latency.Model) string {
+	c.mu.RLock()
+	fp, ok := c.modelFPs[model]
+	c.mu.RUnlock()
+	if ok {
+		return fp
+	}
+	fp = ModelFingerprint(model)
+	c.mu.Lock()
+	// The memo is bounded by the same reasoning as blockModelKey: a
+	// process uses a handful of models; guard anyway against a caller
+	// minting one per request.
+	if len(c.modelFPs) >= maxPointerAliases {
+		c.modelFPs = map[*latency.Model]string{}
+	}
+	c.modelFPs[model] = fp
+	c.mu.Unlock()
+	return fp
 }
 
 // Metrics is a core.MetricsFunc: it returns the memoized costing of the
@@ -60,6 +117,7 @@ func (c *CostCache) Metrics(blk *ir.Block, model *latency.Model, cut *graph.BitS
 	m = core.MetricsOf(blk, model, cut)
 	bc.mu.Lock()
 	bc.m[key] = m
+	bc.dirty = true
 	bc.mu.Unlock()
 	return m
 }
@@ -69,6 +127,66 @@ func (c *CostCache) Stats() (hits, misses int64) {
 	return c.hits.Load(), c.misses.Load()
 }
 
+// Store returns the attached persistence layer, nil for memory-only
+// caches.
+func (c *CostCache) Store() *Store { return c.store }
+
+// Flush persists every dirty per-block costing map through the attached
+// store. It is a no-op for caches without a store. Callers decide the
+// cadence: the service flushes after each job, the offline tools at exit.
+func (c *CostCache) Flush() error {
+	if c.store == nil {
+		return nil
+	}
+	c.mu.RLock()
+	caches := make([]*blockCache, 0, len(c.byKey))
+	for _, bc := range c.byKey {
+		caches = append(caches, bc)
+	}
+	c.mu.RUnlock()
+	var firstErr error
+	for _, bc := range caches {
+		bc.mu.Lock()
+		if !bc.dirty {
+			bc.mu.Unlock()
+			continue
+		}
+		snapshot := make(map[string]core.Metrics, len(bc.m))
+		for k, v := range bc.m {
+			snapshot[k] = v
+		}
+		bc.dirty = false
+		bc.mu.Unlock()
+		if err := c.store.Save(bc.key, snapshot); err != nil {
+			// Re-mark dirty so a transient failure (disk full, EACCES)
+			// is retried by the next Flush instead of silently dropping
+			// the block's costings from persistence forever.
+			bc.mu.Lock()
+			bc.dirty = true
+			bc.mu.Unlock()
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// maxPointerAliases bounds the pointer-identity memo in content-keyed
+// mode. Each upload parses fresh *ir.Block values; without a bound the
+// memo would pin every request's parsed blocks (nodes, DAGs) in a
+// long-lived service. Dropping the memo only costs a re-hash on next
+// sight — the costings themselves live in byKey.
+const maxPointerAliases = 4096
+
+// maxBlockCaches bounds the content-keyed costing maps held in memory.
+// A daemon serving many distinct applications would otherwise accumulate
+// one costing map per unique (block, model) forever; beyond the bound,
+// clean entries are dropped (they reload from the store, or recompute —
+// the cache is a pure accelerator) while dirty, not-yet-flushed entries
+// are kept so no persisted work is lost.
+const maxBlockCaches = 1024
+
 func (c *CostCache) blockFor(blk *ir.Block, model *latency.Model) *blockCache {
 	key := blockModelKey{blk, model}
 	c.mu.RLock()
@@ -77,13 +195,70 @@ func (c *CostCache) blockFor(blk *ir.Block, model *latency.Model) *blockCache {
 	if ok {
 		return bc
 	}
+	// Persistent mode: resolve the stable content key outside the lock
+	// (hashing a large block is the expensive part and is done once per
+	// block pointer).
+	stable := ""
+	if c.byKey != nil {
+		stable = dfgio.BlockHash(blk) + "-" + c.modelFP(model)
+	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if bc, ok = c.blocks[key]; ok {
+		c.mu.Unlock()
 		return bc
 	}
-	bc = &blockCache{m: map[string]core.Metrics{}}
+	if stable != "" && len(c.blocks) >= maxPointerAliases {
+		c.blocks = map[blockModelKey]*blockCache{}
+	}
+	if stable != "" {
+		if bc, ok = c.byKey[stable]; ok {
+			c.blocks[key] = bc
+			c.mu.Unlock()
+			return bc
+		}
+		if len(c.byKey) >= maxBlockCaches {
+			// Without a store every entry is evictable (the cache is a
+			// pure accelerator); with one, prefer keeping dirty entries
+			// so their pending costings still reach disk on the next
+			// Flush.
+			for k, old := range c.byKey {
+				old.mu.RLock()
+				dirty := old.dirty
+				old.mu.RUnlock()
+				if c.store == nil || !dirty {
+					delete(c.byKey, k)
+				}
+			}
+			if len(c.byKey) >= maxBlockCaches {
+				// Everything is dirty — a persistently failing disk
+				// keeps Flush from ever clearing the flags. Unflushed
+				// costings are recomputable; unbounded memory is not
+				// survivable, so the bound wins.
+				c.byKey = map[string]*blockCache{}
+			}
+			// Stale pointer aliases into dropped caches go with them.
+			c.blocks = map[blockModelKey]*blockCache{}
+		}
+	}
+	bc = &blockCache{m: map[string]core.Metrics{}, key: stable}
 	c.blocks[key] = bc
+	if stable != "" {
+		c.byKey[stable] = bc
+	}
+	c.mu.Unlock()
+	// Prefill from disk outside the cache lock; concurrent first-touch
+	// races at worst overwrite identical values (Metrics is pure).
+	if stable != "" && c.store != nil {
+		if m, ok := c.store.Load(stable); ok {
+			bc.mu.Lock()
+			for k, v := range m {
+				if _, exists := bc.m[k]; !exists {
+					bc.m[k] = v
+				}
+			}
+			bc.mu.Unlock()
+		}
+	}
 	return bc
 }
 

@@ -267,6 +267,13 @@ func Names() []string {
 	return out
 }
 
+// DefaultBudget is the standard search-tree node budget for the exact
+// engines — large enough that every in-limit benchmark block completes,
+// bounded so a pathological block cannot wedge a driver. The offline CLI,
+// the serving layer and the experiment harnesses all share this value;
+// diverging budgets would break their bit-identical-results contract.
+const DefaultBudget int64 = 2_000_000_000
+
 // DefaultNodeLimit returns the paper's block-size limit for the named
 // engine: the joint Exact search handled ~25 nodes and Iterative ~100;
 // the heuristics have no limit (0).

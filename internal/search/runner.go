@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -17,6 +18,11 @@ import (
 // worker pool. Merge order is deterministic (input order for blocks, seed
 // order for trajectories), so a Runner with N workers produces results
 // bit-identical to the sequential path; only wall-clock time changes.
+//
+// Every method has a Context variant that honors cancellation: request
+// timeouts and client disconnects (the serving scenario) abort between
+// work items, the pool drains without leaking goroutines, and ctx.Err()
+// is returned. The non-Context methods run under context.Background().
 type Runner struct {
 	// Workers bounds the pool; 0 means one worker per CPU core
 	// (runtime.GOMAXPROCS), 1 forces the sequential path.
@@ -37,26 +43,56 @@ func workers(n int) int {
 
 // parallelFor runs fn(0..n-1) on at most w workers and waits for all.
 // With w <= 1 it degenerates to a plain loop on the calling goroutine.
-func parallelFor(w, n int, fn func(i int)) {
+// Cancellation is checked before each work item is claimed: in-flight
+// items finish (results stay deterministic for every completed slot),
+// unclaimed items are skipped, every worker goroutine exits before the
+// call returns, and the context's error is reported.
+//
+// A panic in fn is re-raised on the calling goroutine after the pool has
+// drained (first panic wins; remaining items are skipped), so callers see
+// the same propagation semantics as a plain loop — a serving layer's
+// recover around the call contains the crash no matter the worker count.
+func parallelFor(ctx context.Context, w, n int, fn func(i int)) error {
 	if n == 0 {
-		return
+		return ctx.Err()
 	}
 	if w > n {
 		w = n
 	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(i)
 		}
-		return
+		return ctx.Err()
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	var panicked atomic.Bool
+	var panicVal atomic.Value
 	wg.Add(w)
+	done := ctx.Done()
 	for g := 0; g < w; g++ {
 		go func() {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					if panicked.CompareAndSwap(false, true) {
+						panicVal.Store(r)
+					}
+				}
+			}()
 			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if panicked.Load() {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -66,26 +102,37 @@ func parallelFor(w, n int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+	if panicked.Load() {
+		panic(panicVal.Load())
+	}
+	return ctx.Err()
 }
 
 // candidates runs the engine's restart trajectories — in parallel when
 // w > 1 — and finalizes the merged snapshot pool. Snapshots are merged in
 // seed order, which is exactly the order the sequential Candidates path
-// produces, so the result is identical for every worker count.
-func candidates(eng *core.Engine, w int) []*core.Cut {
+// produces, so the result is identical for every worker count. On
+// cancellation it returns nil and the context's error.
+func candidates(ctx context.Context, eng *core.Engine, w int) ([]*core.Cut, error) {
 	seeds := eng.Seeds()
 	if workers(w) <= 1 || len(seeds) <= 1 {
-		return eng.Candidates()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return eng.Candidates(), nil
 	}
 	perSeed := make([][]core.Candidate, len(seeds))
-	parallelFor(workers(w), len(seeds), func(i int) {
+	err := parallelFor(ctx, workers(w), len(seeds), func(i int) {
 		perSeed[i] = eng.Trajectory(seeds[i])
 	})
+	if err != nil {
+		return nil, err
+	}
 	var snaps []core.Candidate
 	for _, s := range perSeed {
 		snaps = append(snaps, s...)
 	}
-	return eng.Finalize(snaps)
+	return eng.Finalize(snaps), nil
 }
 
 // ClaimFunc is invoked by Generate after each cut is selected; it may
@@ -94,8 +141,13 @@ func candidates(eng *core.Engine, w int) []*core.Cut {
 // it is handed. Claims run sequentially in selection order.
 type ClaimFunc func(blockIdx int, cut *core.Cut, excluded []*graph.BitSet)
 
-// Generate solves the paper's Problem 2 over a whole application: it
-// repeatedly selects the block with the highest remaining speedup
+// Generate runs GenerateContext under context.Background().
+func (r *Runner) Generate(app *ir.Application, cfg core.Config, obj *Objective, claim ClaimFunc) ([]*core.Cut, Stats, error) {
+	return r.GenerateContext(context.Background(), app, cfg, obj, claim)
+}
+
+// GenerateContext solves the paper's Problem 2 over a whole application:
+// it repeatedly selects the block with the highest remaining speedup
 // potential (execution frequency × estimated gain of its remaining
 // feasible nodes), bi-partitions it with restart trajectories fanned out
 // across the worker pool, lets the objective pick from the candidate pool,
@@ -105,8 +157,10 @@ type ClaimFunc func(blockIdx int, cut *core.Cut, excluded []*graph.BitSet)
 // The greedy round structure is inherently sequential — each round's
 // exclusions depend on the previous selection — so the parallelism lives
 // inside the rounds, and the output is bit-identical for every worker
-// count.
-func (r *Runner) Generate(app *ir.Application, cfg core.Config, obj *Objective, claim ClaimFunc) ([]*core.Cut, Stats, error) {
+// count. Cancellation is honored between rounds and between restart
+// trajectories; a cancelled run returns ctx.Err() and the cuts selected
+// so far (a deterministic prefix of the full run's output).
+func (r *Runner) GenerateContext(ctx context.Context, app *ir.Application, cfg core.Config, obj *Objective, claim ClaimFunc) ([]*core.Cut, Stats, error) {
 	start := time.Now()
 	stats := Stats{Engine: "ISEGEN"}
 	if err := cfg.Validate(); err != nil {
@@ -141,6 +195,11 @@ func (r *Runner) Generate(app *ir.Application, cfg core.Config, obj *Objective, 
 	var cuts []*core.Cut
 	exhausted := make([]bool, len(app.Blocks))
 	for len(cuts) < cfg.NISE {
+		if err := ctx.Err(); err != nil {
+			stats.Cuts = len(cuts)
+			stats.Duration = time.Since(start)
+			return cuts, stats, err
+		}
 		bi := selectBlock(app, cfg.Model, excluded, exhausted)
 		if bi < 0 {
 			break
@@ -150,7 +209,12 @@ func (r *Runner) Generate(app *ir.Application, cfg core.Config, obj *Objective, 
 			return nil, stats, err
 		}
 		eng.SetMetrics(cache.Metrics)
-		cands := candidates(eng, w)
+		cands, err := candidates(ctx, eng, w)
+		if err != nil {
+			stats.Cuts = len(cuts)
+			stats.Duration = time.Since(start)
+			return cuts, stats, err
+		}
 		stats.Candidates += len(cands)
 		cut := obj.pick(bi, cands, excluded)
 		if cut == nil {
@@ -168,18 +232,28 @@ func (r *Runner) Generate(app *ir.Application, cfg core.Config, obj *Objective, 
 	return cuts, stats, nil
 }
 
-// RunBlocks fans the engine out over independent basic blocks on the
-// worker pool and merges results in input order. Per-block failures do not
-// stop the fan-out; the first error (by block order) is returned alongside
-// the full result and stats slices, whose entries are valid wherever the
-// corresponding error slot was nil.
+// RunBlocks runs RunBlocksContext under context.Background().
 func (r *Runner) RunBlocks(blocks []*ir.Block, eng Engine, obj *Objective, lim *Limits) ([][]*core.Cut, []Stats, error) {
+	return r.RunBlocksContext(context.Background(), blocks, eng, obj, lim)
+}
+
+// RunBlocksContext fans the engine out over independent basic blocks on
+// the worker pool and merges results in input order. Per-block failures do
+// not stop the fan-out; the first error (by block order) is returned
+// alongside the full result and stats slices, whose entries are valid
+// wherever the corresponding error slot was nil. Cancellation short-
+// circuits unstarted blocks and returns ctx.Err() (which takes precedence
+// over per-block errors, since unstarted slots are indistinguishable from
+// failed ones at that point).
+func (r *Runner) RunBlocksContext(ctx context.Context, blocks []*ir.Block, eng Engine, obj *Objective, lim *Limits) ([][]*core.Cut, []Stats, error) {
 	cuts := make([][]*core.Cut, len(blocks))
 	stats := make([]Stats, len(blocks))
 	errs := make([]error, len(blocks))
-	parallelFor(workers(r.Workers), len(blocks), func(i int) {
+	if err := parallelFor(ctx, workers(r.Workers), len(blocks), func(i int) {
 		cuts[i], stats[i], errs[i] = eng.Run(blocks[i], obj, lim)
-	})
+	}); err != nil {
+		return cuts, stats, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return cuts, stats, err
@@ -188,11 +262,17 @@ func (r *Runner) RunBlocks(blocks []*ir.Block, eng Engine, obj *Objective, lim *
 	return cuts, stats, nil
 }
 
-// ForEach runs fn(0..n-1) on the runner's worker pool and waits. It is the
-// deterministic fan-out primitive the experiment harnesses use for
-// embarrassingly parallel sweeps (results must be written to slot i only).
+// ForEach runs ForEachContext under context.Background().
 func (r *Runner) ForEach(n int, fn func(i int)) {
-	parallelFor(workers(r.Workers), n, fn)
+	_ = r.ForEachContext(context.Background(), n, fn)
+}
+
+// ForEachContext runs fn(0..n-1) on the runner's worker pool and waits. It
+// is the deterministic fan-out primitive the experiment harnesses and the
+// service use for embarrassingly parallel sweeps (results must be written
+// to slot i only). It returns ctx.Err() when cancelled mid-sweep.
+func (r *Runner) ForEachContext(ctx context.Context, n int, fn func(i int)) error {
+	return parallelFor(ctx, workers(r.Workers), n, fn)
 }
 
 // selectBlock returns the index of the non-exhausted block with the

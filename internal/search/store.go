@@ -1,0 +1,275 @@
+package search
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/latency"
+)
+
+// DefaultStoreBytes is the default on-disk budget of a Store: generous
+// enough for repeated sweeps over every kernel benchmark, small enough
+// that a long-lived service cannot fill a disk.
+const DefaultStoreBytes = 64 << 20
+
+// Store persists per-block cut-costing maps on disk so a CostCache
+// survives process restarts: repeated sweeps over the same application
+// (CI, a long-lived service answering the same uploads) skip cut costing
+// entirely. One gob file per (block hash, model fingerprint) pair lives
+// under Dir; total size is bounded by MaxBytes with least-recently-used
+// eviction (access order is tracked via file mtimes, which Load refreshes).
+//
+// A Store is safe for concurrent use. Corrupt or unreadable files are
+// treated as absent — the cache recomputes and overwrites them.
+type Store struct {
+	dir      string
+	maxBytes int64
+
+	mu sync.Mutex
+	// total tracks the summed size of entry files incrementally, so the
+	// hot path never rescans the directory; evictLocked recomputes it
+	// authoritatively on the rare occasions the bound is exceeded.
+	total int64
+
+	loads, loadHits, saves, evictions int64
+}
+
+// NewStore opens (creating if needed) a persistent cache directory.
+// maxBytes bounds the total size of stored entries; 0 selects
+// DefaultStoreBytes, negative disables eviction.
+func NewStore(dir string, maxBytes int64) (*Store, error) {
+	if maxBytes == 0 {
+		maxBytes = DefaultStoreBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("search: cache store: %w", err)
+	}
+	s := &Store{dir: dir, maxBytes: maxBytes}
+	// Sweep temp files orphaned by a crash between CreateTemp and the
+	// rename: they can never be live across a process boundary, and
+	// eviction ignores them, so they would otherwise accumulate outside
+	// the size bound forever.
+	if stale, err := filepath.Glob(filepath.Join(dir, "tmp-*.gob")); err == nil {
+		for _, f := range stale {
+			_ = os.Remove(f)
+		}
+	}
+	for _, f := range s.entryFiles() {
+		s.total += f.size
+	}
+	return s, nil
+}
+
+// Dir returns the backing directory.
+func (s *Store) Dir() string { return s.dir }
+
+// storedEntry is the gob payload: one costed cut keyed by its bit words.
+type storedEntry struct {
+	Key     string
+	Metrics core.Metrics
+}
+
+// storeFormatVersion is embedded in entry file names. Bump it whenever
+// the persisted payload's semantics change — the core.Metrics schema or
+// the core.MetricsOf costing itself — so entries written by older
+// binaries read as misses and are recomputed instead of silently serving
+// stale costings (gob would otherwise decode drifted structs cleanly).
+// Orphaned old-version files age out through the LRU size bound.
+const storeFormatVersion = 1
+
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%s.v%d.gob", key, storeFormatVersion))
+}
+
+// Load reads the persisted costing map for the given stable key, returning
+// (nil, false) when absent or unreadable. A successful load refreshes the
+// file's mtime, marking it most-recently-used. The store lock is only
+// taken for counter updates, never across file I/O.
+func (s *Store) Load(key string) (map[string]core.Metrics, bool) {
+	s.mu.Lock()
+	s.loads++
+	s.mu.Unlock()
+	f, err := os.Open(s.path(key))
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	var entries []storedEntry
+	if err := gob.NewDecoder(f).Decode(&entries); err != nil {
+		return nil, false
+	}
+	m := make(map[string]core.Metrics, len(entries))
+	for _, e := range entries {
+		m[e.Key] = e.Metrics
+	}
+	now := time.Now()
+	_ = os.Chtimes(s.path(key), now, now)
+	s.mu.Lock()
+	s.loadHits++
+	s.mu.Unlock()
+	return m, true
+}
+
+// Save atomically persists the costing map for the stable key (temp file +
+// rename), then enforces the size bound by evicting the least recently
+// used entries. Encoding happens outside the store lock; only the rename,
+// size accounting and (rare) eviction are serialized, so saves do not
+// block concurrent Loads on the job hot path for the duration of disk
+// writes.
+func (s *Store) Save(key string, m map[string]core.Metrics) error {
+	entries := make([]storedEntry, 0, len(m))
+	for k, v := range m {
+		entries = append(entries, storedEntry{Key: k, Metrics: v})
+	}
+	// Deterministic file contents: sort by key.
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+
+	tmp, err := os.CreateTemp(s.dir, "tmp-*.gob")
+	if err != nil {
+		return fmt.Errorf("search: cache store: %w", err)
+	}
+	if err := gob.NewEncoder(tmp).Encode(entries); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("search: cache store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("search: cache store: %w", err)
+	}
+	size := int64(0)
+	if fi, err := os.Stat(tmp.Name()); err == nil {
+		size = fi.Size()
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var replaced int64
+	if fi, err := os.Stat(s.path(key)); err == nil {
+		replaced = fi.Size()
+	}
+	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("search: cache store: %w", err)
+	}
+	s.total += size - replaced
+	s.saves++
+	if s.maxBytes >= 0 && s.total > s.maxBytes {
+		s.evictLocked(key)
+	}
+	return nil
+}
+
+type entryFile struct {
+	name  string
+	size  int64
+	mtime time.Time
+}
+
+// entryFiles lists the store's entry files (ignoring in-flight temp
+// files). Used at open and by eviction; never on the save/load hot path.
+func (s *Store) entryFiles() []entryFile {
+	dirents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil
+	}
+	var files []entryFile
+	for _, de := range dirents {
+		if !strings.HasSuffix(de.Name(), ".gob") || strings.HasPrefix(de.Name(), "tmp-") {
+			continue
+		}
+		fi, err := de.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, entryFile{de.Name(), fi.Size(), fi.ModTime()})
+	}
+	return files
+}
+
+// evictLocked removes least-recently-used entry files when the directory
+// exceeds MaxBytes, refreshing the incremental size total from disk (the
+// authoritative count). It evicts down to a low-water mark (90% of the
+// bound) rather than just under it, so a store sitting at capacity does
+// not re-run the full directory scan on every subsequent Save. The
+// just-written key is exempt so a single oversized entry still persists
+// its own costings.
+func (s *Store) evictLocked(justSaved string) {
+	files := s.entryFiles()
+	var total int64
+	for _, f := range files {
+		total += f.size
+	}
+	target := s.maxBytes - s.maxBytes/10
+	saved := filepath.Base(s.path(justSaved))
+	sort.Slice(files, func(i, j int) bool { return files[i].mtime.Before(files[j].mtime) })
+	for _, f := range files {
+		if total <= target {
+			break
+		}
+		if f.name == saved {
+			continue
+		}
+		if os.Remove(filepath.Join(s.dir, f.name)) == nil {
+			total -= f.size
+			s.evictions++
+		}
+	}
+	s.total = total
+}
+
+// StoreStats is a snapshot of the store's activity counters.
+type StoreStats struct {
+	// Loads counts lookup attempts; LoadHits those that found a file.
+	Loads    int64 `json:"loads"`
+	LoadHits int64 `json:"load_hits"`
+	// Saves counts persisted entry files; Evictions files removed by the
+	// size bound.
+	Saves     int64 `json:"saves"`
+	Evictions int64 `json:"evictions"`
+}
+
+// Stats returns the cumulative activity counters.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StoreStats{Loads: s.loads, LoadHits: s.loadHits, Saves: s.saves, Evictions: s.evictions}
+}
+
+// ModelFingerprint returns a short stable digest of the latency model's
+// tables. It joins the block hash in persistent cache keys, so costings
+// computed under one model are never served to another.
+func ModelFingerprint(m *latency.Model) string {
+	var sb strings.Builder
+	for op := ir.Op(1); op.Valid(); op++ {
+		sb.WriteString(strconv.Itoa(int(op)))
+		sb.WriteByte(':')
+		sb.WriteString(strconv.Itoa(m.SW[op]))
+		for _, f := range []float64{m.HW[op], m.SWEnergy[op], m.HWEnergy[op], m.Area[op]} {
+			sb.WriteByte(':')
+			sb.WriteString(strconv.FormatFloat(f, 'g', -1, 64))
+		}
+		sb.WriteByte(';')
+	}
+	return fmt.Sprintf("%016x", fnv64(sb.String()))
+}
+
+// fnv64 is the FNV-1a 64-bit hash (inline to keep the fingerprint format
+// under this package's control).
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,322 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"repro/internal/dfgio"
+	"repro/internal/search"
+)
+
+// Config sizes a Server. Zero fields take the documented defaults.
+type Config struct {
+	// QueueCapacity bounds the FIFO of waiting jobs (default 64);
+	// submissions beyond it get 503 + Retry-After.
+	QueueCapacity int
+	// Workers is the number of jobs executed concurrently (default 2).
+	Workers int
+	// TenantBudget caps one tenant's concurrently running jobs
+	// (default 1): a heavy tenant queues behind itself while other
+	// tenants' jobs overtake.
+	TenantBudget int
+	// RunnerWorkers bounds each job's search worker pool (0 = one per
+	// CPU core; results are identical for every value).
+	RunnerWorkers int
+	// Cache is the shared cut-costing cache; default is a content-keyed
+	// memory-only persistent cache (NewPersistentCostCache(nil)), so
+	// repeated uploads of the same .dfg hit even without a disk store.
+	Cache *search.CostCache
+	// MaxBodyBytes bounds an upload (default 16 MiB).
+	MaxBodyBytes int64
+}
+
+// Server is the long-lived ISE-selection service: .dfg uploads in, NDJSON
+// selection streams out (see Run for the wire contract), with bounded
+// queueing, per-tenant budgets and a metrics endpoint.
+//
+//	POST /v1/select?algo=isegen&in=4&out=2&nise=4   body: .dfg text
+//	GET  /v1/metrics
+//	GET  /healthz
+type Server struct {
+	cfg   Config
+	queue *Queue
+	cache *search.CostCache
+
+	mu                       sync.Mutex
+	lastJobHits, lastJobMiss int64
+	flushErrs                int64
+}
+
+// NewServer starts the worker pool and returns a ready-to-serve Server.
+// Call Close to drain it.
+func NewServer(cfg Config) *Server {
+	if cfg.QueueCapacity <= 0 {
+		cfg.QueueCapacity = 64
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.TenantBudget <= 0 {
+		cfg.TenantBudget = 1
+	}
+	if cfg.Cache == nil {
+		cfg.Cache = search.NewPersistentCostCache(nil)
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 16 << 20
+	}
+	return &Server{
+		cfg:   cfg,
+		queue: NewQueue(cfg.QueueCapacity, cfg.Workers, cfg.TenantBudget),
+		cache: cfg.Cache,
+	}
+}
+
+// Close stops the queue workers (current jobs finish) and flushes the
+// cache to its store.
+func (s *Server) Close() {
+	s.queue.Close()
+	_ = s.cache.Flush()
+}
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/select", s.handleSelect)
+	mux.HandleFunc("/v1/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// parseParams reads job parameters from the request's query string,
+// falling back to DefaultParams.
+func parseParams(r *http.Request) (Params, error) {
+	p := DefaultParams()
+	q := r.URL.Query()
+	if v := q.Get("algo"); v != "" {
+		p.Algo = v
+	}
+	intField := func(name string, dst *int) error {
+		v := q.Get(name)
+		if v == "" {
+			return nil
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return fmt.Errorf("bad %s=%q", name, v)
+		}
+		*dst = n
+		return nil
+	}
+	for name, dst := range map[string]*int{
+		"in": &p.MaxIn, "out": &p.MaxOut, "nise": &p.NISE, "workers": &p.Workers,
+	} {
+		if err := intField(name, dst); err != nil {
+			return p, err
+		}
+	}
+	if v := q.Get("seed"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return p, fmt.Errorf("bad seed=%q", v)
+		}
+		p.Seed = n
+	}
+	if v := q.Get("reuse"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return p, fmt.Errorf("bad reuse=%q", v)
+		}
+		p.Reuse = b
+	}
+	return p, nil
+}
+
+// tenantOf resolves the submitting tenant: the X-Tenant header, the tenant
+// query parameter, or "default".
+func tenantOf(r *http.Request) string {
+	if t := r.Header.Get("X-Tenant"); t != "" {
+		return t
+	}
+	if t := r.URL.Query().Get("tenant"); t != "" {
+		return t
+	}
+	return "default"
+}
+
+func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST a .dfg body to this endpoint")
+		return
+	}
+	p, err := parseParams(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := p.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		name = "upload"
+	}
+	// Read the bounded body up front: a cut-off stream would otherwise
+	// surface as a confusing syntax error on a truncated line instead of
+	// a clear 413. The size is already bounded, so buffering is safe.
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, "upload exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	app, err := dfgio.ParseApplication(name, bytes.NewReader(body))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// The server's RunnerWorkers bound, when set, caps (and defaults)
+	// the per-job pool; results are identical for every value.
+	if s.cfg.RunnerWorkers > 0 && (p.Workers <= 0 || p.Workers > s.cfg.RunnerWorkers) {
+		p.Workers = s.cfg.RunnerWorkers
+	}
+
+	var wrote bool // any stream bytes committed? (read after job.Done)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(v any) error {
+		if err := enc.Encode(v); err != nil {
+			return err
+		}
+		wrote = true
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}
+	var runErr error // job failure with nothing streamed (read after Done)
+	job, err := s.queue.Submit(r.Context(), tenantOf(r), func(ctx context.Context) {
+		h0, m0 := s.cache.Stats()
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		// A cancelled context means the client went away — nobody is
+		// reading, so no error record. Engine failures after streaming
+		// started land in-stream (the 200 is committed by then); before
+		// any record, the handler turns them into a real error status.
+		if err := Run(ctx, app, p, s.cache, emit); err != nil && ctx.Err() == nil {
+			if wrote {
+				_ = emit(&ErrorRecord{Type: "error", Error: err.Error()})
+			} else {
+				runErr = err
+			}
+		}
+		h1, m1 := s.cache.Stats()
+		flushErr := s.cache.Flush()
+		s.mu.Lock()
+		// Overlapping jobs blur these deltas; they are exact whenever
+		// jobs run one at a time (the benchmark/repro setup).
+		s.lastJobHits, s.lastJobMiss = h1-h0, m1-m0
+		if flushErr != nil {
+			s.flushErrs++
+		}
+		s.mu.Unlock()
+	})
+	if err != nil {
+		if errors.Is(err, ErrQueueFull) {
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusServiceUnavailable, "queue full; retry later")
+			return
+		}
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	// The job streams directly to w from a queue worker; the handler
+	// must stay on the stack until it finishes.
+	<-job.Done()
+	jerr := job.Err()
+	if jerr == nil {
+		jerr = runErr
+	}
+	switch {
+	case jerr == nil:
+	case errors.Is(jerr, ErrQueueClosed):
+		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+	case r.Context().Err() != nil:
+		// Dropped because the client disconnected; nobody is reading.
+	case !wrote:
+		// The job died (contained panic or pre-stream failure) before
+		// committing any bytes: the client deserves a real error
+		// status, not an empty 200.
+		httpError(w, http.StatusInternalServerError, "%v", jerr)
+	default:
+		// Stream already committed; terminate it with an error record.
+		_ = emit(&ErrorRecord{Type: "error", Error: jerr.Error()})
+	}
+}
+
+// Metrics is the /v1/metrics response document.
+type Metrics struct {
+	Queue QueueStats   `json:"queue"`
+	Cache CacheMetrics `json:"cache"`
+}
+
+// CacheMetrics reports the shared cost cache's effectiveness: cumulative
+// hit/miss counters plus the delta observed during the most recently
+// completed job — a repeated upload of an already-seen application shows a
+// last-job hit rate near 1.
+type CacheMetrics struct {
+	Hits        int64   `json:"hits"`
+	Misses      int64   `json:"misses"`
+	HitRate     float64 `json:"hit_rate"`
+	LastJobHits int64   `json:"last_job_hits"`
+	LastJobMiss int64   `json:"last_job_misses"`
+	LastJobRate float64 `json:"last_job_hit_rate"`
+	// Store reports disk persistence activity when a store is attached.
+	Store *search.StoreStats `json:"store,omitempty"`
+	// FlushErrors counts failed post-job persistence attempts.
+	FlushErrors int64 `json:"flush_errors"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	hits, misses := s.cache.Stats()
+	s.mu.Lock()
+	cm := CacheMetrics{
+		Hits: hits, Misses: misses,
+		LastJobHits: s.lastJobHits, LastJobMiss: s.lastJobMiss,
+		FlushErrors: s.flushErrs,
+	}
+	s.mu.Unlock()
+	if t := hits + misses; t > 0 {
+		cm.HitRate = float64(hits) / float64(t)
+	}
+	if t := cm.LastJobHits + cm.LastJobMiss; t > 0 {
+		cm.LastJobRate = float64(cm.LastJobHits) / float64(t)
+	}
+	if st := s.cache.Store(); st != nil {
+		ss := st.Stats()
+		cm.Store = &ss
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(&Metrics{Queue: s.queue.Stats(), Cache: cm})
+}

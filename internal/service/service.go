@@ -1,0 +1,381 @@
+// Package service is the serving layer over the unified search engine:
+// it turns the one-shot ISE-selection flow into jobs a long-lived daemon
+// (cmd/isegend) executes — bounded FIFO queueing with per-tenant worker
+// budgets (queue.go), HTTP upload/streaming endpoints (server.go), and a
+// persistent cut-costing cache shared across uploads and restarts
+// (search.NewPersistentCostCache).
+//
+// The wire contract is deterministic: a job's NDJSON stream — one
+// BlockResult record per basic block in ascending block order, then one
+// Summary record — is bit-identical to what `cmd/isegen -json` produces
+// offline for the same input and parameters, for every worker count and
+// cache state. Run is that single shared execution path; both the daemon
+// and the offline tool call it, so served and offline results are always
+// diffable. Nothing nondeterministic (timing, cache statistics, tenant
+// identity) appears in the stream; that lives on the metrics endpoint.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	isegen "repro"
+	"repro/internal/core"
+	"repro/internal/dfgio"
+	"repro/internal/ir"
+	"repro/internal/latency"
+	"repro/internal/search"
+)
+
+// defaultModel is the one latency model every job runs under. Sharing the
+// pointer (rather than minting one per job) keeps the cost cache's
+// pointer-keyed fast path and fingerprint memo effective across jobs; the
+// values are identical either way, so results are unaffected.
+var defaultModel = latency.Default()
+
+// Params selects the algorithm and constraints of one job. The zero value
+// is not valid; start from DefaultParams.
+type Params struct {
+	// Algo is a search-engine registry name ("isegen", "exact",
+	// "iterative", "genetic"). "isegen" runs the paper's application-
+	// level greedy flow; the baselines run per block.
+	Algo string `json:"algo"`
+	// MaxIn and MaxOut are the register-file port constraints.
+	MaxIn  int `json:"max_in"`
+	MaxOut int `json:"max_out"`
+	// NISE is the AFU budget. For per-block baselines it applies per
+	// block, as in the paper's Figure 4 protocol.
+	NISE int `json:"nise"`
+	// Seed makes the genetic baseline repeatable.
+	Seed int64 `json:"seed"`
+	// Workers bounds the job's worker pool (0 = one per CPU core).
+	// Results are bit-identical for every value.
+	Workers int `json:"workers"`
+	// Reuse enables reuse-aware scoring and instance claiming ("isegen"
+	// only; baselines count each cut once).
+	Reuse bool `json:"reuse"`
+}
+
+// DefaultParams returns the paper's main configuration: ISEGEN with reuse,
+// I/O (4,2), 4 AFUs.
+func DefaultParams() Params {
+	return Params{Algo: "isegen", MaxIn: 4, MaxOut: 2, NISE: 4, Seed: 1, Reuse: true}
+}
+
+// Validate rejects parameter combinations no engine can run.
+func (p Params) Validate() error {
+	if _, err := search.New(p.Algo, nil); err != nil {
+		return err
+	}
+	if p.MaxIn < 1 || p.MaxOut < 1 || p.NISE < 1 {
+		return fmt.Errorf("service: in/out/nise must be positive (got %d/%d/%d)", p.MaxIn, p.MaxOut, p.NISE)
+	}
+	return nil
+}
+
+// Instance is one claimed occurrence of an ISE.
+type Instance struct {
+	Block int   `json:"block"`
+	Nodes []int `json:"nodes"`
+}
+
+// Selection is one identified ISE in the result stream. ISE numbers are
+// global (1-based) in selection order, so offline and served runs are
+// diffable line by line.
+type Selection struct {
+	ISE       int        `json:"ise"`
+	Nodes     []int      `json:"nodes"`
+	NumIn     int        `json:"num_in"`
+	NumOut    int        `json:"num_out"`
+	SWLat     int        `json:"sw_lat"`
+	HWCycles  int        `json:"hw_cycles"`
+	Merit     float64    `json:"merit"`
+	Instances []Instance `json:"instances"`
+}
+
+// BlockResult is one NDJSON record: every selection whose cut was
+// identified in this block (instances may span other blocks). Exactly one
+// record is emitted per block, in ascending block order, including blocks
+// with no selections — the stream shape is a pure function of the input.
+type BlockResult struct {
+	Type  string `json:"type"` // "block"
+	Block int    `json:"block"`
+	Name  string `json:"name"`
+	// Hash is the canonical content hash of the block (dfgio.BlockHash),
+	// the key under which its cut costings persist.
+	Hash string `json:"hash"`
+	// Skipped explains why a per-block engine did not run on this block
+	// (e.g. it exceeds the engine's node limit); empty otherwise.
+	Skipped    string      `json:"skipped,omitempty"`
+	Selections []Selection `json:"selections"`
+}
+
+// Summary is the final NDJSON record: the whole-application quality
+// report. It deliberately carries no timing or cache statistics — those
+// are nondeterministic and live on the metrics endpoint instead.
+type Summary struct {
+	Type         string  `json:"type"` // "summary"
+	Algo         string  `json:"algo"`
+	Blocks       int     `json:"blocks"`
+	ISEs         int     `json:"ises"`
+	Instances    int     `json:"instances"`
+	Speedup      float64 `json:"speedup"`
+	Coverage     float64 `json:"coverage"`
+	StaticBefore int     `json:"static_before"`
+	StaticAfter  int     `json:"static_after"`
+	EnergyRatio  float64 `json:"energy_ratio"`
+}
+
+// ErrorRecord terminates a stream that failed mid-job (the HTTP status is
+// already committed by then).
+type ErrorRecord struct {
+	Type  string `json:"type"` // "error"
+	Error string `json:"error"`
+}
+
+// NDJSONEmitter returns an emit function writing one JSON record per line
+// to w, the encoding both the daemon and `cmd/isegen -json` use.
+func NDJSONEmitter(w io.Writer) func(v any) error {
+	enc := json.NewEncoder(w)
+	return func(v any) error { return enc.Encode(v) }
+}
+
+// Run executes one selection job over the application and emits the
+// deterministic result stream: one *BlockResult per block in ascending
+// block order, then one *Summary. The per-block baselines stream each
+// block's record as soon as the block completes (held back only as needed
+// to preserve order); the application-level ISEGEN flow emits after its
+// greedy drive finishes, since every round depends on the previous one.
+// Cancellation aborts the search and returns ctx.Err(); emit errors
+// (client disconnects) abort the fan-out and are returned as-is.
+func Run(ctx context.Context, app *ir.Application, p Params, cache *search.CostCache, emit func(v any) error) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if p.Algo == "isegen" {
+		return runApplication(ctx, app, p, cache, emit)
+	}
+	return runPerBlock(ctx, app, p, cache, emit)
+}
+
+// runApplication is the paper's flow: the application-level greedy drive
+// (reuse-aware when p.Reuse), then grouping of the selections by block.
+func runApplication(ctx context.Context, app *ir.Application, p Params, cache *search.CostCache, emit func(v any) error) error {
+	cfg := core.DefaultConfig()
+	cfg.MaxIn, cfg.MaxOut, cfg.NISE, cfg.Workers = p.MaxIn, p.MaxOut, p.NISE, p.Workers
+	cfg.Model = defaultModel
+
+	var sels []isegen.Selection
+	if p.Reuse {
+		res, err := isegen.GenerateContext(ctx, app, cfg, cache)
+		if err != nil {
+			return err
+		}
+		sels = res.Selections
+	} else {
+		cuts, err := isegen.GenerateCutsOnlyContext(ctx, app, cfg, cache)
+		if err != nil {
+			return err
+		}
+		sels = SingleInstanceSelections(app, cuts)
+	}
+
+	blockIdx := blockIndex(app)
+	perBlock := make([][]Selection, len(app.Blocks))
+	for i, sel := range sels {
+		bi := blockIdx[sel.Cut.Block]
+		perBlock[bi] = append(perBlock[bi], toSelection(i+1, sel))
+	}
+	for bi, blk := range app.Blocks {
+		if err := emit(blockResult(bi, blk, "", perBlock[bi])); err != nil {
+			return err
+		}
+	}
+	return emitSummary(app, p, sels, emit)
+}
+
+// runPerBlock fans a per-block engine out over the blocks on the job's
+// worker pool and streams each block's record as soon as it — and all
+// earlier blocks — completed. Blocks beyond the engine's node limit are
+// skipped (with a note in the record) rather than failing the job, so one
+// oversized block doesn't poison an application sweep.
+func runPerBlock(ctx context.Context, app *ir.Application, p Params, cache *search.CostCache, emit func(v any) error) error {
+	eng, err := search.New(p.Algo, cache)
+	if err != nil {
+		return err
+	}
+	if ga, ok := eng.(interface{ SetSeed(int64) }); ok {
+		ga.SetSeed(p.Seed)
+	}
+	obj := search.Merit(defaultModel)
+	lim := &search.Limits{
+		MaxIn: p.MaxIn, MaxOut: p.MaxOut, NISE: p.NISE,
+		NodeLimit: search.DefaultNodeLimit(p.Algo), Budget: search.DefaultBudget,
+		Workers: 1, // parallelism lives on the block axis here
+	}
+
+	type blockOut struct {
+		cuts    []*core.Cut
+		skipped string
+		err     error
+	}
+	n := len(app.Blocks)
+	outs := make([]blockOut, n)
+	ready := make([]chan struct{}, n)
+	for i := range ready {
+		ready[i] = make(chan struct{})
+	}
+	ictx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	runner := &search.Runner{Workers: p.Workers, Cache: cache}
+	fanErr := make(chan error, 1)
+	go func() {
+		// The fan-out runs off the queue worker's goroutine, outside its
+		// panic recovery; convert a panic into a job error and cancel so
+		// the emitter below unblocks instead of waiting on a ready
+		// channel that will never close.
+		defer func() {
+			if r := recover(); r != nil {
+				fanErr <- fmt.Errorf("service: job panicked: %v", r)
+				cancel()
+			}
+		}()
+		fanErr <- runner.ForEachContext(ictx, n, func(i int) {
+			defer close(ready[i])
+			defer func() {
+				// An engine panic would otherwise leave outs[i] looking
+				// like a clean empty block; record the failure for the
+				// emitter, then re-raise so containment still applies.
+				if r := recover(); r != nil {
+					outs[i].err = fmt.Errorf("service: engine panicked: %v", r)
+					panic(r)
+				}
+			}()
+			blk := app.Blocks[i]
+			if lim.NodeLimit > 0 && blk.N() > lim.NodeLimit {
+				outs[i].skipped = fmt.Sprintf("block exceeds %s engine node limit (%d > %d)", p.Algo, blk.N(), lim.NodeLimit)
+				return
+			}
+			outs[i].cuts, _, outs[i].err = eng.Run(blk, obj, lim)
+		})
+	}()
+
+	var sels []isegen.Selection
+	ise := 0
+	for bi := 0; bi < n; bi++ {
+		select {
+		case <-ready[bi]:
+		case <-ictx.Done():
+			if err := <-fanErr; err != nil && ctx.Err() == nil {
+				return err // fan-out panic, not a caller cancellation
+			}
+			return ictx.Err()
+		}
+		out := outs[bi]
+		if out.err != nil {
+			cancel()
+			<-fanErr
+			return fmt.Errorf("block %d (%s): %w", bi, app.Blocks[bi].Name, out.err)
+		}
+		recSels := make([]Selection, 0, len(out.cuts))
+		for _, c := range out.cuts {
+			ise++
+			sel := isegen.Selection{Cut: c, Instances: []isegen.Instance{{BlockIdx: bi, Nodes: c.Nodes}}}
+			sels = append(sels, sel)
+			recSels = append(recSels, toSelection(ise, sel))
+		}
+		if err := emit(blockResult(bi, app.Blocks[bi], out.skipped, recSels)); err != nil {
+			cancel()
+			<-fanErr
+			return err
+		}
+	}
+	if err := <-fanErr; err != nil {
+		return err
+	}
+	return emitSummary(app, p, sels, emit)
+}
+
+func emitSummary(app *ir.Application, p Params, sels []isegen.Selection, emit func(v any) error) error {
+	rep, err := isegen.Evaluate(app, defaultModel, sels)
+	if err != nil {
+		return err
+	}
+	instances := 0
+	for _, sel := range sels {
+		instances += len(sel.Instances)
+	}
+	// A valid .dfg may have zero dynamic weight (all freq 0), making the
+	// ratios 0/0; encoding/json rejects NaN/Inf, so degenerate ratios
+	// are reported as 0 rather than failing the stream.
+	return emit(&Summary{
+		Type:         "summary",
+		Algo:         p.Algo,
+		Blocks:       len(app.Blocks),
+		ISEs:         len(sels),
+		Instances:    instances,
+		Speedup:      finiteOrZero(rep.Speedup),
+		Coverage:     finiteOrZero(rep.Coverage),
+		StaticBefore: rep.StaticBefore,
+		StaticAfter:  rep.StaticAfter,
+		EnergyRatio:  finiteOrZero(rep.EnergyAfter / rep.EnergyBefore),
+	})
+}
+
+func finiteOrZero(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
+func blockResult(bi int, blk *ir.Block, skipped string, sels []Selection) *BlockResult {
+	if sels == nil {
+		sels = []Selection{}
+	}
+	return &BlockResult{
+		Type: "block", Block: bi, Name: blk.Name,
+		Hash: dfgio.BlockHash(blk), Skipped: skipped, Selections: sels,
+	}
+}
+
+func toSelection(ise int, sel isegen.Selection) Selection {
+	c := sel.Cut
+	insts := make([]Instance, 0, len(sel.Instances))
+	for _, inst := range sel.Instances {
+		insts = append(insts, Instance{Block: inst.BlockIdx, Nodes: inst.Nodes.Elems()})
+	}
+	return Selection{
+		ISE: ise, Nodes: c.Nodes.Elems(),
+		NumIn: c.NumIn, NumOut: c.NumOut,
+		SWLat: c.SWLat, HWCycles: c.HWCyclesInt(), Merit: c.Merit(),
+		Instances: insts,
+	}
+}
+
+// SingleInstanceSelections converts cuts into Selections counting each
+// cut once in its own block (no reuse claiming) — the shape the noreuse
+// flows and the per-block baselines share. Exported so cmd/isegen's
+// human-readable path uses the same conversion as the result stream.
+func SingleInstanceSelections(app *ir.Application, cuts []*core.Cut) []isegen.Selection {
+	blockIdx := blockIndex(app)
+	sels := make([]isegen.Selection, 0, len(cuts))
+	for _, c := range cuts {
+		sels = append(sels, isegen.Selection{
+			Cut:       c,
+			Instances: []isegen.Instance{{BlockIdx: blockIdx[c.Block], Nodes: c.Nodes}},
+		})
+	}
+	return sels
+}
+
+func blockIndex(app *ir.Application) map[*ir.Block]int {
+	m := make(map[*ir.Block]int, len(app.Blocks))
+	for i, b := range app.Blocks {
+		m[b] = i
+	}
+	return m
+}

@@ -22,6 +22,7 @@
 package isegen
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/core"
@@ -139,14 +140,23 @@ type Result struct {
 // matching to claim every isomorphic instance of each identified cut (the
 // paper's large-scale reuse), schedulability filtering, and evaluation.
 func Generate(app *Application, cfg Config) (*Result, error) {
+	return GenerateContext(context.Background(), app, cfg, nil)
+}
+
+// GenerateContext is Generate with cancellation and an optional shared
+// cut-costing cache (nil allocates a run-private one). A persistent cache
+// (NewPersistentCostCache) makes repeated runs over the same application
+// skip cut costing entirely — the long-lived-service scenario. The run
+// aborts between driver rounds when ctx is cancelled, returning ctx.Err().
+func GenerateContext(ctx context.Context, app *Application, cfg Config, cache *CostCache) (*Result, error) {
 	var sels []Selection
 	claimer := eval.NewClaimer(app)
-	r := &search.Runner{Workers: cfg.Workers}
+	r := &search.Runner{Workers: cfg.Workers, Cache: cache}
 	// Reuse-aware candidate scoring (the paper's Figure 1 principle):
 	// a cut is worth its merit times the number of disjoint schedulable
 	// instances that can be claimed for it, weighted by block frequency.
 	obj := search.ReuseAware(app, cfg.Model, claimer)
-	_, _, err := r.Generate(app, cfg, obj, func(bi int, cut *Cut, excluded []*graph.BitSet) {
+	_, _, err := r.GenerateContext(ctx, app, cfg, obj, func(bi int, cut *Cut, excluded []*graph.BitSet) {
 		// The seed itself is already excluded by the driver; the
 		// claimer finds every other instance among available nodes
 		// (and re-admits the seed occurrence), extending excluded. A
@@ -179,8 +189,14 @@ func ClaimAllWithReuse(app *Application, cuts []*Cut, blockIdxOf func(*Cut) int)
 // counts once. This is the configuration used for the Figure 4 comparison,
 // where all four algorithms are evaluated identically.
 func GenerateCutsOnly(app *Application, cfg Config) ([]*Cut, error) {
-	r := &search.Runner{Workers: cfg.Workers}
-	cuts, _, err := r.Generate(app, cfg, search.Merit(cfg.Model), nil)
+	return GenerateCutsOnlyContext(context.Background(), app, cfg, nil)
+}
+
+// GenerateCutsOnlyContext is GenerateCutsOnly with cancellation and an
+// optional shared cut-costing cache (see GenerateContext).
+func GenerateCutsOnlyContext(ctx context.Context, app *Application, cfg Config, cache *CostCache) ([]*Cut, error) {
+	r := &search.Runner{Workers: cfg.Workers, Cache: cache}
+	cuts, _, err := r.GenerateContext(ctx, app, cfg, search.Merit(cfg.Model), nil)
 	if err != nil {
 		return nil, err
 	}
@@ -232,12 +248,41 @@ func NewSearchEngine(name string, cache *CostCache) (SearchEngine, error) {
 // NewCostCache returns an empty shared cut-costing cache.
 func NewCostCache() *CostCache { return search.NewCostCache() }
 
+// CostCacheStore is a disk-backed persistence layer for cut costings:
+// one file per (block hash, model fingerprint) with size-bounded LRU
+// eviction, so repeated sweeps over the same application skip cut costing
+// even across process restarts.
+type CostCacheStore = search.Store
+
+// NewCostCacheStore opens (creating if needed) a persistent cache
+// directory. maxBytes bounds the total stored size (0 selects the default
+// bound, negative disables eviction).
+func NewCostCacheStore(dir string, maxBytes int64) (*CostCacheStore, error) {
+	return search.NewStore(dir, maxBytes)
+}
+
+// NewPersistentCostCache returns a cut-costing cache keyed by canonical
+// block content (BlockHash) rather than block identity: structurally
+// identical blocks share entries across parses, and entries are loaded
+// from / flushed to the store (nil = memory-only). Call Flush to persist.
+func NewPersistentCostCache(store *CostCacheStore) *CostCache {
+	return search.NewPersistentCostCache(store)
+}
+
+// BlockHash returns the canonical content hash of a block's structure —
+// stable across parses, renames and re-profiling; see dfgio.BlockHash.
+func BlockHash(b *Block) string { return dfgio.BlockHash(b) }
+
 // SearchEngineNames lists the engine registry names.
 func SearchEngineNames() []string { return search.Names() }
 
 // DefaultNodeLimit returns the paper's block-size limit for the named
 // engine (25 for "exact", 100 for "iterative", 0 = unlimited otherwise).
 func DefaultNodeLimit(name string) int { return search.DefaultNodeLimit(name) }
+
+// DefaultSearchBudget is the standard exact-search node budget shared by
+// the CLI, the serving layer and the experiment harnesses.
+const DefaultSearchBudget = search.DefaultBudget
 
 // MeritObjective is the paper's objective: highest-merit candidate wins.
 func MeritObjective(model *Model) *Objective { return search.Merit(model) }
