@@ -9,13 +9,26 @@
 // counts, followed by the whole-application report.
 //
 // Flags select the algorithm (-algo isegen|genetic|exact|iterative — any
-// name in the unified search-engine registry), the port constraints (-in,
-// -out), the AFU budget (-nise), the worker-pool size (-workers) and
-// optional DOT output highlighting the cuts (-dot file).
+// name in the unified search-engine registry), the objective (-objective
+// merit|reuse|area|energy|latency|class|pareto — any name in the
+// objective registry; -gate-penalty, -latency-budget and -class-weights
+// parameterize it), the port constraints (-in, -out), the AFU budget
+// (-nise), the worker-pool size (-workers) and optional DOT output
+// highlighting the cuts (-dot file).
+//
+// The baselines (exact, iterative, genetic) optimize merit internally and
+// accept only -objective merit; every other objective requires
+// -algo isegen. Invalid pairs are rejected up front with the full list of
+// valid combinations. With -objective pareto, selection is by Pareto
+// dominance over (merit, area, energy) and the run additionally prints
+// the non-dominated frontier.
 //
 // -json switches to the machine-readable NDJSON result stream — the same
 // schema, code path and byte-for-byte output as the isegend service
-// (internal/service.Run), so offline and served runs are diffable.
+// (internal/service.Run), so offline and served runs are diffable. An
+// explicit -objective extends each selection record with its objective
+// vector; -objective pareto adds a "frontier" record. Without -objective
+// the stream is bit-identical to the pre-objective schema.
 // -cache-dir persists cut costings across runs (keyed by canonical block
 // hash), making repeated sweeps over the same file near-free.
 package main
@@ -33,16 +46,21 @@ import (
 
 func main() {
 	var (
-		algo     = flag.String("algo", "isegen", "algorithm: "+strings.Join(isegen.SearchEngineNames(), ", "))
-		maxIn    = flag.Int("in", 4, "maximum ISE input operands")
-		maxOut   = flag.Int("out", 2, "maximum ISE output operands")
-		nise     = flag.Int("nise", 4, "maximum number of ISEs (AFUs)")
-		seed     = flag.Int64("seed", 1, "random seed for the genetic algorithm")
-		workers  = flag.Int("workers", 0, "worker pool size (0 = one per CPU core; results are identical)")
-		dotFile  = flag.String("dot", "", "write a Graphviz rendering of the first block with cuts highlighted")
-		noReuse  = flag.Bool("noreuse", false, "disable reuse matching (each cut counts once)")
-		jsonOut  = flag.Bool("json", false, "emit the NDJSON result stream (same schema and bytes as the isegend service)")
-		cacheDir = flag.String("cache-dir", "", "persist cut costings under this directory across runs")
+		algo      = flag.String("algo", "isegen", "algorithm: "+strings.Join(isegen.SearchEngineNames(), ", "))
+		objective = flag.String("objective", "", "objective: "+strings.Join(isegen.ObjectiveNames(), ", ")+
+			" (default: reuse-aware scoring, merit with -noreuse; non-merit objectives require -algo isegen)")
+		gatePenalty = flag.Float64("gate-penalty", 0, "area objective: merit discount per NAND2 gate (0 = default)")
+		latBudget   = flag.Int("latency-budget", 0, "latency objective: max AFU cycles per ISE (required with -objective latency)")
+		classWts    = flag.String("class-weights", "", `class objective: comma-separated class=weight list, e.g. "memory=0.5,compute=2"`)
+		maxIn       = flag.Int("in", 4, "maximum ISE input operands")
+		maxOut      = flag.Int("out", 2, "maximum ISE output operands")
+		nise        = flag.Int("nise", 4, "maximum number of ISEs (AFUs)")
+		seed        = flag.Int64("seed", 1, "random seed for the genetic algorithm")
+		workers     = flag.Int("workers", 0, "worker pool size (0 = one per CPU core; results are identical)")
+		dotFile     = flag.String("dot", "", "write a Graphviz rendering of the first block with cuts highlighted")
+		noReuse     = flag.Bool("noreuse", false, "disable reuse matching (each cut counts once)")
+		jsonOut     = flag.Bool("json", false, "emit the NDJSON result stream (same schema and bytes as the isegend service)")
+		cacheDir    = flag.String("cache-dir", "", "persist cut costings under this directory across runs")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -50,15 +68,33 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	var err error
+	weights, err := service.ParseClassWeights(*classWts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "isegen:", err)
+		os.Exit(2)
+	}
+	p := service.Params{
+		Algo: *algo, MaxIn: *maxIn, MaxOut: *maxOut, NISE: *nise,
+		Seed: *seed, Workers: *workers, Reuse: !*noReuse,
+		Objective: *objective, GatePenalty: *gatePenalty,
+		LatencyBudget: *latBudget, ClassWeights: weights,
+	}
+	// Validate the full parameter set up front — in particular the
+	// objective/engine pairing, so an unsupported combination is one
+	// clear usage error listing the valid pairs instead of a rejection
+	// from deep inside an engine.
+	if err := p.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "isegen:", err)
+		os.Exit(2)
+	}
 	if *jsonOut {
 		if *dotFile != "" {
 			fmt.Fprintln(os.Stderr, "isegen: -dot is not supported with -json (the NDJSON stream carries no render); drop one of the two flags")
 			os.Exit(2)
 		}
-		err = runJSON(flag.Arg(0), *algo, *maxIn, *maxOut, *nise, *seed, *workers, *cacheDir, *noReuse)
+		err = runJSON(flag.Arg(0), p, *cacheDir)
 	} else {
-		err = run(flag.Arg(0), *algo, *maxIn, *maxOut, *nise, *seed, *workers, *dotFile, *cacheDir, *noReuse)
+		err = run(flag.Arg(0), p, *dotFile, *cacheDir)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "isegen:", err)
@@ -84,7 +120,7 @@ func openCache(cacheDir string) (*isegen.CostCache, error) {
 // stdout — exactly what the isegend daemon serves, so the outputs diff
 // clean. With -cache-dir the cut-costing cache is loaded from and flushed
 // back to disk, so a repeated run skips costing entirely.
-func runJSON(path, algo string, maxIn, maxOut, nise int, seed int64, workers int, cacheDir string, noReuse bool) (err error) {
+func runJSON(path string, p service.Params, cacheDir string) (err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -108,14 +144,10 @@ func runJSON(path, algo string, maxIn, maxOut, nise int, seed int64, workers int
 			err = ferr
 		}
 	}()
-	p := service.Params{
-		Algo: algo, MaxIn: maxIn, MaxOut: maxOut, NISE: nise,
-		Seed: seed, Workers: workers, Reuse: !noReuse,
-	}
 	return service.Run(context.Background(), app, p, cache, service.NDJSONEmitter(os.Stdout))
 }
 
-func run(path, algo string, maxIn, maxOut, nise int, seed int64, workers int, dotFile, cacheDir string, noReuse bool) (err error) {
+func run(path string, p service.Params, dotFile, cacheDir string) (err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -138,34 +170,36 @@ func run(path, algo string, maxIn, maxOut, nise int, seed int64, workers int, do
 	ctx := context.Background()
 
 	var sels []isegen.Selection
-	if algo == "isegen" {
+	var frontier *isegen.Frontier
+	if p.Algo == "isegen" {
 		// The ISEGEN flow is application-level: the driver walks all
-		// blocks by speedup potential with reuse-aware scoring.
+		// blocks by speedup potential under the chosen objective
+		// (default: reuse-aware scoring).
 		cfg := isegen.DefaultConfig()
-		cfg.MaxIn, cfg.MaxOut, cfg.NISE, cfg.Workers = maxIn, maxOut, nise, workers
-		if noReuse {
-			cuts, err := isegen.GenerateCutsOnlyContext(ctx, app, cfg, cache)
+		cfg.MaxIn, cfg.MaxOut, cfg.NISE, cfg.Workers = p.MaxIn, p.MaxOut, p.NISE, p.Workers
+		if !p.Reuse {
+			cuts, fr, err := isegen.GenerateCutsOnlyWithObjectiveContext(ctx, app, cfg, p.Objective, p.ObjectiveParams(), cache)
 			if err != nil {
 				return err
 			}
-			sels = service.SingleInstanceSelections(app, cuts)
+			sels, frontier = service.SingleInstanceSelections(app, cuts), fr
 		} else {
-			res, err := isegen.GenerateContext(ctx, app, cfg, cache)
+			res, err := isegen.GenerateWithObjectiveContext(ctx, app, cfg, p.Objective, p.ObjectiveParams(), cache)
 			if err != nil {
 				return err
 			}
-			sels = res.Selections
+			sels, frontier = res.Selections, res.Frontier
 		}
 	} else {
 		// Baselines operate per block through the unified engine
 		// registry; run them on the largest block, as the paper does
 		// (the critical basic block).
-		eng, err := isegen.NewSearchEngine(algo, cache)
+		eng, err := isegen.NewSearchEngine(p.Algo, cache)
 		if err != nil {
 			return err
 		}
 		if ga, ok := eng.(interface{ SetSeed(int64) }); ok {
-			ga.SetSeed(seed)
+			ga.SetSeed(p.Seed)
 		}
 		hot := 0
 		for i, b := range app.Blocks {
@@ -174,15 +208,15 @@ func run(path, algo string, maxIn, maxOut, nise int, seed int64, workers int, do
 			}
 		}
 		lim := &isegen.SearchLimits{
-			MaxIn: maxIn, MaxOut: maxOut, NISE: nise,
-			NodeLimit: isegen.DefaultNodeLimit(algo), Budget: isegen.DefaultSearchBudget,
-			Workers: workers,
+			MaxIn: p.MaxIn, MaxOut: p.MaxOut, NISE: p.NISE,
+			NodeLimit: isegen.DefaultNodeLimit(p.Algo), Budget: isegen.DefaultSearchBudget,
+			Workers: p.Workers,
 		}
 		cuts, _, err := eng.Run(app.Blocks[hot], isegen.MeritObjective(model), lim)
 		if err != nil {
 			return err
 		}
-		if noReuse {
+		if !p.Reuse {
 			sels = service.SingleInstanceSelections(app, cuts)
 		} else {
 			blockIdx := map[*isegen.Block]int{}
@@ -197,6 +231,20 @@ func run(path, algo string, maxIn, maxOut, nise int, seed int64, workers int, do
 		fmt.Printf("ISE %d: block %q nodes %v\n", i+1, sel.Cut.Block.Name, sel.Cut.Nodes)
 		fmt.Printf("  io (%d,%d), swlat %d, afu cycles %d, merit %.0f, instances %d\n",
 			sel.Cut.NumIn, sel.Cut.NumOut, sel.Cut.SWLat, sel.Cut.HWCyclesInt(), sel.Cut.Merit(), len(sel.Instances))
+		if p.Objective != "" {
+			v := isegen.CutObjectiveVector(model, sel.Cut)
+			fmt.Printf("  objectives: %s\n", v)
+		}
+	}
+	if frontier != nil {
+		fmt.Printf("pareto frontier: %d non-dominated candidates (merit max, area min, energy max; * = selected)\n", frontier.Len())
+		for _, pt := range frontier.Points() {
+			mark := " "
+			if pt.Selected {
+				mark = "*"
+			}
+			fmt.Printf(" %s block %d nodes %v: %s\n", mark, pt.Block, pt.Cut.Nodes, pt.Vector)
+		}
 	}
 	rep, err := isegen.Evaluate(app, model, sels)
 	if err != nil {

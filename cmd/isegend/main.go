@@ -10,6 +10,14 @@
 //	     body: .dfg text; optional X-Tenant header (or ?tenant=) for
 //	     budget accounting. Response: NDJSON — one "block" record per
 //	     basic block in block order, then one "summary" record.
+//	     &objective= selects the scoring objective (merit, reuse, area,
+//	     energy, latency, class, pareto; parameterized by &gate_penalty=,
+//	     &latency_budget=, &class_weights=memory=0.5,compute=2). An
+//	     explicit objective extends each selection with its objective
+//	     vector; objective=pareto inserts a "frontier" record (the
+//	     non-dominated candidates) before the summary. Engines other
+//	     than isegen accept only objective=merit. The default stream is
+//	     unchanged and stays bit-identical to `isegen -json`.
 //	GET  /v1/metrics    queue + cost-cache statistics (JSON)
 //	GET  /healthz       liveness probe
 //

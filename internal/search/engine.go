@@ -55,6 +55,10 @@ type Stats struct {
 	Cuts int
 	// Duration is the wall-clock time of the run.
 	Duration time.Duration
+	// Frontier is the cumulative Pareto frontier of the candidates the
+	// run examined — non-nil only under a multi-objective objective
+	// (see Pareto); nil for every scalar objective.
+	Frontier *Frontier
 }
 
 // Engine identifies up to lim.NISE instruction-set extensions in one basic
@@ -180,8 +184,8 @@ func exactOptions(name string, obj *Objective, lim *Limits, cache *CostCache, me
 	if err := checkObjective(obj); err != nil {
 		return exact.Options{}, err
 	}
-	if obj.Score != nil {
-		return exact.Options{}, fmt.Errorf("search: engine %q optimizes merit and cannot honor objective %q's scorer", name, obj.Name)
+	if obj.Score != nil || obj.MultiObjective() {
+		return exact.Options{}, fmt.Errorf("search: engine %q optimizes merit and cannot honor objective %q; only \"merit\" (or the ISEGEN engine) works here", name, obj.Name)
 	}
 	opt := exact.Options{
 		MaxIn: lim.MaxIn, MaxOut: lim.MaxOut, Model: obj.Model,
@@ -222,9 +226,9 @@ func (e *Genetic) Run(blk *ir.Block, obj *Objective, lim *Limits) ([]*core.Cut, 
 	if err := checkObjective(obj); err != nil {
 		return nil, Stats{Engine: e.Name()}, err
 	}
-	if obj.Score != nil {
+	if obj.Score != nil || obj.MultiObjective() {
 		return nil, Stats{Engine: e.Name()},
-			fmt.Errorf("search: engine %q optimizes merit and cannot honor objective %q's scorer", e.Name(), obj.Name)
+			fmt.Errorf("search: engine %q optimizes merit and cannot honor objective %q; only \"merit\" (or the ISEGEN engine) works here", e.Name(), obj.Name)
 	}
 	var opt genetic.Options
 	if e.Opt != nil {

@@ -192,6 +192,13 @@ func (r *Runner) GenerateContext(ctx context.Context, app *ir.Application, cfg c
 		}
 		excluded[i] = graph.NewBitSet(blk.N())
 	}
+	// Multi-objective runs accumulate the Pareto frontier of every
+	// candidate pool; frontier maintenance happens only on this (driver)
+	// goroutine, in round order, so it is deterministic for every worker
+	// count. stats.Frontier stays nil for scalar objectives.
+	if obj.MultiObjective() {
+		stats.Frontier = &Frontier{}
+	}
 	var cuts []*core.Cut
 	exhausted := make([]bool, len(app.Blocks))
 	for len(cuts) < cfg.NISE {
@@ -216,10 +223,13 @@ func (r *Runner) GenerateContext(ctx context.Context, app *ir.Application, cfg c
 			return cuts, stats, err
 		}
 		stats.Candidates += len(cands)
-		cut := obj.pick(bi, cands, excluded)
+		cut := obj.pick(bi, cands, excluded, stats.Frontier)
 		if cut == nil {
 			exhausted[bi] = true
 			continue
+		}
+		if stats.Frontier != nil {
+			stats.Frontier.markSelected(bi, cut)
 		}
 		cuts = append(cuts, cut)
 		excluded[bi].Or(cut.Nodes)

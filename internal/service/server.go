@@ -42,6 +42,8 @@ type Config struct {
 // queueing, per-tenant budgets and a metrics endpoint.
 //
 //	POST /v1/select?algo=isegen&in=4&out=2&nise=4   body: .dfg text
+//	     (&objective=pareto|merit|reuse|area|energy|latency|class,
+//	      &gate_penalty=, &latency_budget=, &class_weights=memory=0.5)
 //	GET  /v1/metrics
 //	GET  /healthz
 type Server struct {
@@ -145,6 +147,26 @@ func parseParams(r *http.Request) (Params, error) {
 			return p, fmt.Errorf("bad reuse=%q", v)
 		}
 		p.Reuse = b
+	}
+	p.Objective = q.Get("objective")
+	if v := q.Get("gate_penalty"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return p, fmt.Errorf("bad gate_penalty=%q", v)
+		}
+		// Sign and range rules live in Params.Validate, shared with the
+		// CLI, so both surfaces reject the same values the same way.
+		p.GatePenalty = f
+	}
+	if err := intField("latency_budget", &p.LatencyBudget); err != nil {
+		return p, err
+	}
+	if v := q.Get("class_weights"); v != "" {
+		cw, err := ParseClassWeights(v)
+		if err != nil {
+			return p, err
+		}
+		p.ClassWeights = cw
 	}
 	return p, nil
 }

@@ -21,6 +21,9 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"slices"
+	"strconv"
+	"strings"
 
 	isegen "repro"
 	"repro/internal/core"
@@ -57,6 +60,24 @@ type Params struct {
 	// Reuse enables reuse-aware scoring and instance claiming ("isegen"
 	// only; baselines count each cut once).
 	Reuse bool `json:"reuse"`
+	// Objective selects the scoring objective by registry name
+	// ("merit", "reuse", "area", "energy", "latency", "class",
+	// "pareto"). Empty keeps the legacy default — reuse-aware scoring
+	// when Reuse, merit otherwise — and the unextended stream schema, so
+	// pre-objective clients see bit-identical output. An explicit
+	// objective extends each Selection with its objective vector;
+	// "pareto" additionally emits a "frontier" record. Engines other
+	// than "isegen" optimize merit internally and accept only "merit".
+	Objective string `json:"objective,omitempty"`
+	// GatePenalty is the "area" objective's merit discount per NAND2
+	// gate (0 selects the default).
+	GatePenalty float64 `json:"gate_penalty,omitempty"`
+	// LatencyBudget is the "latency" objective's bound on AFU cycles
+	// per ISE (required positive for that objective).
+	LatencyBudget int `json:"latency_budget,omitempty"`
+	// ClassWeights maps block classes ("memory", "compute") to merit
+	// multipliers for the "class" objective.
+	ClassWeights map[string]float64 `json:"class_weights,omitempty"`
 }
 
 // DefaultParams returns the paper's main configuration: ISEGEN with reuse,
@@ -65,7 +86,10 @@ func DefaultParams() Params {
 	return Params{Algo: "isegen", MaxIn: 4, MaxOut: 2, NISE: 4, Seed: 1, Reuse: true}
 }
 
-// Validate rejects parameter combinations no engine can run.
+// Validate rejects parameter combinations no engine can run — including
+// objective/engine pairs the merit-only baselines cannot honor, so the
+// mismatch surfaces as one clear error up front instead of deep inside an
+// engine's objective check.
 func (p Params) Validate() error {
 	if _, err := search.New(p.Algo, nil); err != nil {
 		return err
@@ -73,13 +97,101 @@ func (p Params) Validate() error {
 	if p.MaxIn < 1 || p.MaxOut < 1 || p.NISE < 1 {
 		return fmt.Errorf("service: in/out/nise must be positive (got %d/%d/%d)", p.MaxIn, p.MaxOut, p.NISE)
 	}
+	if p.GatePenalty < 0 || math.IsNaN(p.GatePenalty) || math.IsInf(p.GatePenalty, 0) {
+		return fmt.Errorf("service: gate_penalty must be finite and non-negative (got %g)", p.GatePenalty)
+	}
+	if p.Objective != "" && !slices.Contains(search.ObjectiveNames(), p.Objective) {
+		return fmt.Errorf("service: unknown objective %q (have %v)", p.Objective, search.ObjectiveNames())
+	}
+	if p.Objective != "" && p.Algo != "isegen" && p.Objective != "merit" {
+		return fmt.Errorf(
+			"service: engine %q optimizes merit internally and cannot honor objective %q; valid pairs: objective \"merit\" with any algo (%v), every other objective (%v) with algo \"isegen\" only",
+			p.Algo, p.Objective, search.Names(), search.ObjectiveNames())
+	}
+	if p.Objective == "latency" && p.LatencyBudget <= 0 {
+		return fmt.Errorf("service: objective \"latency\" needs a positive latency_budget (got %d)", p.LatencyBudget)
+	}
+	// An objective knob set for an objective that does not read it would
+	// be silently dropped; reject the mismatch instead, symmetrically
+	// with the objective/engine pairing above.
+	if p.GatePenalty != 0 && p.Objective != "area" {
+		return fmt.Errorf("service: gate_penalty is only read by objective \"area\" (objective is %q)", orDefault(p.Objective))
+	}
+	if p.LatencyBudget != 0 && p.Objective != "latency" {
+		return fmt.Errorf("service: latency_budget is only read by objective \"latency\" (objective is %q)", orDefault(p.Objective))
+	}
+	if len(p.ClassWeights) != 0 && p.Objective != "class" {
+		return fmt.Errorf("service: class_weights are only read by objective \"class\" (objective is %q)", orDefault(p.Objective))
+	}
 	return nil
+}
+
+// orDefault names the empty objective for error messages.
+func orDefault(objective string) string {
+	if objective == "" {
+		return "default"
+	}
+	return objective
+}
+
+// ObjectiveParams assembles the registry construction parameters from the
+// job params — the one conversion both the serving layer and the CLI use,
+// so a future objective knob cannot reach one surface and not the other.
+func (p Params) ObjectiveParams() isegen.ObjectiveParams {
+	return isegen.ObjectiveParams{
+		GatePenalty:   p.GatePenalty,
+		LatencyBudget: p.LatencyBudget,
+		ClassWeights:  p.ClassWeights,
+	}
+}
+
+// blockClasses are the classes the default classifier (search.BlockClass)
+// can produce — the only classifier reachable through the CLI and the
+// server, so any other class name in a weight list is a typo that would
+// silently weigh nothing.
+var blockClasses = []string{"compute", "memory"}
+
+// ParseClassWeights parses the "class=weight,class=weight" form the CLI
+// flag and the class_weights query parameter share (e.g.
+// "memory=0.5,compute=2"). Class names must be ones the default block
+// classifier produces (see blockClasses). An empty string yields a nil
+// map.
+func ParseClassWeights(s string) (map[string]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]float64{}
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(part, "=")
+		name, val = strings.TrimSpace(name), strings.TrimSpace(val)
+		if !ok || name == "" {
+			return nil, fmt.Errorf("service: class weight %q not in class=weight form", part)
+		}
+		if !slices.Contains(blockClasses, name) {
+			return nil, fmt.Errorf("service: unknown block class %q (have %v)", name, blockClasses)
+		}
+		w, err := strconv.ParseFloat(val, 64)
+		if err != nil || w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("service: class weight %q needs a finite non-negative number (got %q)", name, val)
+		}
+		out[name] = w
+	}
+	return out, nil
 }
 
 // Instance is one claimed occurrence of an ISE.
 type Instance struct {
 	Block int   `json:"block"`
 	Nodes []int `json:"nodes"`
+}
+
+// ObjectiveVector is a cut's score on every objective axis in the wire
+// schema: merit and energy are maximized, area (NAND2-equivalent gates) is
+// minimized. It mirrors search.Vector.
+type ObjectiveVector struct {
+	Merit  float64 `json:"merit"`
+	Area   float64 `json:"area"`
+	Energy float64 `json:"energy"`
 }
 
 // Selection is one identified ISE in the result stream. ISE numbers are
@@ -94,6 +206,10 @@ type Selection struct {
 	HWCycles  int        `json:"hw_cycles"`
 	Merit     float64    `json:"merit"`
 	Instances []Instance `json:"instances"`
+	// Objectives is the cut's objective vector, present only when the
+	// job named an explicit objective (Params.Objective non-empty) — the
+	// default stream is bit-identical to the pre-objective schema.
+	Objectives *ObjectiveVector `json:"objectives,omitempty"`
 }
 
 // BlockResult is one NDJSON record: every selection whose cut was
@@ -129,6 +245,30 @@ type Summary struct {
 	EnergyRatio  float64 `json:"energy_ratio"`
 }
 
+// FrontierPoint is one non-dominated candidate in a "frontier" record.
+type FrontierPoint struct {
+	// Block is the index of the block the candidate was identified in.
+	Block int `json:"block"`
+	// Nodes is the candidate's node set.
+	Nodes []int `json:"nodes"`
+	// Objectives is the candidate's score on every axis.
+	Objectives ObjectiveVector `json:"objectives"`
+	// Selected marks candidates the drive actually picked; the rest are
+	// the trade-offs it left on the table.
+	Selected bool `json:"selected"`
+}
+
+// FrontierRecord is the NDJSON record emitted between the block records
+// and the summary for multi-objective jobs (objective "pareto"): the
+// cumulative Pareto frontier of the candidates the search examined, in
+// deterministic order (best merit first, then smaller area, then higher
+// energy). Streams of scalar-objective jobs never carry it, so the
+// extension is backward-compatible.
+type FrontierRecord struct {
+	Type   string          `json:"type"` // "frontier"
+	Points []FrontierPoint `json:"points"`
+}
+
 // ErrorRecord terminates a stream that failed mid-job (the HTTP status is
 // already committed by then).
 type ErrorRecord struct {
@@ -162,35 +302,43 @@ func Run(ctx context.Context, app *ir.Application, p Params, cache *search.CostC
 }
 
 // runApplication is the paper's flow: the application-level greedy drive
-// (reuse-aware when p.Reuse), then grouping of the selections by block.
+// (scored by p.Objective; reuse-aware claiming when p.Reuse), then
+// grouping of the selections by block. An explicit objective extends each
+// selection with its objective vector; "pareto" adds a frontier record.
 func runApplication(ctx context.Context, app *ir.Application, p Params, cache *search.CostCache, emit func(v any) error) error {
 	cfg := core.DefaultConfig()
 	cfg.MaxIn, cfg.MaxOut, cfg.NISE, cfg.Workers = p.MaxIn, p.MaxOut, p.NISE, p.Workers
 	cfg.Model = defaultModel
 
 	var sels []isegen.Selection
+	var frontier *search.Frontier
 	if p.Reuse {
-		res, err := isegen.GenerateContext(ctx, app, cfg, cache)
+		res, err := isegen.GenerateWithObjectiveContext(ctx, app, cfg, p.Objective, p.ObjectiveParams(), cache)
 		if err != nil {
 			return err
 		}
-		sels = res.Selections
+		sels, frontier = res.Selections, res.Frontier
 	} else {
-		cuts, err := isegen.GenerateCutsOnlyContext(ctx, app, cfg, cache)
+		cuts, fr, err := isegen.GenerateCutsOnlyWithObjectiveContext(ctx, app, cfg, p.Objective, p.ObjectiveParams(), cache)
 		if err != nil {
 			return err
 		}
-		sels = SingleInstanceSelections(app, cuts)
+		sels, frontier = SingleInstanceSelections(app, cuts), fr
 	}
 
 	blockIdx := blockIndex(app)
 	perBlock := make([][]Selection, len(app.Blocks))
 	for i, sel := range sels {
 		bi := blockIdx[sel.Cut.Block]
-		perBlock[bi] = append(perBlock[bi], toSelection(i+1, sel))
+		perBlock[bi] = append(perBlock[bi], toSelection(i+1, sel, p.Objective != ""))
 	}
 	for bi, blk := range app.Blocks {
 		if err := emit(blockResult(bi, blk, "", perBlock[bi])); err != nil {
+			return err
+		}
+	}
+	if frontier != nil {
+		if err := emit(frontierRecord(frontier)); err != nil {
 			return err
 		}
 	}
@@ -285,7 +433,7 @@ func runPerBlock(ctx context.Context, app *ir.Application, p Params, cache *sear
 			ise++
 			sel := isegen.Selection{Cut: c, Instances: []isegen.Instance{{BlockIdx: bi, Nodes: c.Nodes}}}
 			sels = append(sels, sel)
-			recSels = append(recSels, toSelection(ise, sel))
+			recSels = append(recSels, toSelection(ise, sel, p.Objective != ""))
 		}
 		if err := emit(blockResult(bi, app.Blocks[bi], out.skipped, recSels)); err != nil {
 			cancel()
@@ -342,18 +490,45 @@ func blockResult(bi int, blk *ir.Block, skipped string, sels []Selection) *Block
 	}
 }
 
-func toSelection(ise int, sel isegen.Selection) Selection {
+// toSelection converts one selection into its wire record. withVector
+// attaches the cut's objective vector — set exactly when the job named an
+// explicit objective, so default streams keep the pre-objective schema.
+func toSelection(ise int, sel isegen.Selection, withVector bool) Selection {
 	c := sel.Cut
 	insts := make([]Instance, 0, len(sel.Instances))
 	for _, inst := range sel.Instances {
 		insts = append(insts, Instance{Block: inst.BlockIdx, Nodes: inst.Nodes.Elems()})
 	}
-	return Selection{
+	out := Selection{
 		ISE: ise, Nodes: c.Nodes.Elems(),
 		NumIn: c.NumIn, NumOut: c.NumOut,
 		SWLat: c.SWLat, HWCycles: c.HWCyclesInt(), Merit: c.Merit(),
 		Instances: insts,
 	}
+	if withVector {
+		v := toVector(search.CutVector(defaultModel, c))
+		out.Objectives = &v
+	}
+	return out
+}
+
+func toVector(v search.Vector) ObjectiveVector {
+	return ObjectiveVector{Merit: v.Merit, Area: v.Area, Energy: v.Energy}
+}
+
+// frontierRecord converts a run's Pareto frontier into its wire record,
+// preserving the frontier's deterministic point order.
+func frontierRecord(fr *search.Frontier) *FrontierRecord {
+	points := make([]FrontierPoint, 0, fr.Len())
+	for _, pt := range fr.Points() {
+		points = append(points, FrontierPoint{
+			Block:      pt.Block,
+			Nodes:      pt.Cut.Nodes.Elems(),
+			Objectives: toVector(pt.Vector),
+			Selected:   pt.Selected,
+		})
+	}
+	return &FrontierRecord{Type: "frontier", Points: points}
 }
 
 // SingleInstanceSelections converts cuts into Selections counting each

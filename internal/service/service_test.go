@@ -119,6 +119,126 @@ func TestServiceE2EDeterminism(t *testing.T) {
 	}
 }
 
+// TestServiceObjectiveParam pins the objective query parameter end to
+// end: ?objective= changes the stream (per-cut objective vectors; a
+// frontier record under pareto) and stays bit-identical to the offline
+// `cmd/isegen -json -objective` path, while the default stream remains
+// exactly the pre-objective schema.
+func TestServiceObjectiveParam(t *testing.T) {
+	dfg := kernelDFG(t, kernels.Fbital00())
+	srv := NewServer(Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	status, def := postSelect(t, ts, dfg, "")
+	if status != http.StatusOK {
+		t.Fatalf("default: status %d", status)
+	}
+	if bytes.Contains(def, []byte(`"objectives"`)) || bytes.Contains(def, []byte(`"frontier"`)) {
+		t.Fatal("default stream leaked objective-schema extensions")
+	}
+
+	for _, objective := range []string{"pareto", "area", "merit"} {
+		t.Run(objective, func(t *testing.T) {
+			p := DefaultParams()
+			p.Objective = objective
+			want := offlineNDJSON(t, dfg, p)
+			status, got := postSelect(t, ts, dfg, "?objective="+objective)
+			if status != http.StatusOK {
+				t.Fatalf("status %d: %s", status, got)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("served %s stream differs from offline -json -objective output\nserved:\n%s\noffline:\n%s", objective, got, want)
+			}
+			if bytes.Equal(got, def) {
+				t.Fatalf("?objective=%s left the stream identical to the default", objective)
+			}
+			if !bytes.Contains(got, []byte(`"objectives":{"merit":`)) {
+				t.Fatalf("%s stream carries no per-cut objective vectors:\n%s", objective, got)
+			}
+		})
+	}
+
+	// The pareto stream additionally carries the frontier record, with
+	// mutually non-dominated points and at least one selected.
+	status, body := postSelect(t, ts, dfg, "?objective=pareto")
+	if status != http.StatusOK {
+		t.Fatalf("pareto: status %d", status)
+	}
+	var fr *FrontierRecord
+	for _, line := range bytes.Split(bytes.TrimSpace(body), []byte("\n")) {
+		var probe struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			t.Fatalf("malformed NDJSON line %q: %v", line, err)
+		}
+		if probe.Type == "frontier" {
+			fr = new(FrontierRecord)
+			if err := json.Unmarshal(line, fr); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if fr == nil {
+		t.Fatalf("pareto stream carries no frontier record:\n%s", body)
+	}
+	if len(fr.Points) == 0 {
+		t.Fatal("frontier record has no points")
+	}
+	selected := 0
+	for _, pt := range fr.Points {
+		if pt.Selected {
+			selected++
+		}
+	}
+	if selected == 0 {
+		t.Fatal("no frontier point is flagged selected")
+	}
+}
+
+// TestServiceObjectiveValidation pins the clear-error contract for
+// objective parameters: unsupported objective/engine pairs, unknown
+// names, and missing budgets are 400s naming the valid combinations —
+// never a silent fallback or a deep engine error.
+func TestServiceObjectiveValidation(t *testing.T) {
+	dfg := kernelDFG(t, kernels.Conven00())
+	srv := NewServer(Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for name, tc := range map[string]struct {
+		query    string
+		wantSub  string
+		wantCode int
+	}{
+		"pareto with exact":     {"?algo=exact&objective=pareto", "valid pairs", http.StatusBadRequest},
+		"area with genetic":     {"?algo=genetic&objective=area", "valid pairs", http.StatusBadRequest},
+		"unknown objective":     {"?objective=speedup", "unknown objective", http.StatusBadRequest},
+		"latency without bound": {"?objective=latency", "latency_budget", http.StatusBadRequest},
+		"bad class weights":     {"?objective=class&class_weights=memory", "class=weight", http.StatusBadRequest},
+		"unknown class name":    {"?objective=class&class_weights=memoy=0.5", "unknown block class", http.StatusBadRequest},
+		"orphan budget":         {"?latency_budget=2", "only read by objective \\\"latency\\\"", http.StatusBadRequest},
+		"orphan gate penalty":   {"?objective=merit&gate_penalty=5", "only read by objective \\\"area\\\"", http.StatusBadRequest},
+		"orphan class weights":  {"?class_weights=memory=0.5", "only read by objective \\\"class\\\"", http.StatusBadRequest},
+		"NaN gate penalty":      {"?objective=area&gate_penalty=NaN", "finite", http.StatusBadRequest},
+		"Inf class weight":      {"?objective=class&class_weights=memory=Inf", "finite", http.StatusBadRequest},
+		"merit with exact ok":   {"?algo=exact&objective=merit", "", http.StatusOK},
+	} {
+		t.Run(name, func(t *testing.T) {
+			status, body := postSelect(t, ts, dfg, tc.query)
+			if status != tc.wantCode {
+				t.Fatalf("status %d (%s), want %d", status, body, tc.wantCode)
+			}
+			if tc.wantSub != "" && !strings.Contains(string(body), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", body, tc.wantSub)
+			}
+		})
+	}
+}
+
 // TestServiceRepeatedUploadCacheHits pins the acceptance criterion: a
 // second identical request reports >= 90% cost-cache hits on the metrics
 // endpoint, because the persistent cache keys blocks by content hash

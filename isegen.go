@@ -79,6 +79,18 @@ type (
 	SearchStats = search.Stats
 	// Objective is the pluggable goal function of a search.
 	Objective = search.Objective
+	// ObjectiveParams carries per-objective parameters for registry
+	// construction (NewObjective): area gate penalty, latency budget,
+	// block-class weights.
+	ObjectiveParams = search.ObjectiveParams
+	// ObjectiveVector is a cut's score on every objective axis at once
+	// (merit maximized, area minimized, energy maximized).
+	ObjectiveVector = search.Vector
+	// Frontier is the Pareto frontier of a multi-objective run: the
+	// non-dominated candidates examined, with the selected ones flagged.
+	Frontier = search.Frontier
+	// FrontierPoint is one non-dominated candidate on a Frontier.
+	FrontierPoint = search.FrontierPoint
 	// Runner fans work out across blocks and K-L restarts with
 	// deterministic, bit-identical-to-sequential results.
 	Runner = search.Runner
@@ -130,8 +142,13 @@ func DefaultConfig() Config { return core.DefaultConfig() }
 // Result is the outcome of Generate: the selected ISEs with every claimed
 // instance, plus the whole-application quality report.
 type Result struct {
+	// Selections are the identified ISEs with all claimed instances.
 	Selections []Selection
-	Report     *Report
+	// Report aggregates speedup, coverage, code-size and energy.
+	Report *Report
+	// Frontier is the Pareto frontier of the drive's candidate pool —
+	// non-nil only for multi-objective runs (objective "pareto").
+	Frontier *Frontier
 }
 
 // Generate runs the full ISEGEN flow on the application: iterative K-L
@@ -149,14 +166,44 @@ func Generate(app *Application, cfg Config) (*Result, error) {
 // skip cut costing entirely — the long-lived-service scenario. The run
 // aborts between driver rounds when ctx is cancelled, returning ctx.Err().
 func GenerateContext(ctx context.Context, app *Application, cfg Config, cache *CostCache) (*Result, error) {
-	var sels []Selection
+	return GenerateWithObjectiveContext(ctx, app, cfg, "", ObjectiveParams{}, cache)
+}
+
+// GenerateWithObjective runs GenerateWithObjectiveContext under
+// context.Background().
+func GenerateWithObjective(app *Application, cfg Config, objective string, p ObjectiveParams) (*Result, error) {
+	return GenerateWithObjectiveContext(context.Background(), app, cfg, objective, p, nil)
+}
+
+// GenerateWithObjectiveContext is the full ISEGEN-with-reuse flow under a
+// chosen scoring objective: the greedy drive selects candidates by the
+// named objective from the registry (see ObjectiveNames) while reuse
+// matching still claims every isomorphic instance of each selected cut.
+// The empty name and "reuse" both select the default reuse-aware scoring
+// (wired to the shared claimer, so scoring sees claimed state) and are
+// exactly equivalent to GenerateContext. Under "pareto" the returned
+// Result additionally carries the run's Frontier.
+func GenerateWithObjectiveContext(ctx context.Context, app *Application, cfg Config, objective string, p ObjectiveParams, cache *CostCache) (*Result, error) {
 	claimer := eval.NewClaimer(app)
+	var obj *Objective
+	switch objective {
+	case "", "reuse":
+		// Reuse-aware candidate scoring (the paper's Figure 1
+		// principle): a cut is worth its merit times the number of
+		// disjoint schedulable instances that can be claimed for it,
+		// weighted by block frequency. The scoring claimer must be the
+		// claiming one, so scores see previously claimed state.
+		obj = search.ReuseAware(app, cfg.Model, claimer)
+	default:
+		var err error
+		if obj, err = search.NewObjective(objective, app, cfg.Model, p); err != nil {
+			return nil, err
+		}
+	}
+
+	var sels []Selection
 	r := &search.Runner{Workers: cfg.Workers, Cache: cache}
-	// Reuse-aware candidate scoring (the paper's Figure 1 principle):
-	// a cut is worth its merit times the number of disjoint schedulable
-	// instances that can be claimed for it, weighted by block frequency.
-	obj := search.ReuseAware(app, cfg.Model, claimer)
-	_, _, err := r.GenerateContext(ctx, app, cfg, obj, func(bi int, cut *Cut, excluded []*graph.BitSet) {
+	_, stats, err := r.GenerateContext(ctx, app, cfg, obj, func(bi int, cut *Cut, excluded []*graph.BitSet) {
 		// The seed itself is already excluded by the driver; the
 		// claimer finds every other instance among available nodes
 		// (and re-admits the seed occurrence), extending excluded. A
@@ -176,7 +223,7 @@ func GenerateContext(ctx context.Context, app *Application, cfg Config, cache *C
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Selections: sels, Report: rep}, nil
+	return &Result{Selections: sels, Report: rep, Frontier: stats.Frontier}, nil
 }
 
 // ClaimAllWithReuse converts cuts identified by any algorithm into
@@ -195,12 +242,28 @@ func GenerateCutsOnly(app *Application, cfg Config) ([]*Cut, error) {
 // GenerateCutsOnlyContext is GenerateCutsOnly with cancellation and an
 // optional shared cut-costing cache (see GenerateContext).
 func GenerateCutsOnlyContext(ctx context.Context, app *Application, cfg Config, cache *CostCache) ([]*Cut, error) {
-	r := &search.Runner{Workers: cfg.Workers, Cache: cache}
-	cuts, _, err := r.GenerateContext(ctx, app, cfg, search.Merit(cfg.Model), nil)
-	if err != nil {
-		return nil, err
+	cuts, _, err := GenerateCutsOnlyWithObjectiveContext(ctx, app, cfg, "", ObjectiveParams{}, cache)
+	return cuts, err
+}
+
+// GenerateCutsOnlyWithObjectiveContext is GenerateCutsOnlyContext under a
+// chosen scoring objective from the registry (the empty name selects
+// "merit", the paper's Figure 4 configuration). The returned Frontier is
+// non-nil only for multi-objective runs (objective "pareto").
+func GenerateCutsOnlyWithObjectiveContext(ctx context.Context, app *Application, cfg Config, objective string, p ObjectiveParams, cache *CostCache) ([]*Cut, *Frontier, error) {
+	obj := search.Merit(cfg.Model)
+	if objective != "" {
+		var err error
+		if obj, err = search.NewObjective(objective, app, cfg.Model, p); err != nil {
+			return nil, nil, err
+		}
 	}
-	return cuts, nil
+	r := &search.Runner{Workers: cfg.Workers, Cache: cache}
+	cuts, stats, err := r.GenerateContext(ctx, app, cfg, obj, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cuts, stats.Frontier, nil
 }
 
 // Evaluate computes the quality report of an arbitrary selection set.
@@ -286,6 +349,61 @@ const DefaultSearchBudget = search.DefaultBudget
 
 // MeritObjective is the paper's objective: highest-merit candidate wins.
 func MeritObjective(model *Model) *Objective { return search.Merit(model) }
+
+// ParetoObjective is the multi-objective selector: dominance over
+// (merit, area, energy) vectors with a deterministic tie-break; the run
+// accumulates a Frontier (see search.Pareto).
+func ParetoObjective(model *Model) *Objective { return search.Pareto(model) }
+
+// AreaWeightedObjective discounts merit by gatePenalty per NAND2 gate of
+// estimated AFU area.
+func AreaWeightedObjective(model *Model, gatePenalty float64) *Objective {
+	return search.AreaWeighted(model, gatePenalty)
+}
+
+// EnergyWeightedObjective scores candidates by frequency-weighted
+// per-execution energy saving (application-scoped; Runner.Generate only).
+func EnergyWeightedObjective(app *Application, model *Model) *Objective {
+	return search.EnergyWeighted(app, model)
+}
+
+// LatencyBudgetedObjective restricts selection to cuts whose AFU occupies
+// at most budget core cycles, picking maximum merit among those.
+func LatencyBudgetedObjective(model *Model, budget int) *Objective {
+	return search.LatencyBudgeted(model, budget)
+}
+
+// ClassWeightedObjective weights merit by the class of a candidate's home
+// block (application-scoped). classOf nil selects BlockClassOf; classes
+// absent from weights default to 1.
+func ClassWeightedObjective(app *Application, model *Model, classOf func(*Block) string, weights map[string]float64) *Objective {
+	return search.ClassWeighted(app, model, classOf, weights)
+}
+
+// BlockClassOf is the default block classifier of the "class" objective:
+// "memory" for blocks containing loads or stores, "compute" otherwise.
+func BlockClassOf(blk *Block) string { return search.BlockClass(blk) }
+
+// NewObjective constructs an objective by registry name (see
+// ObjectiveNames), mirroring NewSearchEngine. app is required by the
+// application-scoped objectives ("reuse", "energy", "class").
+func NewObjective(name string, app *Application, model *Model, p ObjectiveParams) (*Objective, error) {
+	return search.NewObjective(name, app, model, p)
+}
+
+// ObjectiveNames lists the objective registry names in sorted order.
+func ObjectiveNames() []string { return search.ObjectiveNames() }
+
+// CutObjectiveVector scores one cut on every objective axis (merit, area,
+// energy) under the model — the per-cut vector the NDJSON result stream
+// carries for explicitly chosen objectives.
+func CutObjectiveVector(model *Model, cut *Cut) ObjectiveVector {
+	return search.CutVector(model, cut)
+}
+
+// DefaultGatePenalty is the "area" objective's default merit discount per
+// NAND2-equivalent gate.
+const DefaultGatePenalty = search.DefaultGatePenalty
 
 // ExactOptions configures the exact baselines.
 type ExactOptions = exact.Options
