@@ -11,6 +11,10 @@
 //	isebench -sim       only the cycle-level simulation validation
 //	isebench -energy    only the code-size / energy table
 //	isebench -area      only the AFU area-budget study
+//	isebench -json      measure the Figure 4/6 suites (ns/op, allocs/op;
+//	                    sequential vs parallel) and write BENCH_<rev>.json
+//	                    — the repository's tracked perf trajectory; the
+//	                    checked-in BENCH_baseline.json is one such file
 //
 // All harnesses fan independent benchmark/configuration cells out across
 // -workers (default: one per CPU core); results are bit-identical to a
@@ -33,8 +37,18 @@ func main() {
 		energy   = flag.Bool("energy", false, "run only the code-size/energy table")
 		area     = flag.Bool("area", false, "run only the AFU area-budget study")
 		workers  = flag.Int("workers", 0, "worker pool size (0 = one per CPU core; results are identical)")
+		jsonOut  = flag.Bool("json", false, "measure the Figure 4/6 suites (sequential vs parallel, -benchtime=1x protocol) and write BENCH_<rev>.json instead of the tables")
+		benchRev = flag.String("rev", "", "revision label for -json (default: the current git commit)")
+		benchOut = flag.String("out", "", `output path for -json ("-" = stdout; default BENCH_<rev>.json)`)
 	)
 	flag.Parse()
+	if *jsonOut {
+		if err := runBenchJSON(*benchRev, *benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, "isebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	o := experiments.DefaultOptions()
 	o.Workers = *workers
 	all := *fig == 0 && !*ablation && !*simOnly && !*energy && !*area

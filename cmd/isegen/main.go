@@ -11,10 +11,12 @@
 // Flags select the algorithm (-algo isegen|genetic|exact|iterative — any
 // name in the unified search-engine registry), the objective (-objective
 // merit|reuse|area|energy|latency|class|pareto — any name in the
-// objective registry; -gate-penalty, -latency-budget and -class-weights
-// parameterize it), the port constraints (-in, -out), the AFU budget
-// (-nise), the worker-pool size (-workers) and optional DOT output
-// highlighting the cuts (-dot file).
+// objective registry; -gate-penalty, -latency-budget, -class-weights and
+// -max-frontier parameterize it), the port constraints (-in, -out), the
+// AFU budget (-nise), the worker-pool size (-workers), the exact engines'
+// in-block branch-and-bound pool (-subtree-workers, -split-depth; results
+// are bit-identical for every value) and optional DOT output highlighting
+// the cuts (-dot file).
 //
 // The baselines (exact, iterative, genetic) optimize merit internally and
 // accept only -objective merit; every other objective requires
@@ -52,11 +54,14 @@ func main() {
 		gatePenalty = flag.Float64("gate-penalty", 0, "area objective: merit discount per NAND2 gate (0 = default)")
 		latBudget   = flag.Int("latency-budget", 0, "latency objective: max AFU cycles per ISE (required with -objective latency)")
 		classWts    = flag.String("class-weights", "", `class objective: comma-separated class=weight list, e.g. "memory=0.5,compute=2"`)
+		maxFrontier = flag.Int("max-frontier", 0, "pareto objective: bound on retained frontier points (0 = unbounded; deterministic eviction)")
 		maxIn       = flag.Int("in", 4, "maximum ISE input operands")
 		maxOut      = flag.Int("out", 2, "maximum ISE output operands")
 		nise        = flag.Int("nise", 4, "maximum number of ISEs (AFUs)")
 		seed        = flag.Int64("seed", 1, "random seed for the genetic algorithm")
 		workers     = flag.Int("workers", 0, "worker pool size (0 = one per CPU core; results are identical)")
+		subWorkers  = flag.Int("subtree-workers", 0, "exact engines: in-block branch-and-bound workers (0/1 = single-threaded, -1 = one per CPU core; in-budget runs are identical)")
+		splitDepth  = flag.Int("split-depth", 0, "exact engines: decision depth of the subtree split (0 = automatic; results are identical)")
 		dotFile     = flag.String("dot", "", "write a Graphviz rendering of the first block with cuts highlighted")
 		noReuse     = flag.Bool("noreuse", false, "disable reuse matching (each cut counts once)")
 		jsonOut     = flag.Bool("json", false, "emit the NDJSON result stream (same schema and bytes as the isegend service)")
@@ -76,8 +81,10 @@ func main() {
 	p := service.Params{
 		Algo: *algo, MaxIn: *maxIn, MaxOut: *maxOut, NISE: *nise,
 		Seed: *seed, Workers: *workers, Reuse: !*noReuse,
+		SubtreeWorkers: *subWorkers, SplitDepth: *splitDepth,
 		Objective: *objective, GatePenalty: *gatePenalty,
 		LatencyBudget: *latBudget, ClassWeights: weights,
+		MaxFrontier: *maxFrontier,
 	}
 	// Validate the full parameter set up front — in particular the
 	// objective/engine pairing, so an unsupported combination is one
@@ -210,7 +217,7 @@ func run(path string, p service.Params, dotFile, cacheDir string) (err error) {
 		lim := &isegen.SearchLimits{
 			MaxIn: p.MaxIn, MaxOut: p.MaxOut, NISE: p.NISE,
 			NodeLimit: isegen.DefaultNodeLimit(p.Algo), Budget: isegen.DefaultSearchBudget,
-			Workers: p.Workers,
+			Workers: p.Workers, SubtreeWorkers: p.SubtreeWorkers, SplitDepth: p.SplitDepth,
 		}
 		cuts, _, err := eng.Run(app.Blocks[hot], isegen.MeritObjective(model), lim)
 		if err != nil {

@@ -10,6 +10,11 @@
 //	     body: .dfg text; optional X-Tenant header (or ?tenant=) for
 //	     budget accounting. Response: NDJSON — one "block" record per
 //	     basic block in block order, then one "summary" record.
+//	     &subtree_workers= and &split_depth= (exact engines only) fan the
+//	     branch-and-bound out inside each block on a shared best-bound —
+//	     results stay bit-identical for every value; &max_frontier=
+//	     (objective=pareto only) bounds the frontier record with
+//	     deterministic eviction.
 //	     &objective= selects the scoring objective (merit, reuse, area,
 //	     energy, latency, class, pareto; parameterized by &gate_penalty=,
 //	     &latency_budget=, &class_weights=memory=0.5,compute=2). An

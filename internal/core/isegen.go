@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -220,14 +221,26 @@ func (e *Engine) Seeds() []*graph.BitSet {
 // Safe for concurrent use: trajectories share nothing but the immutable
 // block and config.
 func (e *Engine) Trajectory(seed *graph.BitSet) []Candidate {
+	snaps, _ := e.TrajectoryContext(context.Background(), seed)
+	return snaps
+}
+
+// TrajectoryContext is Trajectory with cancellation granularity inside the
+// block: the K-L loop polls the context every few toggle steps (each step
+// is an O(n·deg) gain scan, so the amortized check is free) and aborts
+// mid-pass, returning the snapshots taken so far alongside ctx.Err(). This
+// is what lets a cancelled request abort a 696-node AES bi-partition
+// mid-search instead of waiting for the full trajectory.
+func (e *Engine) TrajectoryContext(ctx context.Context, seed *graph.BitSet) ([]Candidate, error) {
 	t := &trajectory{
 		cfg:     &e.cfg,
+		ctx:     ctx,
 		st:      NewState(e.blk, e.cfg.Model, e.excluded),
 		marked:  graph.NewBitSet(e.blk.N()),
 		curBest: graph.NewBitSet(e.blk.N()),
 	}
 	t.klLoop(seed)
-	return t.snaps
+	return t.snaps, t.ctxErr
 }
 
 // Finalize post-processes trajectory snapshots into ranked cuts: each
@@ -291,6 +304,7 @@ func (e *Engine) Finalize(snaps []Candidate) []*Cut {
 // pass bookkeeping and the snapshot pool.
 type trajectory struct {
 	cfg     *Config
+	ctx     context.Context
 	st      *State
 	marked  *graph.BitSet
 	curBest *graph.BitSet
@@ -299,6 +313,27 @@ type trajectory struct {
 	curBestOK    bool
 	snaps        []Candidate
 	gc           gainContext
+	steps        int
+	ctxErr       error
+}
+
+// ctxCheckEvery is the toggle-step stride of the amortized cancellation
+// poll: each step already costs an O(n·deg) gain scan, so one Err() call
+// per 16 steps is unmeasurable yet keeps abort latency far below a pass.
+const ctxCheckEvery = 16
+
+// cancelled polls the context every ctxCheckEvery toggle steps, latching
+// the error.
+func (t *trajectory) cancelled() bool {
+	if t.ctxErr != nil {
+		return true
+	}
+	t.steps++
+	if t.ctx == nil || t.steps%ctxCheckEvery != 0 {
+		return false
+	}
+	t.ctxErr = t.ctx.Err()
+	return t.ctxErr != nil
 }
 
 // klLoop is one full Figure 2 run from the given start cut: up to
@@ -328,6 +363,9 @@ func (t *trajectory) klLoop(start *graph.BitSet) (*graph.BitSet, float64) {
 		t.curBestOK = false
 
 		for {
+			if t.cancelled() {
+				return graph.NewBitSet(st.n), 0
+			}
 			v := t.selectBestGain()
 			if v < 0 {
 				break

@@ -189,14 +189,17 @@ func (s *State) Toggle(v int) {
 // SetCut resets the partition to exactly the given cut (which must contain
 // no frozen nodes).
 func (s *State) SetCut(cut *graph.BitSet) {
-	// Remove extras, then add missing; simple and O(V·deg).
-	for v := 0; v < s.n; v++ {
-		if s.H.Has(v) && !cut.Has(v) {
+	// Remove extras (H \ cut), then add missing (cut \ H). Word-level
+	// NextSet walks over the sets themselves replace the former per-index
+	// Has scans over [0, n): SetCut runs once per K-L restart seed and
+	// once per pass, where n is the block size but the cuts are tiny.
+	for v := s.H.NextSet(0); v >= 0; v = s.H.NextSet(v + 1) {
+		if !cut.Has(v) {
 			s.removeNode(v)
 		}
 	}
-	for v := 0; v < s.n; v++ {
-		if !s.H.Has(v) && cut.Has(v) {
+	for v := cut.NextSet(0); v >= 0; v = cut.NextSet(v + 1) {
+		if !s.H.Has(v) {
 			if s.Frozen.Has(v) {
 				panic("core: SetCut includes frozen node")
 			}

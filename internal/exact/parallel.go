@@ -1,0 +1,216 @@
+package exact
+
+import (
+	"context"
+	"math"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// checkEvery is the amortized control-check stride of the branch-and-bound
+// inner loops: every checkEvery explored search-tree nodes a worker flushes
+// its private explored count into the shared counter, re-checks the budget
+// and the context, and observes aborts published by other workers. One
+// atomic add + one context poll per 4096 nodes is unmeasurable against the
+// per-node work, yet bounds cancellation latency on a 696-node AES block to
+// microseconds instead of the full search.
+const checkEvery = 4096
+
+// sharedBound is the cross-subtree search state of one branch-and-bound
+// run: the globally best merit found so far (lock-free load for pruning,
+// CAS-publish on improvement), the shared explored-node budget, and the
+// abort flags (budget exhaustion, context cancellation, peer abort). The
+// sequential path uses the same object with a single worker, so budget and
+// cancellation semantics live in exactly one place.
+type sharedBound struct {
+	ctx    context.Context
+	budget int64
+
+	merit     atomic.Uint64 // float64 bits of the best published merit
+	explored  atomic.Int64
+	stop      atomic.Bool
+	budgetHit atomic.Bool
+}
+
+func newSharedBound(ctx context.Context, budget int64) *sharedBound {
+	// Float64bits(0) == 0, so the zero-valued merit word already encodes
+	// the initial bound of 0.0.
+	return &sharedBound{ctx: ctx, budget: budget}
+}
+
+// best returns the current global bound. Plain atomic load: pruning reads
+// it on every search node.
+func (sh *sharedBound) best() float64 {
+	return math.Float64frombits(sh.merit.Load())
+}
+
+// raise publishes merit m if it improves the global bound (CAS loop; lost
+// races retry against the new value, so the bound is monotone).
+func (sh *sharedBound) raise(m float64) {
+	for {
+		cur := sh.merit.Load()
+		if m <= math.Float64frombits(cur) {
+			return
+		}
+		if sh.merit.CompareAndSwap(cur, math.Float64bits(m)) {
+			return
+		}
+	}
+}
+
+// charge adds n freshly explored nodes to the shared counter and reports
+// whether the search must stop: budget exhausted, context cancelled, or a
+// peer already aborted. Called every checkEvery nodes per worker.
+func (sh *sharedBound) charge(n int64) bool {
+	if sh.budget > 0 && sh.explored.Add(n) > sh.budget {
+		sh.budgetHit.Store(true)
+		sh.stop.Store(true)
+	} else if sh.ctx != nil && sh.ctx.Err() != nil {
+		sh.stop.Store(true)
+	}
+	return sh.stop.Load()
+}
+
+// err reports why the search stopped: the context's error if it was
+// cancelled, ErrBudget if the shared budget ran out, nil otherwise.
+func (sh *sharedBound) err() error {
+	if sh.ctx != nil {
+		if e := sh.ctx.Err(); e != nil {
+			return e
+		}
+	}
+	if sh.budgetHit.Load() {
+		return ErrBudget
+	}
+	return nil
+}
+
+// maxSubtreeTasks bounds the phase-1 task list. The split depth — the
+// explicit option included, since it is remotely settable through the
+// service's split_depth parameter — is clamped so branching^depth cannot
+// exceed it, keeping enumeration memory O(maxSubtreeTasks · depth) no
+// matter what depth is requested; an unclamped depth would let one
+// request materialize an exponential prefix list before the budget could
+// abort it. Results are identical for every depth, so clamping is purely
+// a resource bound.
+const maxSubtreeTasks = 4096
+
+// splitDepthFor resolves the subtree-split depth: the explicit option
+// when set, otherwise deep enough for ~4-8 tasks per worker (load balance
+// when subtree sizes are skewed, which pruning guarantees). branching is
+// the maximum decisions per tree level (2 for the single-cut search,
+// nise+1 for the joint search); every result is clamped to the
+// maxSubtreeTasks bound and inside the decision sequence.
+func splitDepthFor(opt, workers, n, branching int) int {
+	if branching < 2 {
+		branching = 2
+	}
+	maxDepth := 0
+	for t := 1; t <= maxSubtreeTasks/branching; t *= branching {
+		maxDepth++
+	}
+	d := opt
+	if d <= 0 {
+		d = bits.Len(uint(workers)) + 2
+	}
+	if d > maxDepth {
+		d = maxDepth
+	}
+	if d > n-1 {
+		d = n - 1
+	}
+	return d
+}
+
+// searchCtl is the branch-and-bound control state shared by the single-
+// and multi-cut searches: amortized explored-node accounting against the
+// shared bound, the latched stop flag, and the subtree split/replay
+// bookkeeping. It lives in one place because the budget and replay
+// semantics must stay behaviorally identical for both searches — the
+// determinism contract depends on them.
+type searchCtl struct {
+	sh       *sharedBound
+	explored int64
+	flushed  int64
+	stopped  bool
+
+	// Subtree split/replay state: collect is non-nil while enumerating
+	// decision prefixes of length splitAt (trace is the current prefix);
+	// a non-empty path makes search replay that prefix before exploring.
+	splitAt int
+	collect func([]byte)
+	trace   []byte
+	path    []byte
+}
+
+// enter counts one explored search node and runs the amortized stop
+// check; it reports whether the search may continue.
+func (c *searchCtl) enter() bool {
+	if c.stopped {
+		return false
+	}
+	c.explored++
+	if c.explored-c.flushed >= checkEvery && c.flush() {
+		return false
+	}
+	return true
+}
+
+// flush charges the privately counted nodes to the shared budget and
+// re-checks the stop conditions; it reports (and latches) stop.
+func (c *searchCtl) flush() bool {
+	d := c.explored - c.flushed
+	c.flushed = c.explored
+	if d > 0 && c.sh.charge(d) {
+		c.stopped = true
+	} else if c.sh.stop.Load() {
+		c.stopped = true
+	}
+	return c.stopped
+}
+
+// runSubtrees drains the enumerated prefix tasks on w workers. forkRun is
+// called with (worker-private state index irrelevant) one task index at a
+// time; implementations replay the prefix on private state and record the
+// subtree result into their slot. A panic in any worker is re-raised on
+// the calling goroutine after the pool drains, matching the containment
+// semantics of the search layer's parallelFor.
+func runSubtrees(sh *sharedBound, w, tasks int, newWorker func() func(ti int)) {
+	if w > tasks {
+		w = tasks
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var panicked atomic.Bool
+	var panicVal atomic.Value
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					if panicked.CompareAndSwap(false, true) {
+						panicVal.Store(r)
+					}
+					sh.stop.Store(true)
+				}
+			}()
+			run := newWorker()
+			for {
+				if sh.stop.Load() {
+					return
+				}
+				ti := int(next.Add(1)) - 1
+				if ti >= tasks {
+					return
+				}
+				run(ti)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked.Load() {
+		panic(panicVal.Load())
+	}
+}

@@ -14,11 +14,23 @@
 // abort when a search-node budget is exhausted, mirroring the paper's
 // observation that the exact approaches fail on large basic blocks such as
 // AES (696 nodes).
+//
+// With Options.Workers > 1 the branch-and-bound fans out inside the block:
+// the reverse-topological decision tree is split at a configurable depth
+// into independent subtree tasks that run on a bounded worker pool against
+// a shared atomic best-bound. Cross-subtree pruning is strict (ub < bound)
+// while local pruning keeps the sequential rule (ub <= best), and winners
+// merge in subtree enumeration order — together that makes the parallel
+// result bit-identical to the sequential one (see DESIGN.md, "Determinism
+// contract"). The Context entry points additionally honor cancellation
+// inside the inner loops, checked every few thousand explored nodes.
 package exact
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -40,8 +52,28 @@ type Options struct {
 	// NodeLimit refuses larger blocks up front (0 = no limit).
 	NodeLimit int
 	// Budget bounds the number of explored search-tree nodes
-	// (0 = no limit).
+	// (0 = no limit). Under parallel search the budget is shared across
+	// all subtree workers (total explored nodes), so it still bounds the
+	// run's work — but the parallel schedule charges more nodes than the
+	// sequential one (prefix enumeration, per-task replay, weaker
+	// cross-subtree pruning), so a run sitting near the boundary can
+	// complete sequentially yet return ErrBudget in parallel. Treat the
+	// budget as a resource failsafe, not a determinism-preserving knob:
+	// the bit-identical guarantee below holds for runs that complete
+	// within budget under the schedule in use.
 	Budget int64
+	// Workers bounds the in-block subtree worker pool of the branch-and-
+	// bound. 0 and 1 select the single-threaded search (the historical
+	// default); w > 1 splits the decision tree into subtree tasks run on
+	// w workers with a shared best-bound. Completed runs are
+	// bit-identical for every value — only wall-clock changes (see
+	// Budget for the boundary carve-out). A negative value selects one
+	// worker per CPU core.
+	Workers int
+	// SplitDepth is the decision depth at which the tree is split into
+	// subtree tasks (parallel search only; 0 picks a depth yielding a
+	// few tasks per worker). Results are identical for every depth.
+	SplitDepth int
 	// Metrics costs the finished (winning) cuts — it is not on the
 	// branch-and-bound hot path, which keeps its own incremental
 	// bookkeeping. The search layer installs its shared memoized cache
@@ -58,7 +90,19 @@ func (o *Options) metricsOf() core.MetricsFunc {
 	return core.MetricsOf
 }
 
-// singleCutSearch carries the branch-and-bound state for one block.
+// workersOf resolves the subtree worker count: <= 1 is the sequential
+// path, negative means one worker per CPU core.
+func (o *Options) workersOf() int {
+	if o.Workers < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
+// singleCutSearch carries the branch-and-bound state for one block. The
+// preprocessing fields (down to suffixSW) are immutable after construction
+// and shared read-only across subtree workers via fork; everything below
+// is worker-private mutable search state.
 type singleCutSearch struct {
 	opt    Options
 	blk    *ir.Block
@@ -69,6 +113,7 @@ type singleCutSearch struct {
 	hwLat  []float64
 	// suffixSW[i] = Σ software latency of non-frozen nodes order[i:].
 	suffixSW []int
+	searchCtl
 
 	// Search state.
 	cut     *graph.BitSet
@@ -81,33 +126,31 @@ type singleCutSearch struct {
 	tail    []float64 // HW path from node downward within cut
 	hwCP    float64
 
+	// Per-depth scratch replacing the former allocation hot spots: the
+	// blocked-set snapshot Clone per exclude branch and the newInputs /
+	// pendingAdded slices per include branch. At any instant depth i has
+	// at most one active frame per worker, so one slot per depth is
+	// enough; buffers keep their grown capacity across branches.
+	blockedSave []*graph.BitSet // lazily allocated
+	inputsBuf   [][]int
+	pendingBuf  [][]int
+
 	best      *graph.BitSet
 	bestMerit float64
-	explored  int64
-	aborted   bool
 }
 
-// SingleCut returns the feasible cut of the block maximizing merit
-// λ(C) = latSW(C) − latHW(C), or nil when no cut has positive merit. Nodes
-// in excluded (may be nil) cannot join the cut.
-func SingleCut(blk *ir.Block, opt Options, excluded *graph.BitSet) (*core.Cut, error) {
-	if err := checkOptions(&opt, blk); err != nil {
-		return nil, err
-	}
+// newSingleCutSearch builds the immutable preprocessing and one mutable
+// search state for the block.
+func newSingleCutSearch(blk *ir.Block, opt Options, excluded *graph.BitSet, sh *sharedBound) *singleCutSearch {
 	n := blk.N()
 	s := &singleCutSearch{
-		opt:     opt,
-		blk:     blk,
-		dag:     blk.DAG(),
-		frozen:  graph.NewBitSet(n),
-		swLat:   make([]int, n),
-		hwLat:   make([]float64, n),
-		cut:     graph.NewBitSet(n),
-		blocked: graph.NewBitSet(n),
-		pending: graph.NewBitSet(n),
-		inputs:  graph.NewBitSet(blk.NumValues()),
-		tail:    make([]float64, n),
-		best:    graph.NewBitSet(n),
+		opt:       opt,
+		blk:       blk,
+		dag:       blk.DAG(),
+		frozen:    graph.NewBitSet(n),
+		swLat:     make([]int, n),
+		hwLat:     make([]float64, n),
+		searchCtl: searchCtl{sh: sh},
 	}
 	if excluded != nil {
 		s.frozen.Or(excluded)
@@ -136,23 +179,148 @@ func SingleCut(blk *ir.Block, opt Options, excluded *graph.BitSet) (*core.Cut, e
 			s.suffixSW[i] += s.swLat[s.order[i]]
 		}
 	}
+	s.initMutable()
+	return s
+}
 
-	s.search(0)
-	if s.aborted {
-		return nil, ErrBudget
+// initMutable allocates the worker-private search state.
+func (s *singleCutSearch) initMutable() {
+	n := s.blk.N()
+	s.cut = graph.NewBitSet(n)
+	s.blocked = graph.NewBitSet(n)
+	s.pending = graph.NewBitSet(n)
+	s.inputs = graph.NewBitSet(s.blk.NumValues())
+	s.tail = make([]float64, n)
+	s.best = graph.NewBitSet(n)
+	s.blockedSave = make([]*graph.BitSet, n)
+	s.inputsBuf = make([][]int, n)
+	s.pendingBuf = make([][]int, n)
+}
+
+// fork returns a search sharing s's immutable preprocessing (and shared
+// bound) with fresh private mutable state — one per subtree worker.
+func (s *singleCutSearch) fork() *singleCutSearch {
+	w := &singleCutSearch{
+		opt: s.opt, blk: s.blk, dag: s.dag, order: s.order,
+		frozen: s.frozen, swLat: s.swLat, hwLat: s.hwLat,
+		suffixSW: s.suffixSW, searchCtl: searchCtl{sh: s.sh},
 	}
-	if s.best.Empty() || s.bestMerit <= 0 {
+	w.initMutable()
+	return w
+}
+
+// saveBlocked snapshots the blocked set into depth i's scratch slot.
+func (s *singleCutSearch) saveBlocked(i int) *graph.BitSet {
+	sv := s.blockedSave[i]
+	if sv == nil {
+		sv = graph.NewBitSet(s.blk.N())
+		s.blockedSave[i] = sv
+	}
+	sv.CopyFrom(s.blocked)
+	return sv
+}
+
+// SingleCut returns the feasible cut of the block maximizing merit
+// λ(C) = latSW(C) − latHW(C), or nil when no cut has positive merit. Nodes
+// in excluded (may be nil) cannot join the cut.
+func SingleCut(blk *ir.Block, opt Options, excluded *graph.BitSet) (*core.Cut, error) {
+	return SingleCutContext(context.Background(), blk, opt, excluded)
+}
+
+// SingleCutContext is SingleCut with cancellation: the branch-and-bound
+// aborts mid-search (checked every few thousand explored nodes) and
+// returns ctx.Err().
+func SingleCutContext(ctx context.Context, blk *ir.Block, opt Options, excluded *graph.BitSet) (*core.Cut, error) {
+	if err := checkOptions(&opt, blk); err != nil {
+		return nil, err
+	}
+	sh := newSharedBound(ctx, opt.Budget)
+	s := newSingleCutSearch(blk, opt, excluded, sh)
+	best, bestMerit, err := s.run()
+	if err != nil {
+		return nil, err
+	}
+	if best == nil || best.Empty() || bestMerit <= 0 {
 		return nil, nil
 	}
-	m := opt.metricsOf()(blk, opt.Model, s.best)
+	m := opt.metricsOf()(blk, opt.Model, best)
 	return &core.Cut{
 		Block:  blk,
-		Nodes:  s.best.Clone(),
+		Nodes:  best.Clone(),
 		NumIn:  m.NumIn,
 		NumOut: m.NumOut,
 		SWLat:  m.SWLat,
 		HWLat:  m.HWLat,
 	}, nil
+}
+
+// run drives the search: single-threaded when the pool is not requested
+// (or the block is too small to split), otherwise split + fan-out + merge.
+func (s *singleCutSearch) run() (*graph.BitSet, float64, error) {
+	n := len(s.order)
+	w := s.opt.workersOf()
+	d := splitDepthFor(s.opt.SplitDepth, w, n, 2)
+	if w <= 1 || d < 1 || n < 4 {
+		s.search(0)
+		s.flush()
+		if err := s.sh.err(); err != nil {
+			return nil, 0, err
+		}
+		return s.best, s.bestMerit, nil
+	}
+
+	// Phase 1: enumerate the decision prefixes of depth d — the subtree
+	// tasks, in DFS order (include explored before exclude, exactly the
+	// sequential visit order, which is what makes the merge tie-break
+	// reproduce the sequential winner).
+	var tasks [][]byte
+	s.splitAt = d
+	s.collect = func(p []byte) { tasks = append(tasks, p) }
+	s.search(0)
+	s.collect = nil
+	s.flush()
+	if err := s.sh.err(); err != nil {
+		return nil, 0, err
+	}
+	if len(tasks) == 0 {
+		return s.best, s.bestMerit, nil // everything pruned at the root
+	}
+
+	// Phase 2: run the subtree tasks on the pool. Each worker replays a
+	// task's prefix on private state, explores its subtree pruning
+	// against the shared bound, and records its local first-best.
+	type result struct {
+		merit float64
+		nodes *graph.BitSet
+	}
+	results := make([]result, len(tasks))
+	runSubtrees(s.sh, w, len(tasks), func() func(ti int) {
+		ws := s.fork()
+		return func(ti int) {
+			ws.path = tasks[ti]
+			ws.bestMerit = 0
+			ws.search(0)
+			ws.flush()
+			if !ws.stopped && ws.bestMerit > 0 {
+				results[ti] = result{merit: ws.bestMerit, nodes: ws.best.Clone()}
+			}
+		}
+	})
+	if err := s.sh.err(); err != nil {
+		return nil, 0, err
+	}
+
+	// Phase 3: deterministic merge — first task (in DFS prefix order)
+	// achieving the maximum merit wins, matching the sequential
+	// first-improvement rule.
+	var best *graph.BitSet
+	bestMerit := 0.0
+	for _, r := range results {
+		if r.nodes != nil && r.merit > bestMerit {
+			bestMerit, best = r.merit, r.nodes
+		}
+	}
+	return best, bestMerit, nil
 }
 
 func checkOptions(opt *Options, blk *ir.Block) error {
@@ -161,6 +329,9 @@ func checkOptions(opt *Options, blk *ir.Block) error {
 	}
 	if opt.MaxIn < 1 || opt.MaxOut < 1 {
 		return fmt.Errorf("exact: I/O constraints (%d,%d) must be at least (1,1)", opt.MaxIn, opt.MaxOut)
+	}
+	if opt.SplitDepth < 0 {
+		return fmt.Errorf("exact: SplitDepth = %d, must be non-negative", opt.SplitDepth)
 	}
 	if opt.NodeLimit > 0 && blk.N() > opt.NodeLimit {
 		return fmt.Errorf("%w: %d nodes > limit %d", ErrTooLarge, blk.N(), opt.NodeLimit)
@@ -172,18 +343,33 @@ func checkOptions(opt *Options, blk *ir.Block) error {
 // exact for the decided prefix; see the package comment for the pruning
 // rules.
 func (s *singleCutSearch) search(i int) {
-	if s.aborted {
+	if !s.enter() {
 		return
 	}
-	s.explored++
-	if s.opt.Budget > 0 && s.explored > s.opt.Budget {
-		s.aborted = true
+	if i < len(s.path) {
+		// Replay the subtree task's decision prefix: the same state
+		// evolution the enumeration committed, so every decision is
+		// known feasible.
+		v := s.order[i]
+		if s.path[i] == 1 {
+			s.branchInclude(i, v)
+		} else {
+			s.branchExclude(i, v)
+		}
 		return
 	}
 	// Merit upper bound: every remaining non-frozen node could join with
-	// no critical-path growth.
+	// no critical-path growth. The local comparison keeps the sequential
+	// first-improvement rule (<=); against the shared cross-subtree bound
+	// only strictly-hopeless subtrees are pruned (<), so an equal-merit
+	// cut in an earlier subtree still surfaces and the merge tie-break
+	// stays bit-identical to the sequential order.
 	ub := core.MeritOf(s.swSum+s.suffixSW[i], s.hwCP)
-	if ub <= s.bestMerit {
+	if ub <= s.bestMerit || ub < s.sh.best() {
+		return
+	}
+	if s.collect != nil && i == s.splitAt {
+		s.collect(append([]byte(nil), s.trace...))
 		return
 	}
 	if i == len(s.order) {
@@ -191,6 +377,7 @@ func (s *singleCutSearch) search(i int) {
 		if merit > s.bestMerit && !s.cut.Empty() {
 			s.bestMerit = merit
 			s.best.CopyFrom(s.cut)
+			s.sh.raise(merit)
 		}
 		return
 	}
@@ -221,12 +408,13 @@ func (s *singleCutSearch) branchInclude(i, v int) {
 	}
 	// Permanent inputs: external input sources join immediately; node
 	// sources are undecided (producers come later) and go to pending.
-	var newInputs []int
+	newInputs := s.inputsBuf[i][:0]
 	for _, src := range blk.Srcs(v) {
 		if src >= n && !s.inputs.Has(src) {
 			newInputs = append(newInputs, src)
 		}
 	}
+	s.inputsBuf[i] = newInputs
 	if s.inCnt+len(newInputs) > s.opt.MaxIn {
 		return
 	}
@@ -246,13 +434,14 @@ func (s *singleCutSearch) branchInclude(i, v int) {
 		s.inputs.Set(src)
 	}
 	s.inCnt += len(newInputs)
-	var pendingAdded []int
+	pendingAdded := s.pendingBuf[i][:0]
 	for _, src := range blk.Srcs(v) {
 		if src < n && !s.pending.Has(src) && !s.cut.Has(src) {
 			s.pending.Set(src)
 			pendingAdded = append(pendingAdded, src)
 		}
 	}
+	s.pendingBuf[i] = pendingAdded
 	if wasPending {
 		s.pending.Clear(v)
 	}
@@ -269,7 +458,13 @@ func (s *singleCutSearch) branchInclude(i, v int) {
 		s.hwCP = s.tail[v]
 	}
 
+	if s.collect != nil {
+		s.trace = append(s.trace, 1)
+	}
 	s.search(i + 1)
+	if s.collect != nil {
+		s.trace = s.trace[:len(s.trace)-1]
+	}
 
 	// Rollback.
 	s.hwCP = oldCP
@@ -303,7 +498,7 @@ func (s *singleCutSearch) branchExclude(i, v int) {
 		// non-convex.
 		anc := s.dag.Anc(v)
 		if !anc.SubsetOf(s.blocked) {
-			savedBlocked = s.blocked.Clone()
+			savedBlocked = s.saveBlocked(i)
 			s.blocked.Or(anc)
 		}
 	}
@@ -313,7 +508,13 @@ func (s *singleCutSearch) branchExclude(i, v int) {
 		s.inCnt++
 	}
 
+	if s.collect != nil {
+		s.trace = append(s.trace, 0)
+	}
 	s.search(i + 1)
+	if s.collect != nil {
+		s.trace = s.trace[:len(s.trace)-1]
+	}
 
 	if wasPending {
 		s.inCnt--
@@ -329,13 +530,19 @@ func (s *singleCutSearch) branchExclude(i, v int) {
 // single cut is identified, its nodes are frozen, and the process repeats
 // until nise cuts are found or no positive-merit cut remains.
 func Iterative(blk *ir.Block, opt Options, nise int) ([]*core.Cut, error) {
+	return IterativeContext(context.Background(), blk, opt, nise)
+}
+
+// IterativeContext is Iterative with cancellation (see SingleCutContext);
+// the cuts found before the abort are returned alongside ctx.Err().
+func IterativeContext(ctx context.Context, blk *ir.Block, opt Options, nise int) ([]*core.Cut, error) {
 	if nise < 1 {
 		return nil, fmt.Errorf("exact: nise = %d, must be at least 1", nise)
 	}
 	excluded := graph.NewBitSet(blk.N())
 	var cuts []*core.Cut
 	for len(cuts) < nise {
-		cut, err := SingleCut(blk, opt, excluded)
+		cut, err := SingleCutContext(ctx, blk, opt, excluded)
 		if err != nil {
 			return cuts, err
 		}

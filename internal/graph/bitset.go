@@ -176,6 +176,31 @@ func (b *BitSet) ForEach(fn func(i int) bool) {
 	}
 }
 
+// NextSet returns the smallest element >= i, or -1 when no such element
+// exists. It scans word-level (one TrailingZeros64 per 64 absent
+// candidates), so  for v := b.NextSet(0); v >= 0; v = b.NextSet(v + 1)
+// iterates the set in ascending order without a closure and stays correct
+// when the loop body mutates bits at positions <= v.
+func (b *BitSet) NextSet(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= b.n {
+		return -1
+	}
+	wi := i / wordBits
+	w := b.words[wi] >> (uint(i) % wordBits)
+	if w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(b.words); wi++ {
+		if b.words[wi] != 0 {
+			return wi*wordBits + bits.TrailingZeros64(b.words[wi])
+		}
+	}
+	return -1
+}
+
 // Words exposes the backing word slice (little-endian bit order) so
 // callers can hash or serialize the set without per-element iteration.
 // The caller must not modify the returned slice.

@@ -216,3 +216,89 @@ func BenchmarkBitSetIntersectCount(b *testing.B) {
 		_ = x.IntersectCount(y)
 	}
 }
+
+func TestNextSetBoundaries(t *testing.T) {
+	b := NewBitSet(200)
+	for _, v := range []int{0, 63, 64, 127, 128, 199} {
+		b.Set(v)
+	}
+	want := []int{0, 63, 64, 127, 128, 199}
+	var got []int
+	for v := b.NextSet(0); v >= 0; v = b.NextSet(v + 1) {
+		got = append(got, v)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("NextSet walk = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("NextSet walk = %v, want %v", got, want)
+		}
+	}
+	// Starting points inside, between and past the elements.
+	for _, tc := range [][2]int{{0, 0}, {1, 63}, {63, 63}, {64, 64}, {65, 127}, {129, 199}, {199, 199}} {
+		if got := b.NextSet(tc[0]); got != tc[1] {
+			t.Errorf("NextSet(%d) = %d, want %d", tc[0], got, tc[1])
+		}
+	}
+	if got := b.NextSet(200); got != -1 {
+		t.Errorf("NextSet(200) = %d, want -1", got)
+	}
+	if got := b.NextSet(-5); got != 0 {
+		t.Errorf("NextSet(-5) = %d, want 0", got)
+	}
+	if got := NewBitSet(100).NextSet(0); got != -1 {
+		t.Errorf("NextSet on empty = %d, want -1", got)
+	}
+	if got := NewBitSet(0).NextSet(0); got != -1 {
+		t.Errorf("NextSet on zero-capacity = %d, want -1", got)
+	}
+}
+
+// NextSet walks and ForEach walks must agree on random sets.
+func TestNextSetMatchesForEach(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(300)
+		b := NewBitSet(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) == 0 {
+				b.Set(i)
+			}
+		}
+		var fe []int
+		b.ForEach(func(i int) bool { fe = append(fe, i); return true })
+		var ns []int
+		for v := b.NextSet(0); v >= 0; v = b.NextSet(v + 1) {
+			ns = append(ns, v)
+		}
+		if len(fe) != len(ns) {
+			t.Fatalf("trial %d: ForEach %v != NextSet %v", trial, fe, ns)
+		}
+		for i := range fe {
+			if fe[i] != ns[i] {
+				t.Fatalf("trial %d: ForEach %v != NextSet %v", trial, fe, ns)
+			}
+		}
+	}
+}
+
+// NextSet must tolerate the loop body clearing the element it sits on —
+// the pattern State.SetCut relies on.
+func TestNextSetMutationDuringWalk(t *testing.T) {
+	b := NewBitSet(150)
+	for i := 0; i < 150; i += 7 {
+		b.Set(i)
+	}
+	count := 0
+	for v := b.NextSet(0); v >= 0; v = b.NextSet(v + 1) {
+		b.Clear(v)
+		count++
+	}
+	if count != (149/7)+1 {
+		t.Fatalf("walk visited %d elements, want %d", count, (149/7)+1)
+	}
+	if !b.Empty() {
+		t.Fatalf("set not drained: %v", b)
+	}
+}

@@ -136,9 +136,21 @@ func FindInstances(patBlk *ir.Block, cut *graph.BitSet, target *ir.Block, availa
 		m.assign[i] = -1
 	}
 	m.byOp = map[ir.Op][]int{}
-	for v := 0; v < target.N(); v++ {
-		op := target.Nodes[v].Op
-		m.byOp[op] = append(m.byOp[op], v)
+	if available != nil {
+		// Only nodes in available can ever match (tryNode rejects the
+		// rest), so index just those — a word-level walk of the set
+		// instead of the former per-index scan over every node. Ascending
+		// order is preserved, so candidate order (and hence the match
+		// set) is unchanged.
+		for v := available.NextSet(0); v >= 0; v = available.NextSet(v + 1) {
+			op := target.Nodes[v].Op
+			m.byOp[op] = append(m.byOp[op], v)
+		}
+	} else {
+		for v := 0; v < target.N(); v++ {
+			op := target.Nodes[v].Op
+			m.byOp[op] = append(m.byOp[op], v)
+		}
 	}
 	m.search(0)
 	return dedup(m.out)

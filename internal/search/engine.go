@@ -14,6 +14,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -42,6 +43,25 @@ type Limits struct {
 	// trajectories). 0 means one worker per CPU core, 1 forces the
 	// sequential path. Results are identical either way.
 	Workers int
+	// SubtreeWorkers bounds the in-block branch-and-bound worker pool of
+	// the exact engines: the decision tree is split into subtree tasks
+	// that prune against a shared best-bound. 0 and 1 keep the
+	// single-threaded search; a negative value selects one worker per
+	// CPU core. Runs that complete within Budget are bit-identical for
+	// every value; a run sitting near the budget boundary may exhaust
+	// the shared budget only in parallel (see exact.Options.Budget and
+	// DESIGN.md, "Determinism contract").
+	SubtreeWorkers int
+	// SplitDepth is the decision depth at which the exact engines split
+	// the tree into subtree tasks (0 = automatic). Results are identical
+	// for every depth.
+	SplitDepth int
+	// MaxFrontier bounds the Pareto frontier a multi-objective run
+	// accumulates (0 = unbounded): when the frontier would exceed the
+	// bound, the lowest-ranked point under the frontier's deterministic
+	// total order is evicted, so huge applications cannot grow
+	// Stats.Frontier without bound.
+	MaxFrontier int
 }
 
 // Stats reports what one Engine.Run did.
@@ -71,6 +91,12 @@ type Engine interface {
 	// Figure 4 legend ("ISEGEN", "Exact", "Iterative", "Genetic").
 	Name() string
 	Run(blk *ir.Block, obj *Objective, lim *Limits) ([]*core.Cut, Stats, error)
+	// RunContext is Run with in-block cancellation: the K-L and exact
+	// engines poll ctx inside their inner loops (amortized, every few
+	// thousand search steps) and abort mid-search with ctx.Err(); the
+	// genetic engine checks between evolutions. Run is RunContext under
+	// context.Background().
+	RunContext(ctx context.Context, blk *ir.Block, obj *Objective, lim *Limits) ([]*core.Cut, Stats, error)
 }
 
 // KL is the ISEGEN engine: iterative Kernighan–Lin bi-partition with
@@ -112,6 +138,12 @@ func (e *KL) config(obj *Objective, lim *Limits) core.Config {
 // objectives (ReuseAware, EnergyWeighted) are rejected — run those
 // through Runner.Generate with their own application.
 func (e *KL) Run(blk *ir.Block, obj *Objective, lim *Limits) ([]*core.Cut, Stats, error) {
+	return e.RunContext(context.Background(), blk, obj, lim)
+}
+
+// RunContext implements Engine; cancellation aborts mid-trajectory (see
+// core.Engine.TrajectoryContext).
+func (e *KL) RunContext(ctx context.Context, blk *ir.Block, obj *Objective, lim *Limits) ([]*core.Cut, Stats, error) {
 	stats := Stats{Engine: e.Name()}
 	if err := checkObjective(obj); err != nil {
 		return nil, stats, err
@@ -119,9 +151,15 @@ func (e *KL) Run(blk *ir.Block, obj *Objective, lim *Limits) ([]*core.Cut, Stats
 	if obj.AppScoped() {
 		return nil, stats, fmt.Errorf("search: objective %q needs application context; use Runner.Generate", obj.Name)
 	}
+	if lim.MaxFrontier > 0 && obj.MultiObjective() && obj.maxFrontier != lim.MaxFrontier {
+		// The per-run Limits knob wins over the objective's own bound.
+		bounded := *obj
+		bounded.maxFrontier = lim.MaxFrontier
+		obj = &bounded
+	}
 	r := &Runner{Workers: lim.Workers, Cache: e.Cache}
 	app := &ir.Application{Name: blk.Name, Blocks: []*ir.Block{blk}}
-	return r.Generate(app, e.config(obj, lim), obj, nil)
+	return r.GenerateContext(ctx, app, e.config(obj, lim), obj, nil)
 }
 
 // ExactJoint is the paper's "Exact" baseline: joint optimal assignment of
@@ -139,12 +177,19 @@ func (e *ExactJoint) Name() string { return "Exact" }
 // Run implements Engine. The exact search optimizes merit internally, so
 // objectives with a custom scorer are rejected rather than ignored.
 func (e *ExactJoint) Run(blk *ir.Block, obj *Objective, lim *Limits) ([]*core.Cut, Stats, error) {
+	return e.RunContext(context.Background(), blk, obj, lim)
+}
+
+// RunContext implements Engine; cancellation aborts the branch-and-bound
+// mid-block, and lim.SubtreeWorkers > 1 runs it on the in-block subtree
+// pool with bit-identical results.
+func (e *ExactJoint) RunContext(ctx context.Context, blk *ir.Block, obj *Objective, lim *Limits) ([]*core.Cut, Stats, error) {
 	start := time.Now()
 	opt, err := exactOptions(e.Name(), obj, lim, e.Cache, e.Metrics)
 	if err != nil {
 		return nil, Stats{Engine: e.Name()}, err
 	}
-	cuts, err := exact.MultiCut(blk, opt, lim.NISE)
+	cuts, err := exact.MultiCutContext(ctx, blk, opt, lim.NISE)
 	return cuts, Stats{Engine: e.Name(), Cuts: len(cuts), Duration: time.Since(start)}, err
 }
 
@@ -163,12 +208,19 @@ func (e *ExactIterative) Name() string { return "Iterative" }
 // Run implements Engine. The exact search optimizes merit internally, so
 // objectives with a custom scorer are rejected rather than ignored.
 func (e *ExactIterative) Run(blk *ir.Block, obj *Objective, lim *Limits) ([]*core.Cut, Stats, error) {
+	return e.RunContext(context.Background(), blk, obj, lim)
+}
+
+// RunContext implements Engine; cancellation aborts the branch-and-bound
+// mid-block, and lim.SubtreeWorkers > 1 runs it on the in-block subtree
+// pool with bit-identical results.
+func (e *ExactIterative) RunContext(ctx context.Context, blk *ir.Block, obj *Objective, lim *Limits) ([]*core.Cut, Stats, error) {
 	start := time.Now()
 	opt, err := exactOptions(e.Name(), obj, lim, e.Cache, e.Metrics)
 	if err != nil {
 		return nil, Stats{Engine: e.Name()}, err
 	}
-	cuts, err := exact.Iterative(blk, opt, lim.NISE)
+	cuts, err := exact.IterativeContext(ctx, blk, opt, lim.NISE)
 	return cuts, Stats{Engine: e.Name(), Cuts: len(cuts), Duration: time.Since(start)}, err
 }
 
@@ -190,6 +242,7 @@ func exactOptions(name string, obj *Objective, lim *Limits, cache *CostCache, me
 	opt := exact.Options{
 		MaxIn: lim.MaxIn, MaxOut: lim.MaxOut, Model: obj.Model,
 		NodeLimit: lim.NodeLimit, Budget: lim.Budget,
+		Workers: lim.SubtreeWorkers, SplitDepth: lim.SplitDepth,
 	}
 	if cache != nil {
 		opt.Metrics = cache.Metrics
@@ -222,7 +275,17 @@ func (e *Genetic) SetSeed(seed int64) { e.Seed = seed }
 // internally, so objectives with a custom scorer are rejected rather than
 // ignored.
 func (e *Genetic) Run(blk *ir.Block, obj *Objective, lim *Limits) ([]*core.Cut, Stats, error) {
+	return e.RunContext(context.Background(), blk, obj, lim)
+}
+
+// RunContext implements Engine. The evolution itself is not cancellable
+// mid-generation; the context is checked up front, so a cancelled request
+// skips the run entirely.
+func (e *Genetic) RunContext(ctx context.Context, blk *ir.Block, obj *Objective, lim *Limits) ([]*core.Cut, Stats, error) {
 	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, Stats{Engine: e.Name()}, err
+	}
 	if err := checkObjective(obj); err != nil {
 		return nil, Stats{Engine: e.Name()}, err
 	}

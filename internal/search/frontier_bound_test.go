@@ -1,0 +1,83 @@
+package search
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// fp builds a synthetic frontier candidate: a one-node cut (node id makes
+// the identity unique) with the given vector.
+func fpCut(n, node int) *core.Cut {
+	bs := graph.NewBitSet(n)
+	bs.Set(node)
+	return &core.Cut{Nodes: bs}
+}
+
+// TestFrontierBoundedEviction pins the deterministic eviction rule: when
+// an insertion exceeds the bound, the lowest-ranked point under the
+// frontier's total order (merit desc, area asc, energy desc, block,
+// node-set) is dropped.
+func TestFrontierBoundedEviction(t *testing.T) {
+	f := NewBoundedFrontier(2)
+	// Mutually non-dominated: merit falls as area falls.
+	vecs := []Vector{
+		{Merit: 10, Area: 100, Energy: 5},
+		{Merit: 9, Area: 90, Energy: 5},
+		{Merit: 8, Area: 80, Energy: 5},
+		{Merit: 7, Area: 70, Energy: 5},
+	}
+	for i, v := range vecs {
+		f.add(0, fpCut(8, i), v)
+	}
+	if f.Len() != 2 {
+		t.Fatalf("bounded frontier has %d points, want 2", f.Len())
+	}
+	pts := f.Points()
+	// Ranking is merit-first, so the two highest-merit points survive.
+	if pts[0].Vector.Merit != 10 || pts[1].Vector.Merit != 9 {
+		t.Fatalf("survivors = %+v, %+v; want merits 10 and 9", pts[0].Vector, pts[1].Vector)
+	}
+
+	// A dominated insertion is still dropped outright, not evicted-for.
+	f.add(0, fpCut(8, 5), Vector{Merit: 1, Area: 500, Energy: 0})
+	if f.Len() != 2 {
+		t.Fatalf("dominated insertion changed the bounded frontier: %d points", f.Len())
+	}
+
+	// A new non-dominated top point pushes out the worst survivor.
+	f.add(0, fpCut(8, 6), Vector{Merit: 11, Area: 101, Energy: 5})
+	pts = f.Points()
+	if len(pts) != 2 || pts[0].Vector.Merit != 11 || pts[1].Vector.Merit != 10 {
+		t.Fatalf("after top insertion: %+v; want merits 11 and 10", pts)
+	}
+}
+
+// TestFrontierUnboundedZeroValue: the zero value and NewBoundedFrontier(0)
+// never evict.
+func TestFrontierUnboundedZeroValue(t *testing.T) {
+	for _, f := range []*Frontier{{}, NewBoundedFrontier(0), NewBoundedFrontier(-3)} {
+		for i := 0; i < 10; i++ {
+			// Merit and area fall together: mutually non-dominated.
+			f.add(0, fpCut(16, i), Vector{Merit: float64(10 - i), Area: float64(100 - 10*i), Energy: 1})
+		}
+		if f.Len() != 10 {
+			t.Fatalf("unbounded frontier evicted: %d points, want 10", f.Len())
+		}
+	}
+}
+
+// TestFrontierEvictionTieBreak: equal vectors tie-break by block then node
+// set, so eviction stays total and deterministic.
+func TestFrontierEvictionTieBreak(t *testing.T) {
+	v := Vector{Merit: 5, Area: 50, Energy: 1}
+	f := NewBoundedFrontier(2)
+	f.add(2, fpCut(8, 1), v)
+	f.add(0, fpCut(8, 1), v)
+	f.add(1, fpCut(8, 1), v) // exceeds: block 2 (largest) must go
+	pts := f.Points()
+	if len(pts) != 2 || pts[0].Block != 0 || pts[1].Block != 1 {
+		t.Fatalf("tie-break eviction kept blocks %v, want [0 1]", []int{pts[0].Block, pts[1].Block})
+	}
+}

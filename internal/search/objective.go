@@ -44,6 +44,9 @@ type Objective struct {
 	// candidates are scored as Vectors and the run accumulates a
 	// Frontier instead of ranking by one scalar.
 	pareto bool
+	// maxFrontier bounds the run's Frontier (pareto only; 0 = unbounded;
+	// see ParetoBounded and Limits.MaxFrontier).
+	maxFrontier int
 }
 
 // AppScoped reports whether the objective needs application context and
@@ -227,6 +230,10 @@ type ObjectiveParams struct {
 	// ClassOf overrides the "class" objective's block classifier
 	// (nil selects BlockClass).
 	ClassOf func(*ir.Block) string
+	// MaxFrontier bounds the "pareto" objective's cumulative frontier
+	// (0 = unbounded); the lowest-ranked point is evicted
+	// deterministically when the bound would be exceeded.
+	MaxFrontier int
 }
 
 // DefaultGatePenalty is the "area" objective's default merit discount per
@@ -274,7 +281,7 @@ var objectiveFactories = map[string]func(app *ir.Application, model *latency.Mod
 		return ClassWeighted(app, model, p.ClassOf, p.ClassWeights), nil
 	},
 	"pareto": func(app *ir.Application, model *latency.Model, p ObjectiveParams) (*Objective, error) {
-		return Pareto(model), nil
+		return ParetoBounded(model, p.MaxFrontier), nil
 	},
 }
 

@@ -85,9 +85,25 @@ type FrontierPoint struct {
 // set of candidates examined by the search that no other examined
 // candidate dominates. It is maintained by the driver goroutine only, in
 // deterministic round order, so parallel and sequential runs build
-// bit-identical frontiers. The zero value is an empty frontier.
+// bit-identical frontiers. The zero value is an empty, unbounded frontier.
 type Frontier struct {
 	points []FrontierPoint
+	// limit bounds the number of retained points (0 = unbounded): when
+	// an insertion would exceed it, the lowest-ranked point under the
+	// frontier's deterministic total order (pointLess) is evicted, so
+	// huge applications cannot grow the frontier without bound. Eviction
+	// is a pure function of the (deterministic) insertion sequence, so
+	// bounded frontiers keep the parallel == sequential contract.
+	limit int
+}
+
+// NewBoundedFrontier returns an empty frontier retaining at most max
+// points (max <= 0 means unbounded, same as the zero value).
+func NewBoundedFrontier(max int) *Frontier {
+	if max < 0 {
+		max = 0
+	}
+	return &Frontier{limit: max}
 }
 
 // samePoint reports whether the frontier point stands for the candidate
@@ -115,6 +131,36 @@ func (f *Frontier) add(bi int, cut *core.Cut, v Vector) {
 		}
 	}
 	f.points = append(kept, FrontierPoint{Block: bi, Cut: cut, Vector: v})
+	if f.limit > 0 && len(f.points) > f.limit {
+		f.evictWorst()
+	}
+}
+
+// evictWorst drops the lowest-ranked point under pointLess — the same
+// total order Points() sorts by, so the bounded frontier is always the
+// top-limit prefix of the unbounded ordering restricted to survivors.
+func (f *Frontier) evictWorst() {
+	wi := 0
+	for i := 1; i < len(f.points); i++ {
+		if pointLess(&f.points[wi], &f.points[i]) {
+			wi = i
+		}
+	}
+	f.points = append(f.points[:wi], f.points[wi+1:]...)
+}
+
+// pointLess is the deterministic total order on frontier points: best
+// merit first, then smaller area, then higher energy, then block index,
+// then node-set order. Two distinct points never compare equal (identical
+// vector, block and node set would have deduplicated on add).
+func pointLess(a, b *FrontierPoint) bool {
+	if a.Vector != b.Vector {
+		return a.Vector.better(b.Vector)
+	}
+	if a.Block != b.Block {
+		return a.Block < b.Block
+	}
+	return a.Cut.Nodes.String() < b.Cut.Nodes.String()
 }
 
 // markSelected flags the point matching the picked cut, if it is still on
@@ -137,15 +183,7 @@ func (f *Frontier) Len() int { return len(f.points) }
 // order. The slice is a copy; mutating it does not affect the frontier.
 func (f *Frontier) Points() []FrontierPoint {
 	out := append([]FrontierPoint(nil), f.points...)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Vector != out[j].Vector {
-			return out[i].Vector.better(out[j].Vector)
-		}
-		if out[i].Block != out[j].Block {
-			return out[i].Block < out[j].Block
-		}
-		return out[i].Cut.Nodes.String() < out[j].Cut.Nodes.String()
-	})
+	sort.Slice(out, func(i, j int) bool { return pointLess(&out[i], &out[j]) })
 	return out
 }
 
@@ -162,6 +200,17 @@ func (f *Frontier) Points() []FrontierPoint {
 // Runner.Generate, which resolves it from the Config.
 func Pareto(model *latency.Model) *Objective {
 	return &Objective{Name: "pareto", Model: model, pareto: true}
+}
+
+// ParetoBounded is Pareto with a frontier size bound: the run's Frontier
+// retains at most maxFrontier points, evicting the lowest-ranked one
+// deterministically (see Frontier). maxFrontier <= 0 means unbounded.
+func ParetoBounded(model *latency.Model, maxFrontier int) *Objective {
+	o := Pareto(model)
+	if maxFrontier > 0 {
+		o.maxFrontier = maxFrontier
+	}
+	return o
 }
 
 // paretoPick implements pick for multi-objective selection: the best

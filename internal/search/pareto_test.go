@@ -153,3 +153,69 @@ func TestParetoRejectedByMeritOnlyEngines(t *testing.T) {
 		t.Fatal("KL pareto run found no cuts on conven00")
 	}
 }
+
+// TestParetoBoundedFrontier: the frontier bound caps Stats.Frontier, keeps
+// the non-dominated invariant, and stays bit-identical across worker
+// counts (eviction happens on the driver goroutine in round order).
+func TestParetoBoundedFrontier(t *testing.T) {
+	app := kernels.Fbital00()
+	model := latency.Default()
+
+	full := func(workers int) (*search.Frontier, string) {
+		cfg := core.DefaultConfig()
+		cfg.Workers = workers
+		r := &search.Runner{Workers: workers}
+		_, stats, err := r.Generate(app, cfg, search.ParetoBounded(model, 3), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		for _, pt := range stats.Frontier.Points() {
+			fmt.Fprintf(&sb, "blk=%d nodes=%v vec=%+v sel=%v\n", pt.Block, pt.Cut.Nodes, pt.Vector, pt.Selected)
+		}
+		return stats.Frontier, sb.String()
+	}
+
+	fr, seq := full(1)
+	if fr.Len() > 3 {
+		t.Fatalf("bounded frontier has %d points, want <= 3", fr.Len())
+	}
+	if fr.Len() == 0 {
+		t.Fatal("bounded frontier is empty")
+	}
+	pts := fr.Points()
+	for i, a := range pts {
+		for j, b := range pts {
+			if i != j && a.Vector.Dominates(b.Vector) {
+				t.Fatalf("bounded frontier point %d dominates %d", i, j)
+			}
+		}
+	}
+	for _, w := range []int{2, 8} {
+		if _, got := full(w); got != seq {
+			t.Fatalf("bounded frontier diverged at workers=%d\n--- got\n%s--- want\n%s", w, got, seq)
+		}
+	}
+}
+
+// TestLimitsMaxFrontierEngineRun: the per-run Limits knob bounds the
+// frontier through the Engine.Run path too.
+func TestLimitsMaxFrontierEngineRun(t *testing.T) {
+	blk := kernels.Fbital00().Blocks[0]
+	model := latency.Default()
+	kl, err := search.New("isegen", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lim := &search.Limits{MaxIn: 4, MaxOut: 2, NISE: 4, MaxFrontier: 2}
+	_, stats, err := kl.Run(blk, search.Pareto(model), lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Frontier == nil || stats.Frontier.Len() == 0 {
+		t.Fatal("no frontier from bounded pareto run")
+	}
+	if stats.Frontier.Len() > 2 {
+		t.Fatalf("Limits.MaxFrontier=2 ignored: %d points", stats.Frontier.Len())
+	}
+}

@@ -111,19 +111,29 @@ func parallelFor(ctx context.Context, w, n int, fn func(i int)) error {
 // candidates runs the engine's restart trajectories — in parallel when
 // w > 1 — and finalizes the merged snapshot pool. Snapshots are merged in
 // seed order, which is exactly the order the sequential Candidates path
-// produces, so the result is identical for every worker count. On
+// produces, so the result is identical for every worker count. Each
+// trajectory polls the context inside its K-L loop (TrajectoryContext),
+// so cancellation aborts mid-block — a 696-node AES bi-partition stops
+// within a few toggle steps, not at the next work-item boundary. On
 // cancellation it returns nil and the context's error.
 func candidates(ctx context.Context, eng *core.Engine, w int) ([]*core.Cut, error) {
 	seeds := eng.Seeds()
 	if workers(w) <= 1 || len(seeds) <= 1 {
-		if err := ctx.Err(); err != nil {
-			return nil, err
+		var snaps []core.Candidate
+		for _, seed := range seeds {
+			ts, err := eng.TrajectoryContext(ctx, seed)
+			if err != nil {
+				return nil, err
+			}
+			snaps = append(snaps, ts...)
 		}
-		return eng.Candidates(), nil
+		return eng.Finalize(snaps), nil
 	}
 	perSeed := make([][]core.Candidate, len(seeds))
 	err := parallelFor(ctx, workers(w), len(seeds), func(i int) {
-		perSeed[i] = eng.Trajectory(seeds[i])
+		// A cancelled trajectory's error surfaces through parallelFor's
+		// ctx check; its partial snapshots are discarded with the run.
+		perSeed[i], _ = eng.TrajectoryContext(ctx, seeds[i])
 	})
 	if err != nil {
 		return nil, err
@@ -195,9 +205,10 @@ func (r *Runner) GenerateContext(ctx context.Context, app *ir.Application, cfg c
 	// Multi-objective runs accumulate the Pareto frontier of every
 	// candidate pool; frontier maintenance happens only on this (driver)
 	// goroutine, in round order, so it is deterministic for every worker
-	// count. stats.Frontier stays nil for scalar objectives.
+	// count — including the bounded-frontier eviction. stats.Frontier
+	// stays nil for scalar objectives.
 	if obj.MultiObjective() {
-		stats.Frontier = &Frontier{}
+		stats.Frontier = NewBoundedFrontier(obj.maxFrontier)
 	}
 	var cuts []*core.Cut
 	exhausted := make([]bool, len(app.Blocks))
@@ -252,7 +263,8 @@ func (r *Runner) RunBlocks(blocks []*ir.Block, eng Engine, obj *Objective, lim *
 // not stop the fan-out; the first error (by block order) is returned
 // alongside the full result and stats slices, whose entries are valid
 // wherever the corresponding error slot was nil. Cancellation short-
-// circuits unstarted blocks and returns ctx.Err() (which takes precedence
+// circuits unstarted blocks, aborts in-flight engine runs mid-block
+// (Engine.RunContext), and returns ctx.Err() (which takes precedence
 // over per-block errors, since unstarted slots are indistinguishable from
 // failed ones at that point).
 func (r *Runner) RunBlocksContext(ctx context.Context, blocks []*ir.Block, eng Engine, obj *Objective, lim *Limits) ([][]*core.Cut, []Stats, error) {
@@ -260,7 +272,7 @@ func (r *Runner) RunBlocksContext(ctx context.Context, blocks []*ir.Block, eng E
 	stats := make([]Stats, len(blocks))
 	errs := make([]error, len(blocks))
 	if err := parallelFor(ctx, workers(r.Workers), len(blocks), func(i int) {
-		cuts[i], stats[i], errs[i] = eng.Run(blocks[i], obj, lim)
+		cuts[i], stats[i], errs[i] = eng.RunContext(ctx, blocks[i], obj, lim)
 	}); err != nil {
 		return cuts, stats, err
 	}

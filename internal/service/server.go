@@ -129,6 +129,8 @@ func parseParams(r *http.Request) (Params, error) {
 	}
 	for name, dst := range map[string]*int{
 		"in": &p.MaxIn, "out": &p.MaxOut, "nise": &p.NISE, "workers": &p.Workers,
+		"subtree_workers": &p.SubtreeWorkers, "split_depth": &p.SplitDepth,
+		"max_frontier": &p.MaxFrontier,
 	} {
 		if err := intField(name, dst); err != nil {
 			return p, err

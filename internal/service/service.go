@@ -57,6 +57,25 @@ type Params struct {
 	// Workers bounds the job's worker pool (0 = one per CPU core).
 	// Results are bit-identical for every value.
 	Workers int `json:"workers"`
+	// SubtreeWorkers bounds the in-block branch-and-bound pool of the
+	// exact engines ("exact", "iterative" only): w > 1 splits each
+	// block's decision tree into subtree tasks pruned against a shared
+	// best-bound, so one hot block no longer pins the job to a single
+	// core. 0 and 1 keep the single-threaded search; -1 selects one
+	// worker per CPU core. Runs that complete within the search budget
+	// are bit-identical for every value (a run near the budget boundary
+	// may exhaust the shared budget only in parallel — see
+	// exact.Options.Budget).
+	SubtreeWorkers int `json:"subtree_workers,omitempty"`
+	// SplitDepth is the decision depth at which the exact engines split
+	// the tree (0 = automatic; exact engines only). Results are
+	// identical for every depth.
+	SplitDepth int `json:"split_depth,omitempty"`
+	// MaxFrontier bounds the Pareto frontier accumulated under
+	// objective "pareto" (0 = unbounded): the lowest-ranked point is
+	// evicted deterministically when the bound would be exceeded, so a
+	// huge application cannot grow the frontier record without bound.
+	MaxFrontier int `json:"max_frontier,omitempty"`
 	// Reuse enables reuse-aware scoring and instance claiming ("isegen"
 	// only; baselines count each cut once).
 	Reuse bool `json:"reuse"`
@@ -114,6 +133,21 @@ func (p Params) Validate() error {
 	// An objective knob set for an objective that does not read it would
 	// be silently dropped; reject the mismatch instead, symmetrically
 	// with the objective/engine pairing above.
+	if p.SubtreeWorkers < -1 {
+		return fmt.Errorf("service: subtree_workers must be >= -1 (got %d; -1 = one per CPU core)", p.SubtreeWorkers)
+	}
+	if p.SplitDepth < 0 {
+		return fmt.Errorf("service: split_depth must be non-negative (got %d)", p.SplitDepth)
+	}
+	if p.MaxFrontier < 0 {
+		return fmt.Errorf("service: max_frontier must be non-negative (got %d)", p.MaxFrontier)
+	}
+	if (p.SubtreeWorkers != 0 || p.SplitDepth != 0) && p.Algo != "exact" && p.Algo != "iterative" {
+		return fmt.Errorf("service: subtree_workers/split_depth are only read by the exact engines (\"exact\", \"iterative\"; algo is %q)", p.Algo)
+	}
+	if p.MaxFrontier != 0 && p.Objective != "pareto" {
+		return fmt.Errorf("service: max_frontier is only read by objective \"pareto\" (objective is %q)", orDefault(p.Objective))
+	}
 	if p.GatePenalty != 0 && p.Objective != "area" {
 		return fmt.Errorf("service: gate_penalty is only read by objective \"area\" (objective is %q)", orDefault(p.Objective))
 	}
@@ -142,6 +176,7 @@ func (p Params) ObjectiveParams() isegen.ObjectiveParams {
 		GatePenalty:   p.GatePenalty,
 		LatencyBudget: p.LatencyBudget,
 		ClassWeights:  p.ClassWeights,
+		MaxFrontier:   p.MaxFrontier,
 	}
 }
 
@@ -362,7 +397,10 @@ func runPerBlock(ctx context.Context, app *ir.Application, p Params, cache *sear
 	lim := &search.Limits{
 		MaxIn: p.MaxIn, MaxOut: p.MaxOut, NISE: p.NISE,
 		NodeLimit: search.DefaultNodeLimit(p.Algo), Budget: search.DefaultBudget,
-		Workers: 1, // parallelism lives on the block axis here
+		Workers: 1, // K-L parallelism lives on the block axis here
+		// In-block branch-and-bound fan-out for the exact engines:
+		// orthogonal to the block axis, bit-identical results.
+		SubtreeWorkers: p.SubtreeWorkers, SplitDepth: p.SplitDepth,
 	}
 
 	type blockOut struct {
@@ -407,7 +445,10 @@ func runPerBlock(ctx context.Context, app *ir.Application, p Params, cache *sear
 				outs[i].skipped = fmt.Sprintf("block exceeds %s engine node limit (%d > %d)", p.Algo, blk.N(), lim.NodeLimit)
 				return
 			}
-			outs[i].cuts, _, outs[i].err = eng.Run(blk, obj, lim)
+			// RunContext: a cancelled request (client disconnect,
+			// shutdown) aborts the engine mid-block instead of waiting
+			// for the block to finish.
+			outs[i].cuts, _, outs[i].err = eng.RunContext(ictx, blk, obj, lim)
 		})
 	}()
 

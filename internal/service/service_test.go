@@ -525,3 +525,83 @@ func TestRunEmitErrorAborts(t *testing.T) {
 		t.Fatalf("emit called %d times after failing, want 1", calls)
 	}
 }
+
+// TestServiceSubtreeWorkersParam pins the new in-block parallelism knobs
+// end to end: subtree_workers/split_depth leave the exact engines' NDJSON
+// stream bit-identical (only wall-clock may change), the served stream
+// matches the offline path, and the orphan-knob validation rejects the
+// parameters for engines that do not read them.
+func TestServiceSubtreeWorkersParam(t *testing.T) {
+	dfg := kernelDFG(t, kernels.Fbital00())
+	srv := NewServer(Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	seqP := DefaultParams()
+	seqP.Algo = "iterative"
+	seq := offlineNDJSON(t, dfg, seqP)
+
+	for _, q := range []string{
+		"?algo=iterative&subtree_workers=4",
+		"?algo=iterative&subtree_workers=4&split_depth=3",
+		"?algo=iterative&subtree_workers=-1",
+	} {
+		status, got := postSelect(t, ts, dfg, q)
+		if status != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", q, status, got)
+		}
+		if !bytes.Equal(got, seq) {
+			t.Fatalf("%s: stream differs from the single-threaded run\ngot:\n%s\nwant:\n%s", q, got, seq)
+		}
+	}
+
+	// Orphan knobs: engines that never read them reject them up front.
+	for _, q := range []string{
+		"?subtree_workers=4",              // default algo isegen
+		"?algo=genetic&split_depth=2",     // genetic has no subtree search
+		"?algo=iterative&max_frontier=10", // max_frontier needs pareto
+		"?algo=iterative&subtree_workers=-2",
+	} {
+		if status, body := postSelect(t, ts, dfg, q); status != http.StatusBadRequest {
+			t.Fatalf("%s: status %d (%s), want 400", q, status, body)
+		}
+	}
+}
+
+// TestServiceMaxFrontierParam: max_frontier bounds the pareto frontier
+// record, bit-identically to the offline path.
+func TestServiceMaxFrontierParam(t *testing.T) {
+	dfg := kernelDFG(t, kernels.Fbital00())
+	srv := NewServer(Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	p := DefaultParams()
+	p.Objective, p.MaxFrontier = "pareto", 2
+	want := offlineNDJSON(t, dfg, p)
+	status, got := postSelect(t, ts, dfg, "?objective=pareto&max_frontier=2")
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("served bounded-frontier stream differs from offline\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	var fr FrontierRecord
+	found := false
+	for _, line := range bytes.Split(bytes.TrimSpace(got), []byte("\n")) {
+		if bytes.Contains(line, []byte(`"frontier"`)) {
+			if err := json.Unmarshal(line, &fr); err != nil {
+				t.Fatal(err)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no frontier record in pareto stream")
+	}
+	if len(fr.Points) == 0 || len(fr.Points) > 2 {
+		t.Fatalf("bounded frontier record has %d points, want 1..2", len(fr.Points))
+	}
+}

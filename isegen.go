@@ -355,6 +355,13 @@ func MeritObjective(model *Model) *Objective { return search.Merit(model) }
 // accumulates a Frontier (see search.Pareto).
 func ParetoObjective(model *Model) *Objective { return search.Pareto(model) }
 
+// ParetoBoundedObjective is ParetoObjective with a frontier size bound:
+// at most maxFrontier points are retained, evicting the lowest-ranked one
+// deterministically (see search.ParetoBounded).
+func ParetoBoundedObjective(model *Model, maxFrontier int) *Objective {
+	return search.ParetoBounded(model, maxFrontier)
+}
+
 // AreaWeightedObjective discounts merit by gatePenalty per NAND2 gate of
 // estimated AFU area.
 func AreaWeightedObjective(model *Model, gatePenalty float64) *Objective {
@@ -405,7 +412,9 @@ func CutObjectiveVector(model *Model, cut *Cut) ObjectiveVector {
 // NAND2-equivalent gate.
 const DefaultGatePenalty = search.DefaultGatePenalty
 
-// ExactOptions configures the exact baselines.
+// ExactOptions configures the exact baselines. Setting Workers > 1 fans
+// the branch-and-bound out inside the block on a shared best-bound with
+// bit-identical results (see DESIGN.md, "Determinism contract").
 type ExactOptions = exact.Options
 
 // ExactSingleCut finds the optimal single feasible cut of a block.
@@ -413,19 +422,36 @@ func ExactSingleCut(blk *Block, opt ExactOptions, excluded *BitSet) (*Cut, error
 	return exact.SingleCut(blk, opt, excluded)
 }
 
+// ExactSingleCutContext is ExactSingleCut with in-block cancellation: the
+// branch-and-bound polls ctx every few thousand explored nodes and aborts
+// mid-search with ctx.Err().
+func ExactSingleCutContext(ctx context.Context, blk *Block, opt ExactOptions, excluded *BitSet) (*Cut, error) {
+	return exact.SingleCutContext(ctx, blk, opt, excluded)
+}
+
 // ExactIterative repeatedly finds the optimal single cut (the paper's
 // "Iterative" baseline).
 func ExactIterative(blk *Block, opt ExactOptions, nise int) ([]*Cut, error) {
+	return ExactIterativeContext(context.Background(), blk, opt, nise)
+}
+
+// ExactIterativeContext is ExactIterative with in-block cancellation.
+func ExactIterativeContext(ctx context.Context, blk *Block, opt ExactOptions, nise int) ([]*Cut, error) {
 	eng := &search.ExactIterative{Metrics: opt.Metrics}
-	cuts, _, err := eng.Run(blk, search.Merit(opt.Model), exactLimits(opt, nise))
+	cuts, _, err := eng.RunContext(ctx, blk, search.Merit(opt.Model), exactLimits(opt, nise))
 	return cuts, err
 }
 
 // ExactMultiCut finds the jointly optimal assignment into nise cuts (the
 // paper's "Exact" baseline; tiny blocks only).
 func ExactMultiCut(blk *Block, opt ExactOptions, nise int) ([]*Cut, error) {
+	return ExactMultiCutContext(context.Background(), blk, opt, nise)
+}
+
+// ExactMultiCutContext is ExactMultiCut with in-block cancellation.
+func ExactMultiCutContext(ctx context.Context, blk *Block, opt ExactOptions, nise int) ([]*Cut, error) {
 	eng := &search.ExactJoint{Metrics: opt.Metrics}
-	cuts, _, err := eng.Run(blk, search.Merit(opt.Model), exactLimits(opt, nise))
+	cuts, _, err := eng.RunContext(ctx, blk, search.Merit(opt.Model), exactLimits(opt, nise))
 	return cuts, err
 }
 
@@ -433,6 +459,7 @@ func exactLimits(opt ExactOptions, nise int) *SearchLimits {
 	return &SearchLimits{
 		MaxIn: opt.MaxIn, MaxOut: opt.MaxOut, NISE: nise,
 		NodeLimit: opt.NodeLimit, Budget: opt.Budget,
+		SubtreeWorkers: opt.Workers, SplitDepth: opt.SplitDepth,
 	}
 }
 
