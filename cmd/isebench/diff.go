@@ -1,0 +1,121 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Allocation tolerances for the -diff gate. Sequential suites drive the
+// engines without spawning goroutines, so their allocs/op are deterministic
+// up to runtime noise (GC bookkeeping, timer internals) — a small epsilon
+// absorbs that while still failing any real regression by orders of
+// magnitude. Parallel suites additionally see pool hits and goroutine
+// spawns vary with scheduling and CPU count, so they get a wider band.
+const (
+	seqAllocSlackPct = 2
+	seqAllocSlackAbs = 64
+	parAllocSlackPct = 20
+	parAllocSlackAbs = 256
+)
+
+// loadBenchFile reads one BENCH_<rev>.json.
+func loadBenchFile(path string) (*benchFile, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf benchFile
+	if err := json.Unmarshal(b, &bf); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if bf.Schema != 1 {
+		return nil, fmt.Errorf("%s: unsupported schema %d", path, bf.Schema)
+	}
+	return &bf, nil
+}
+
+// allocLimit returns the failure threshold for a suite's allocs/op.
+func allocLimit(name string, base uint64) uint64 {
+	pct, abs := uint64(seqAllocSlackPct), uint64(seqAllocSlackAbs)
+	if strings.HasSuffix(name, "/par") {
+		pct, abs = parAllocSlackPct, parAllocSlackAbs
+	}
+	slack := base * pct / 100
+	if slack < abs {
+		slack = abs
+	}
+	return base + slack
+}
+
+// runBenchDiff is the `isebench -diff` gate: compare a freshly measured
+// benchmark file against the tracked baseline, suite by suite. Allocation
+// regressions fail (allocs are deterministic modulo the slack above);
+// ns/op regressions past nsTol (a ratio, e.g. 0.5 = +50%) only warn, since
+// wall-clock depends on the machine the gate runs on. A suite present in
+// the baseline but missing from the fresh file fails — silently dropping a
+// measurement would hide exactly the regression the gate exists to catch.
+func runBenchDiff(basePath, freshPath string, nsTol float64) error {
+	base, err := loadBenchFile(basePath)
+	if err != nil {
+		return err
+	}
+	fresh, err := loadBenchFile(freshPath)
+	if err != nil {
+		return err
+	}
+	freshBy := make(map[string]benchRecord, len(fresh.Benches))
+	for _, r := range fresh.Benches {
+		freshBy[r.Name] = r
+	}
+	fmt.Printf("bench-diff: %s (rev %s, %d cpus) vs %s (rev %s, %d cpus)\n",
+		freshPath, fresh.Rev, fresh.CPUs, basePath, base.Rev, base.CPUs)
+	failures := 0
+	for _, b := range base.Benches {
+		f, ok := freshBy[b.Name]
+		if !ok {
+			fmt.Printf("FAIL %-24s missing from %s\n", b.Name, freshPath)
+			failures++
+			continue
+		}
+		status := "ok  "
+		detail := ""
+		if limit := allocLimit(b.Name, b.AllocsPerOp); f.AllocsPerOp > limit {
+			status = "FAIL"
+			detail = fmt.Sprintf("  allocs/op regressed: %d -> %d (limit %d)", b.AllocsPerOp, f.AllocsPerOp, limit)
+			failures++
+		} else if b.NsPerOp > 0 && float64(f.NsPerOp) > float64(b.NsPerOp)*(1+nsTol) {
+			status = "WARN"
+			detail = fmt.Sprintf("  ns/op %.2fx baseline (tolerance %.2fx)", float64(f.NsPerOp)/float64(b.NsPerOp), 1+nsTol)
+		}
+		fmt.Printf("%s %-24s %12d ns/op (%+6.1f%%) %10d allocs/op (%+6.1f%%)%s\n",
+			status, b.Name,
+			f.NsPerOp, pctDelta(float64(f.NsPerOp), float64(b.NsPerOp)),
+			f.AllocsPerOp, pctDelta(float64(f.AllocsPerOp), float64(b.AllocsPerOp)),
+			detail)
+	}
+	// The mirror direction: a fresh suite with no baseline entry is not
+	// gated at all — surface it so adding a benchmark without
+	// re-baselining does not silently escape the gate forever.
+	baseBy := make(map[string]bool, len(base.Benches))
+	for _, b := range base.Benches {
+		baseBy[b.Name] = true
+	}
+	for _, f := range fresh.Benches {
+		if !baseBy[f.Name] {
+			fmt.Printf("WARN %-24s not in %s: ungated; re-baseline to start tracking it\n", f.Name, basePath)
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d suite(s) regressed allocs/op against %s", failures, basePath)
+	}
+	return nil
+}
+
+func pctDelta(now, was float64) float64 {
+	if was == 0 {
+		return 0
+	}
+	return (now/was - 1) * 100
+}

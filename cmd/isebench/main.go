@@ -15,6 +15,12 @@
 //	                    sequential vs parallel) and write BENCH_<rev>.json
 //	                    — the repository's tracked perf trajectory; the
 //	                    checked-in BENCH_baseline.json is one such file
+//	isebench -diff BENCH_baseline.json BENCH_<rev>.json
+//	                    gate a fresh measurement against the baseline:
+//	                    exits non-zero when any suite's allocs/op regressed
+//	                    (deterministic, so compared near-exactly; parallel
+//	                    suites get a wider band for pool/scheduler noise)
+//	                    and warns when ns/op exceeds the -ns-tol ratio
 //
 // All harnesses fan independent benchmark/configuration cells out across
 // -workers (default: one per CPU core); results are bit-identical to a
@@ -40,8 +46,21 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "measure the Figure 4/6 suites (sequential vs parallel, -benchtime=1x protocol) and write BENCH_<rev>.json instead of the tables")
 		benchRev = flag.String("rev", "", "revision label for -json (default: the current git commit)")
 		benchOut = flag.String("out", "", `output path for -json ("-" = stdout; default BENCH_<rev>.json)`)
+		diffMode = flag.Bool("diff", false, "compare two BENCH json files (baseline fresh): exit non-zero on allocs/op regressions, warn on ns/op past -ns-tol")
+		nsTol    = flag.Float64("ns-tol", 0.5, "ns/op warning tolerance for -diff as a ratio over baseline (0.5 = +50%)")
 	)
 	flag.Parse()
+	if *diffMode {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "isebench: -diff needs two arguments: <baseline.json> <fresh.json>")
+			os.Exit(2)
+		}
+		if err := runBenchDiff(flag.Arg(0), flag.Arg(1), *nsTol); err != nil {
+			fmt.Fprintln(os.Stderr, "isebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *jsonOut {
 		if err := runBenchJSON(*benchRev, *benchOut); err != nil {
 			fmt.Fprintln(os.Stderr, "isebench:", err)

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/ir"
+	"repro/internal/kernels"
+)
+
+// trajectoriesOf runs every restart trajectory of a fresh engine and
+// returns the per-seed snapshot pools. fullRebuild routes the engine
+// through the non-incremental reference paths (full gain-context rebuild
+// and full critical-path sweep on every toggle).
+func trajectoriesOf(t *testing.T, blk *ir.Block, cfg Config, excluded *graph.BitSet, fullRebuild bool) [][]Candidate {
+	t.Helper()
+	eng, err := NewEngine(blk, cfg, excluded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.fullRebuild = fullRebuild
+	var out [][]Candidate
+	for _, seed := range eng.Seeds() {
+		out = append(out, eng.Trajectory(seed))
+	}
+	return out
+}
+
+// assertSameTrajectories requires two trajectory pools to be bit-identical:
+// same snapshot counts, node sets and recorded merits, seed by seed.
+func assertSameTrajectories(t *testing.T, name string, want, got [][]Candidate) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d seeds full vs %d incremental", name, len(want), len(got))
+	}
+	for si := range want {
+		if len(want[si]) != len(got[si]) {
+			t.Fatalf("%s seed %d: %d snapshots full vs %d incremental", name, si, len(want[si]), len(got[si]))
+		}
+		for i := range want[si] {
+			w, g := want[si][i], got[si][i]
+			if !w.Nodes.Equal(g.Nodes) {
+				t.Fatalf("%s seed %d snapshot %d: cut %v full vs %v incremental", name, si, i, w.Nodes, g.Nodes)
+			}
+			if w.Merit != g.Merit {
+				t.Fatalf("%s seed %d snapshot %d: merit %v full vs %v incremental (must be bit-identical)", name, si, i, w.Merit, g.Merit)
+			}
+		}
+	}
+}
+
+// TestIncrementalTrajectoryPinning pins the incremental hot path — the
+// slot-maintained component table of the α5 gain term and the incremental
+// critical-path update on Toggle-adds — against the full-rebuild reference
+// on random blocks: every restart trajectory must pass through exactly the
+// same snapshots with exactly the same merits.
+func TestIncrementalTrajectoryPinning(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260726))
+	cfg := DefaultConfig()
+	for trial := 0; trial < 30; trial++ {
+		blk := randKernelBlock(rng, 8+rng.Intn(60))
+		full := trajectoriesOf(t, blk, cfg, nil, true)
+		incr := trajectoriesOf(t, blk, cfg, nil, false)
+		assertSameTrajectories(t, blk.Name, full, incr)
+	}
+}
+
+// TestIncrementalTrajectoryPinningKernels runs the same comparison on the
+// real kernel-suite blocks, including a multi-round drive with a growing
+// excluded set (the shape the search driver produces), under tightened and
+// loosened port constraints.
+func TestIncrementalTrajectoryPinningKernels(t *testing.T) {
+	for _, spec := range kernels.All() {
+		for _, io := range [][2]int{{4, 2}, {2, 1}} {
+			cfg := DefaultConfig()
+			cfg.MaxIn, cfg.MaxOut = io[0], io[1]
+			for _, blk := range spec.App.Blocks {
+				excluded := graph.NewBitSet(blk.N())
+				// Two driver rounds: the second freezes the first
+				// round's best cut, exercising pooled-state reuse
+				// against a changed frozen set.
+				for round := 0; round < 2; round++ {
+					full := trajectoriesOf(t, blk, cfg, excluded, true)
+					incr := trajectoriesOf(t, blk, cfg, excluded, false)
+					assertSameTrajectories(t, spec.Name+"/"+blk.Name, full, incr)
+
+					eng, err := NewEngine(blk, cfg, excluded)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if best := eng.Bipartition(); best != nil {
+						excluded.Or(best.Nodes)
+					} else {
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPooledTrajectoryReuse pins that reusing one engine's pooled
+// workspace across many sequential trajectories changes nothing: running
+// the full seed fan-out twice on the same engine must reproduce the first
+// pass exactly (the pool hands back dirty States that SetCut renormalizes).
+func TestPooledTrajectoryReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cfg := DefaultConfig()
+	for trial := 0; trial < 10; trial++ {
+		blk := randKernelBlock(rng, 20+rng.Intn(40))
+		eng, err := NewEngine(blk, cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seeds := eng.Seeds()
+		var first, second [][]Candidate
+		for _, seed := range seeds {
+			first = append(first, eng.Trajectory(seed))
+		}
+		for _, seed := range seeds {
+			second = append(second, eng.Trajectory(seed))
+		}
+		assertSameTrajectories(t, blk.Name, first, second)
+	}
+}
+
+// TestFinalizeHashDedupEquivalence pins the word-hash candidate dedup
+// against the quadratic reference on snapshot pools crafted to stress the
+// hash index: duplicated snapshots, permuted arrival order, and families
+// of cuts sharing long equal word prefixes (the regime where a weak hash
+// would collapse buckets and a broken bucket walk would drop or duplicate
+// candidates).
+func TestFinalizeHashDedupEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	blk := randKernelBlock(rng, 80)
+	cfg := DefaultConfig()
+	eng, err := NewEngine(blk, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Build a synthetic snapshot pool: prefix chains {0..k} restricted to
+	// unfrozen nodes, plus real trajectory snapshots, each appearing
+	// several times.
+	st := NewState(blk, cfg.Model, nil)
+	var snaps []Candidate
+	chain := graph.NewBitSet(blk.N())
+	for v := 0; v < blk.N(); v++ {
+		if st.Frozen.Has(v) {
+			continue
+		}
+		chain.Set(v)
+		snaps = append(snaps, Candidate{Nodes: chain.Clone()})
+	}
+	for _, seed := range eng.Seeds() {
+		snaps = append(snaps, eng.Trajectory(seed)...)
+	}
+	snaps = append(snaps, snaps...) // force duplicates
+	rng.Shuffle(len(snaps), func(i, j int) { snaps[i], snaps[j] = snaps[j], snaps[i] })
+
+	// Quadratic reference: first-appearance dedup over snapshots plus
+	// their component decompositions, in Finalize's pool order.
+	dag := blk.DAG()
+	var refPool []Candidate
+	refPool = append(refPool, snaps...)
+	for _, c := range snaps {
+		comps := dag.ComponentsOf(c.Nodes)
+		if len(comps) < 2 {
+			continue
+		}
+		for _, comp := range comps {
+			sub := graph.NewBitSet(blk.N())
+			for _, v := range comp {
+				sub.Set(v)
+			}
+			refPool = append(refPool, Candidate{Nodes: sub})
+		}
+	}
+	var refUniq []*graph.BitSet
+	for _, c := range refPool {
+		dup := false
+		for _, u := range refUniq {
+			if u.Equal(c.Nodes) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			refUniq = append(refUniq, c.Nodes)
+		}
+	}
+	refCuts := make(map[string]bool)
+	var refOrder []string
+	for _, u := range refUniq {
+		m := MetricsOf(blk, cfg.Model, u)
+		if m.Merit() > 0 {
+			refCuts[u.String()] = true
+			refOrder = append(refOrder, u.String())
+		}
+	}
+
+	got := eng.Finalize(snaps)
+	if len(got) != len(refOrder) {
+		t.Fatalf("Finalize returned %d cuts, reference has %d", len(got), len(refOrder))
+	}
+	for _, c := range got {
+		if !refCuts[c.Nodes.String()] {
+			t.Fatalf("Finalize returned cut %v not in the reference set", c.Nodes)
+		}
+	}
+	// And determinism: a second Finalize over the same pool must agree.
+	again := eng.Finalize(snaps)
+	if len(again) != len(got) {
+		t.Fatalf("Finalize not deterministic: %d then %d cuts", len(got), len(again))
+	}
+	for i := range got {
+		if !got[i].Nodes.Equal(again[i].Nodes) {
+			t.Fatalf("Finalize order not deterministic at %d: %v vs %v", i, got[i].Nodes, again[i].Nodes)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/ir"
@@ -120,6 +121,15 @@ type Engine struct {
 	// state backs Seeds and Frozen queries; trajectories get their own.
 	state   *State
 	metrics MetricsFunc
+	// pool recycles trajectory workspaces (State, mark/best bitsets, gain
+	// context, snapshot arena) across restart seeds: the restart fan-out
+	// allocates at most one workspace per concurrently running trajectory
+	// instead of one per seed. Pooled snapshots are never reclaimed (the
+	// arena only batches allocation), so handing them to Finalize is safe.
+	pool sync.Pool
+	// fullRebuild routes every trajectory through the non-incremental
+	// gain-context/critical-path paths; the pinning tests compare both.
+	fullRebuild bool
 }
 
 // NewEngine prepares a bi-partition engine for the block. Nodes in excluded
@@ -231,16 +241,52 @@ func (e *Engine) Trajectory(seed *graph.BitSet) []Candidate {
 // mid-pass, returning the snapshots taken so far alongside ctx.Err(). This
 // is what lets a cancelled request abort a 696-node AES bi-partition
 // mid-search instead of waiting for the full trajectory.
+//
+// The trajectory workspace (State and all scratch buffers) comes from the
+// engine's pool and is returned to it before this method returns; the
+// returned snapshots are arena-backed copies that outlive the pooling.
 func (e *Engine) TrajectoryContext(ctx context.Context, seed *graph.BitSet) ([]Candidate, error) {
+	t := e.getTrajectory()
+	t.ctx = ctx
+	t.klLoop(seed)
+	snaps, err := t.snaps, t.ctxErr
+	e.putTrajectory(t)
+	return snaps, err
+}
+
+// getTrajectory takes a reset workspace from the pool or builds a fresh
+// one. Pooled and fresh workspaces are behaviorally identical: everything
+// klLoop reads is either re-derived from the seed (SetCut normalizes the
+// State from whatever cut the previous trajectory left) or reset here.
+func (e *Engine) getTrajectory() *trajectory {
+	if v := e.pool.Get(); v != nil {
+		t := v.(*trajectory)
+		t.snaps = nil
+		t.ctxErr = nil
+		t.steps = 0
+		t.gc.invalidate()
+		return t
+	}
+	n := e.blk.N()
 	t := &trajectory{
 		cfg:     &e.cfg,
-		ctx:     ctx,
 		st:      NewState(e.blk, e.cfg.Model, e.excluded),
-		marked:  graph.NewBitSet(e.blk.N()),
-		curBest: graph.NewBitSet(e.blk.N()),
+		marked:  graph.NewBitSet(n),
+		curBest: graph.NewBitSet(n),
+		best:    graph.NewBitSet(n),
+		arena:   graph.NewBitSetArena(n),
 	}
-	t.klLoop(seed)
-	return t.snaps, t.ctxErr
+	t.st.fullCP = e.fullRebuild
+	t.gc.noIncremental = e.fullRebuild
+	return t
+}
+
+// putTrajectory returns a workspace to the pool. The snapshot slice was
+// handed to the caller, so only the reference is dropped here (by
+// getTrajectory's reset); the arena keeps its partially used slabs.
+func (e *Engine) putTrajectory(t *trajectory) {
+	t.ctx = nil
+	e.pool.Put(t)
 }
 
 // Finalize post-processes trajectory snapshots into ranked cuts: each
@@ -253,32 +299,56 @@ func (e *Engine) TrajectoryContext(ctx context.Context, seed *graph.BitSet) ([]C
 func (e *Engine) Finalize(snaps []Candidate) []*Cut {
 	dag := e.blk.DAG()
 	n := e.blk.N()
-	pool := append([]Candidate(nil), snaps...)
-	for _, c := range snaps {
-		comps := dag.ComponentsOf(c.Nodes)
-		if len(comps) < 2 {
-			continue
-		}
-		for _, comp := range comps {
-			sub := graph.NewBitSet(n)
-			for _, v := range comp {
-				sub.Set(v)
+	// Dedup by node set, keeping order of first appearance: a word-hash
+	// index over the uniq list replaces the former O(k²) pairwise Equal
+	// scan. Buckets hold indices of equal-hash candidates, verified with
+	// Equal, so a hash collision costs one extra compare, never a wrong
+	// dedup. Pool order is preserved exactly: all snapshots first, then
+	// each snapshot's components in component order.
+	var uniq []Candidate
+	buckets := make(map[uint64][]int, 2*len(snaps))
+	seen := func(b *graph.BitSet) bool {
+		for _, i := range buckets[b.Hash()] {
+			if uniq[i].Nodes.Equal(b) {
+				return true
 			}
-			pool = append(pool, Candidate{Nodes: sub}) // merit filled below
+		}
+		return false
+	}
+	add := func(c Candidate) {
+		h := c.Nodes.Hash()
+		buckets[h] = append(buckets[h], len(uniq))
+		uniq = append(uniq, c)
+	}
+	for _, c := range snaps {
+		if !seen(c.Nodes) {
+			add(c)
 		}
 	}
-	// Dedup by node set, keeping order of first appearance.
-	var uniq []Candidate
-	for _, c := range pool {
-		dup := false
-		for _, u := range uniq {
-			if u.Nodes.Equal(c.Nodes) {
-				dup = true
-				break
-			}
+	// Decompose each distinct snapshot (dedup ran first, so duplicates
+	// cost nothing here) into its weakly-connected components without
+	// allocating per component: labels go into a shared scratch, each
+	// component is materialized into one reusable bitset, and only
+	// components not seen before are cloned into the pool. Components
+	// appended by this loop are connected, so bounding it to the
+	// pre-decomposition prefix of uniq only skips guaranteed no-ops.
+	var sc graph.CompScratch
+	scratch := graph.NewBitSet(n)
+	for _, c := range uniq[:len(uniq):len(uniq)] {
+		ncomp := dag.ComponentsInto(c.Nodes, &sc)
+		if ncomp < 2 {
+			continue
 		}
-		if !dup {
-			uniq = append(uniq, c)
+		for ci := 0; ci < ncomp; ci++ {
+			scratch.Reset()
+			for v := c.Nodes.NextSet(0); v >= 0; v = c.Nodes.NextSet(v + 1) {
+				if sc.CompOf[v] == ci {
+					scratch.Set(v)
+				}
+			}
+			if !seen(scratch) {
+				add(Candidate{Nodes: scratch.Clone()}) // merit filled below
+			}
 		}
 	}
 	out := make([]*Cut, 0, len(uniq))
@@ -301,13 +371,17 @@ func (e *Engine) Finalize(snaps []Candidate) []*Cut {
 }
 
 // trajectory is the mutable per-restart search state: one State plus the
-// pass bookkeeping and the snapshot pool.
+// pass bookkeeping and the snapshot pool. Workspaces are pooled per engine
+// (see getTrajectory); the arena-backed snapshots are the only outputs that
+// escape one.
 type trajectory struct {
 	cfg     *Config
 	ctx     context.Context
 	st      *State
 	marked  *graph.BitSet
 	curBest *graph.BitSet
+	best    *graph.BitSet
+	arena   *graph.BitSetArena
 
 	curBestMerit float64
 	curBestOK    bool
@@ -339,17 +413,20 @@ func (t *trajectory) cancelled() bool {
 // klLoop is one full Figure 2 run from the given start cut: up to
 // MaxPasses passes, each toggling every unfrozen node once in best-gain
 // order, tracking the best feasible configuration. Every feasible
-// improvement is recorded into the candidate pool.
-func (t *trajectory) klLoop(start *graph.BitSet) (*graph.BitSet, float64) {
+// improvement is recorded into the candidate pool as an arena-backed
+// snapshot.
+func (t *trajectory) klLoop(start *graph.BitSet) {
 	st := t.st
-	best := start.Clone()
+	best := t.best
+	best.CopyFrom(start)
 	bestMerit := 0.0
 	// A non-empty seed may itself be feasible with positive merit.
 	st.SetCut(best)
+	t.gc.invalidate()
 	if st.Feasible(t.cfg.MaxIn, t.cfg.MaxOut) {
 		bestMerit = st.Merit()
 		if bestMerit > 0 {
-			t.snaps = append(t.snaps, Candidate{best.Clone(), bestMerit})
+			t.snaps = append(t.snaps, Candidate{t.arena.CloneOf(best), bestMerit})
 		}
 	}
 
@@ -357,6 +434,7 @@ func (t *trajectory) klLoop(start *graph.BitSet) (*graph.BitSet, float64) {
 		// Each pass restarts from the best cut found so far with all
 		// nodes unmarked (Figure 2 lines 03, 18).
 		st.SetCut(best)
+		t.gc.invalidate()
 		t.marked.Reset()
 		t.curBest.Reset()
 		t.curBestMerit = bestMerit
@@ -364,13 +442,14 @@ func (t *trajectory) klLoop(start *graph.BitSet) (*graph.BitSet, float64) {
 
 		for {
 			if t.cancelled() {
-				return graph.NewBitSet(st.n), 0
+				return
 			}
 			v := t.selectBestGain()
 			if v < 0 {
 				break
 			}
 			st.Toggle(v)
+			t.gc.noteToggle(st, v)
 			t.marked.Set(v)
 			if st.Feasible(t.cfg.MaxIn, t.cfg.MaxOut) {
 				if m := st.Merit(); m > t.curBestMerit {
@@ -378,7 +457,7 @@ func (t *trajectory) klLoop(start *graph.BitSet) (*graph.BitSet, float64) {
 					t.curBest.CopyFrom(st.H)
 					t.curBestOK = true
 					if m > 0 {
-						t.snaps = append(t.snaps, Candidate{st.H.Clone(), m})
+						t.snaps = append(t.snaps, Candidate{t.arena.CloneOf(st.H), m})
 					}
 				}
 			}
@@ -390,10 +469,6 @@ func (t *trajectory) klLoop(start *graph.BitSet) (*graph.BitSet, float64) {
 		best.CopyFrom(t.curBest)
 		bestMerit = t.curBestMerit
 	}
-	if bestMerit <= 0 {
-		return graph.NewBitSet(st.n), 0
-	}
-	return best, bestMerit
 }
 
 // selectBestGain evaluates the gain of every unmarked, unfrozen node and

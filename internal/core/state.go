@@ -59,6 +59,26 @@ type State struct {
 	tail  []float64 // longest HW path within H starting at v (v ∈ H)
 	hwCP  float64   // critical path of H
 
+	// nbrH counts, per node, its DAG neighbours (preds + succs) currently
+	// in H. It makes the gain function's neighbour (α3) term an O(1) read
+	// and classifies removals for the incremental component table: a node
+	// with nbrH <= 1 cannot disconnect its component by leaving.
+	nbrH []int
+
+	// Incremental critical-path scratch: dirty topological positions whose
+	// level (cpDirtyDown) or tail (cpDirtyUp, reverse-position-indexed)
+	// must be recomputed after a Toggle-add. Kept empty between updates.
+	cpDirtyDown *graph.BitSet
+	cpDirtyUp   *graph.BitSet
+	// fullCP forces the full recomputeCP sweep on every toggle; the
+	// pinning tests use it to check the incremental add path bit-for-bit.
+	fullCP bool
+	// version counts partition mutations (one per added/removed node). The
+	// gain context compares it against the last mutation it observed, so a
+	// toggle it was not told about forces a label rebuild instead of
+	// silently serving stale components.
+	version uint64
+
 	// Barrier distances for the directional-growth gain component.
 	upDist   []int
 	downDist []int
@@ -85,6 +105,10 @@ func NewState(blk *ir.Block, model *latency.Model, excluded *graph.BitSet) *Stat
 		hwLat:     make([]float64, n),
 		level:     make([]float64, n),
 		tail:      make([]float64, n),
+		nbrH:      make([]int, n),
+
+		cpDirtyDown: graph.NewBitSet(n),
+		cpDirtyUp:   graph.NewBitSet(n),
 	}
 	if excluded != nil {
 		s.Frozen.Or(excluded)
@@ -174,16 +198,29 @@ func (s *State) Feasible(maxIn, maxOut int) bool {
 
 // Toggle moves node v across the partition (S→H or H→S), updating all
 // incremental structures. v must not be frozen.
+//
+// Additions update the critical-path labels incrementally: adding v can
+// only create paths through v, so only v itself plus the H nodes whose
+// longest path grew (v's H-descendants for level, H-ancestors for tail)
+// need recomputation — see addCPUpdate. Removals and SetCut fall back to
+// the full recomputeCP sweep. K-L passes toggle every unfrozen node once
+// while H stays small, so additions dominate and the common step avoids
+// the O(V+E) sweep entirely.
 func (s *State) Toggle(v int) {
 	if s.Frozen.Has(v) {
 		panic("core: Toggle of frozen node")
 	}
 	if s.H.Has(v) {
 		s.removeNode(v)
+		s.recomputeCP()
 	} else {
 		s.addNode(v)
+		if s.fullCP {
+			s.recomputeCP()
+		} else {
+			s.addCPUpdate(v)
+		}
 	}
-	s.recomputeCP()
 }
 
 // SetCut resets the partition to exactly the given cut (which must contain
@@ -212,6 +249,7 @@ func (s *State) SetCut(cut *graph.BitSet) {
 func (s *State) addNode(v int) {
 	blk := s.Blk
 	n := s.n
+	s.version++
 	s.H.Set(v)
 	s.swSum += s.swLat[v]
 
@@ -246,21 +284,26 @@ func (s *State) addNode(v int) {
 		s.nviol--
 	}
 	dag := blk.DAG()
-	dag.Desc(v).ForEach(func(x int) bool {
+	for x := dag.Desc(v).NextSet(0); x >= 0; x = dag.Desc(v).NextSet(x + 1) {
 		s.aCnt[x]++
 		s.updateViol(x)
-		return true
-	})
-	dag.Anc(v).ForEach(func(x int) bool {
+	}
+	for x := dag.Anc(v).NextSet(0); x >= 0; x = dag.Anc(v).NextSet(x + 1) {
 		s.dCnt[x]++
 		s.updateViol(x)
-		return true
-	})
+	}
+	for _, p := range dag.Preds(v) {
+		s.nbrH[p]++
+	}
+	for _, c := range dag.Succs(v) {
+		s.nbrH[c]++
+	}
 }
 
 func (s *State) removeNode(v int) {
 	blk := s.Blk
 	n := s.n
+	s.version++
 	s.H.Clear(v)
 	s.swSum -= s.swLat[v]
 
@@ -286,17 +329,21 @@ func (s *State) removeNode(v int) {
 	}
 
 	dag := blk.DAG()
-	dag.Desc(v).ForEach(func(x int) bool {
+	for x := dag.Desc(v).NextSet(0); x >= 0; x = dag.Desc(v).NextSet(x + 1) {
 		s.aCnt[x]--
 		s.updateViol(x)
-		return true
-	})
-	dag.Anc(v).ForEach(func(x int) bool {
+	}
+	for x := dag.Anc(v).NextSet(0); x >= 0; x = dag.Anc(v).NextSet(x + 1) {
 		s.dCnt[x]--
 		s.updateViol(x)
-		return true
-	})
+	}
 	s.updateViol(v)
+	for _, p := range dag.Preds(v) {
+		s.nbrH[p]--
+	}
+	for _, c := range dag.Succs(v) {
+		s.nbrH[c]--
+	}
 }
 
 // updateViol refreshes the membership of x in the violator set.
@@ -352,6 +399,71 @@ func (s *State) recomputeCP() {
 		s.tail[v] = best + s.hwLat[v]
 	}
 	s.hwCP = cp
+}
+
+// addCPUpdate restores the level/tail/hwCP invariants after v joined H,
+// recomputing only the labels that can have moved. Adding a node creates
+// new paths exclusively through v, so level can grow only at v and its
+// H-descendants, tail only at v and its H-ancestors, and no label ever
+// shrinks. Each affected node is recomputed with exactly recomputeCP's
+// formula (max over in-H predecessors plus own delay), in topological order
+// via a dirty-position bitset, so the resulting labels — and hwCP, which
+// under growth is max(old hwCP, changed levels) — are bit-identical to a
+// full sweep. Nodes outside H keep their 0 labels untouched.
+func (s *State) addCPUpdate(v int) {
+	dag := s.Blk.DAG()
+	topo := dag.Topo()
+	last := len(topo) - 1
+
+	// Downstream: recompute level at ascending topo positions.
+	s.cpDirtyDown.Set(dag.TopoPos(v))
+	for p := s.cpDirtyDown.NextSet(0); p >= 0; p = s.cpDirtyDown.NextSet(p + 1) {
+		s.cpDirtyDown.Clear(p)
+		u := topo[p]
+		best := 0.0
+		for _, q := range dag.Preds(u) {
+			if s.H.Has(q) && s.level[q] > best {
+				best = s.level[q]
+			}
+		}
+		nl := best + s.hwLat[u]
+		if nl == s.level[u] && u != v {
+			continue // unchanged: downstream labels cannot move through u
+		}
+		s.level[u] = nl
+		if nl > s.hwCP {
+			s.hwCP = nl
+		}
+		for _, c := range dag.Succs(u) {
+			if s.H.Has(c) {
+				s.cpDirtyDown.Set(dag.TopoPos(c))
+			}
+		}
+	}
+
+	// Upstream: recompute tail at descending topo positions (the dirty set
+	// is indexed by reversed position so NextSet walks toward ancestors).
+	s.cpDirtyUp.Set(last - dag.TopoPos(v))
+	for p := s.cpDirtyUp.NextSet(0); p >= 0; p = s.cpDirtyUp.NextSet(p + 1) {
+		s.cpDirtyUp.Clear(p)
+		u := topo[last-p]
+		best := 0.0
+		for _, c := range dag.Succs(u) {
+			if s.H.Has(c) && s.tail[c] > best {
+				best = s.tail[c]
+			}
+		}
+		nt := best + s.hwLat[u]
+		if nt == s.tail[u] && u != v {
+			continue
+		}
+		s.tail[u] = nt
+		for _, q := range dag.Preds(u) {
+			if s.H.Has(q) {
+				s.cpDirtyUp.Set(last - dag.TopoPos(q))
+			}
+		}
+	}
 }
 
 // ToggleEffect is the predicted outcome of toggling one node, computed

@@ -1,0 +1,51 @@
+package graph
+
+// arenaChunk is the number of snapshots each arena slab holds. Snapshot
+// counts per K-L trajectory are small (merits strictly increase, so each
+// snapshot is a distinct cut); one slab usually covers a whole trajectory.
+const arenaChunk = 32
+
+// BitSetArena batch-allocates immutable BitSet snapshots: CloneOf returns
+// an independent copy of its argument whose struct and backing words are
+// carved from shared slabs, so taking k snapshots costs O(k/arenaChunk)
+// allocations instead of 2k. The arena never reclaims or reuses handed-out
+// memory — snapshots stay valid for the life of the program, which is what
+// lets the K-L trajectory pool its arena across restarts while Finalize
+// keeps references to the snapshots it was handed.
+type BitSetArena struct {
+	n       int
+	structs []BitSet
+	words   []uint64
+}
+
+// NewBitSetArena returns an arena producing snapshots of capacity n.
+func NewBitSetArena(n int) *BitSetArena {
+	if n < 0 {
+		panic("graph: NewBitSetArena: negative capacity")
+	}
+	return &BitSetArena{n: n}
+}
+
+// CloneOf returns an independent copy of src (which must have the arena's
+// capacity). The copy must be treated as immutable by convention: its words
+// are carved from a shared slab, but no other snapshot aliases them.
+func (a *BitSetArena) CloneOf(src *BitSet) *BitSet {
+	if src.n != a.n {
+		panic("graph: BitSetArena.CloneOf capacity mismatch")
+	}
+	wpb := len(src.words)
+	if len(a.words) < wpb {
+		a.words = make([]uint64, wpb*arenaChunk)
+	}
+	if len(a.structs) == 0 {
+		a.structs = make([]BitSet, arenaChunk)
+	}
+	w := a.words[:wpb:wpb]
+	a.words = a.words[wpb:]
+	copy(w, src.words)
+	bs := &a.structs[0]
+	a.structs = a.structs[1:]
+	bs.words = w
+	bs.n = a.n
+	return bs
+}

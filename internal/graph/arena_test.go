@@ -1,0 +1,134 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randDAGAndSet builds a random frozen DAG plus a random node subset.
+func randDAGAndSet(rng *rand.Rand, n int) (*DAG, *BitSet) {
+	g := NewDAG(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.08 {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	g.MustFreeze()
+	set := NewBitSet(n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 0.4 {
+			set.Set(i)
+		}
+	}
+	return g, set
+}
+
+// ComponentsInto must produce exactly the partition ComponentsOf returns,
+// with the same component numbering, while reusing its scratch buffers.
+func TestComponentsIntoMatchesComponentsOf(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var sc CompScratch
+	for trial := 0; trial < 50; trial++ {
+		g, set := randDAGAndSet(rng, 3+rng.Intn(40))
+		want := g.ComponentsOf(set)
+		ncomp := g.ComponentsInto(set, &sc)
+		if ncomp != len(want) {
+			t.Fatalf("trial %d: ncomp %d, want %d", trial, ncomp, len(want))
+		}
+		for ci, comp := range want {
+			for _, v := range comp {
+				if sc.CompOf[v] != ci {
+					t.Fatalf("trial %d: CompOf[%d] = %d, want %d", trial, v, sc.CompOf[v], ci)
+				}
+			}
+		}
+		for v := 0; v < g.N(); v++ {
+			if !set.Has(v) && sc.CompOf[v] != -1 {
+				t.Fatalf("trial %d: outside node %d labeled %d", trial, v, sc.CompOf[v])
+			}
+		}
+	}
+}
+
+func TestComponentsIntoEmptySet(t *testing.T) {
+	g := NewDAG(5)
+	g.AddEdge(0, 1)
+	g.MustFreeze()
+	var sc CompScratch
+	if n := g.ComponentsInto(NewBitSet(5), &sc); n != 0 {
+		t.Fatalf("empty set: %d components", n)
+	}
+}
+
+// Equal sets must hash equal; sets sharing a long equal prefix of words but
+// differing only in a later word must still hash apart — a hash that only
+// samples the leading words would collide every {0..k} chain onto a handful
+// of values and turn the Finalize dedup quadratic again.
+func TestBitSetHashPrefixFamilies(t *testing.T) {
+	const n = 512 // 8 words
+	seen := map[uint64]*BitSet{}
+	b := NewBitSet(n)
+	for i := 0; i < n; i++ {
+		b.Set(i) // {0..i}: every pair shares the full common prefix
+		h := b.Hash()
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("hash collision between %v and {0..%d}", prev, i)
+		}
+		seen[h] = b.Clone()
+	}
+	// Single-bit sets in the last word only: equal prefix of 7 zero words.
+	for i := 448; i < n; i++ {
+		s := NewBitSet(n)
+		s.Set(i)
+		h := s.Hash()
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("hash collision between %v and {%d}", prev, i)
+		}
+		seen[h] = s
+	}
+	// And the Equal contract: clones hash identically.
+	c := b.Clone()
+	if c.Hash() != b.Hash() {
+		t.Fatal("equal sets must hash equal")
+	}
+	b.Clear(17)
+	if c.Hash() == b.Hash() {
+		t.Fatal("sets differing at bit 17 hashed equal")
+	}
+}
+
+func TestBitSetArenaClones(t *testing.T) {
+	const n = 200
+	a := NewBitSetArena(n)
+	src := NewBitSet(n)
+	var clones []*BitSet
+	for i := 0; i < 3*arenaChunk; i++ {
+		src.Set(i % n)
+		c := a.CloneOf(src)
+		if !c.Equal(src) {
+			t.Fatalf("clone %d differs from source", i)
+		}
+		clones = append(clones, c)
+	}
+	// Mutating the source must not affect any snapshot, and each snapshot
+	// must have stayed exactly what it was when taken.
+	src.Reset()
+	check := NewBitSet(n)
+	for i, c := range clones {
+		check.Set(i % n)
+		if !c.Equal(check) {
+			t.Fatalf("clone %d mutated after later arena use", i)
+		}
+	}
+}
+
+func TestBitSetArenaCapacityMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on capacity mismatch")
+		}
+	}()
+	NewBitSetArena(10).CloneOf(NewBitSet(11))
+}

@@ -206,6 +206,27 @@ func (b *BitSet) NextSet(i int) int {
 // The caller must not modify the returned slice.
 func (b *BitSet) Words() []uint64 { return b.words }
 
+// Hash returns a 64-bit FNV-1a digest of the set's backing words (including
+// trailing zero words, so equal-capacity sets hash equal exactly when they
+// are Equal). It mixes every word, so sets sharing a long equal prefix but
+// differing in a later word still hash apart; callers deduplicating by hash
+// must nonetheless confirm with Equal, since 64-bit collisions across
+// distinct sets remain possible.
+func (b *BitSet) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, w := range b.words {
+		for s := 0; s < 64; s += 8 {
+			h ^= (w >> s) & 0xff
+			h *= prime64
+		}
+	}
+	return h
+}
+
 // Elems returns the elements in ascending order.
 func (b *BitSet) Elems() []int {
 	out := make([]int, 0, b.Count())

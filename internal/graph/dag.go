@@ -231,44 +231,76 @@ func (g *DAG) ConvexViolators(cut *BitSet) []int {
 	return out
 }
 
-// ComponentsOf partitions the nodes of the given set into weakly connected
-// components, considering only edges with both endpoints in the set.
-// Components are returned with node IDs sorted ascending and components
-// ordered by their smallest node.
-func (g *DAG) ComponentsOf(set *BitSet) [][]int {
-	comp := make([]int, g.n)
-	for i := range comp {
-		comp[i] = -1
+// CompScratch carries the reusable buffers of DAG.ComponentsInto. The zero
+// value is ready to use; the buffers grow to the graph size on first use and
+// are reused on every subsequent call, so a per-toggle caller labels
+// components without allocating.
+type CompScratch struct {
+	// CompOf maps node -> component index after ComponentsInto (-1 for
+	// nodes outside the labeled set). Valid until the next call.
+	CompOf []int
+	stack  []int
+}
+
+// ComponentsInto is the allocation-free core of ComponentsOf: it labels the
+// weakly connected components of set (considering only edges with both
+// endpoints in the set) into sc.CompOf and returns the component count.
+// Components are numbered in ascending order of their smallest member —
+// exactly the order ComponentsOf returns them in — because the ascending
+// sweep starts each traversal from the smallest not-yet-labeled node.
+func (g *DAG) ComponentsInto(set *BitSet, sc *CompScratch) int {
+	if cap(sc.CompOf) < g.n {
+		sc.CompOf = make([]int, g.n)
 	}
-	var comps [][]int
-	var stack []int
-	set.ForEach(func(start int) bool {
-		if comp[start] >= 0 {
-			return true
+	sc.CompOf = sc.CompOf[:g.n]
+	compOf := sc.CompOf
+	for i := range compOf {
+		compOf[i] = -1
+	}
+	ncomp := 0
+	stack := sc.stack[:0]
+	for start := set.NextSet(0); start >= 0; start = set.NextSet(start + 1) {
+		if compOf[start] >= 0 {
+			continue
 		}
-		id := len(comps)
-		cur := []int{}
-		stack = append(stack[:0], start)
-		comp[start] = id
+		id := ncomp
+		ncomp++
+		stack = append(stack, start)
+		compOf[start] = id
 		for len(stack) > 0 {
 			v := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			cur = append(cur, v)
 			for _, s := range g.succs[v] {
-				if set.Has(s) && comp[s] < 0 {
-					comp[s] = id
+				if set.Has(s) && compOf[s] < 0 {
+					compOf[s] = id
 					stack = append(stack, s)
 				}
 			}
 			for _, p := range g.preds[v] {
-				if set.Has(p) && comp[p] < 0 {
-					comp[p] = id
+				if set.Has(p) && compOf[p] < 0 {
+					compOf[p] = id
 					stack = append(stack, p)
 				}
 			}
 		}
-		sort.Ints(cur)
-		comps = append(comps, cur)
+	}
+	sc.stack = stack[:0]
+	return ncomp
+}
+
+// ComponentsOf partitions the nodes of the given set into weakly connected
+// components, considering only edges with both endpoints in the set.
+// Components are returned with node IDs sorted ascending and components
+// ordered by their smallest node. Allocation-sensitive callers should use
+// ComponentsInto, which produces the same partition as flat labels into a
+// reusable scratch buffer.
+func (g *DAG) ComponentsOf(set *BitSet) [][]int {
+	var sc CompScratch
+	ncomp := g.ComponentsInto(set, &sc)
+	comps := make([][]int, ncomp)
+	set.ForEach(func(v int) bool {
+		ci := sc.CompOf[v]
+		comps[ci] = append(comps[ci], v)
 		return true
 	})
 	return comps

@@ -93,9 +93,14 @@ type matcher struct {
 	// keys, ensuring input-port consistency; inversePort need not be
 	// injective (two pattern ports may not collapse, see match()).
 	portMap map[valueKey]valueKey
-	// assignPorts stacks, per assigned pattern node, the port-map keys
-	// the assignment introduced (needed for rollback).
-	assignPorts [][]valueKey
+	// portStack records port-map keys in insertion order; assignPorts
+	// stacks, per assigned pattern node, how many of them the assignment
+	// introduced (needed for rollback). One shared stack plus counts
+	// keeps the backtracking inner loop allocation-free — the matcher
+	// runs once per (pattern, block) pair inside the reuse-aware claim
+	// path, which made per-frame slices the AES hot spot.
+	portStack   []valueKey
+	assignPorts []int
 	// byOp indexes target nodes by opcode for unconstrained scans.
 	byOp  map[ir.Op][]int
 	out   []*graph.BitSet
@@ -246,53 +251,58 @@ func (m *matcher) tryNode(i, v int) bool {
 	}
 	m.assign[i] = v
 	m.used.Set(v)
-	// Stash added port keys on the frame via closure-free bookkeeping:
-	// store them in assignPorts.
+	// Stash the frame's port-key count for rollback on unassign.
 	m.assignPorts = append(m.assignPorts, added)
 	return true
+}
+
+// popPorts removes the k most recently added port-map entries.
+func (m *matcher) popPorts(k int) {
+	for ; k > 0; k-- {
+		pk := m.portStack[len(m.portStack)-1]
+		m.portStack = m.portStack[:len(m.portStack)-1]
+		delete(m.portMap, pk)
+	}
 }
 
 func (m *matcher) unassign(i, v int) {
 	added := m.assignPorts[len(m.assignPorts)-1]
 	m.assignPorts = m.assignPorts[:len(m.assignPorts)-1]
-	for _, k := range added {
-		delete(m.portMap, k)
-	}
+	m.popPorts(added)
 	m.used.Clear(v)
 	m.assign[i] = -1
 }
 
 // argsCompatible checks operand wiring between a pattern node and its
 // candidate image, trying the swapped order too for commutative ops.
-// On success it returns the pattern port keys newly added to portMap.
-func (m *matcher) argsCompatible(pnode, tnode *ir.Node) (bool, []valueKey) {
+// On success it returns how many pattern port keys were newly added to
+// portMap (and pushed onto portStack).
+func (m *matcher) argsCompatible(pnode, tnode *ir.Node) (bool, int) {
 	if ok, added := m.argsMatch(pnode.Args, tnode.Args); ok {
 		return true, added
 	}
 	if pnode.Op.IsCommutative() && len(pnode.Args) == 2 {
-		swapped := []ir.Operand{tnode.Args[1], tnode.Args[0]}
-		if ok, added := m.argsMatch(pnode.Args, swapped); ok {
+		swapped := [2]ir.Operand{tnode.Args[1], tnode.Args[0]}
+		if ok, added := m.argsMatch(pnode.Args, swapped[:]); ok {
 			return true, added
 		}
 	}
-	return false, nil
+	return false, 0
 }
 
-func (m *matcher) argsMatch(pargs, targs []ir.Operand) (bool, []valueKey) {
-	var added []valueKey
-	rollback := func() {
-		for _, k := range added {
-			delete(m.portMap, k)
-		}
-	}
+// argsMatch checks operand wiring position by position, pushing newly
+// bound external ports onto the shared portStack; it returns how many it
+// added (already rolled back on failure).
+func (m *matcher) argsMatch(pargs, targs []ir.Operand) (bool, int) {
+	added := 0
 	for j := range pargs {
 		pa, ta := pargs[j], targs[j]
 		// Immediate operands are part of the AFU datapath: they must
 		// match exactly.
 		if pa.Kind == ir.FromImm || ta.Kind == ir.FromImm {
 			if pa != ta {
-				rollback()
-				return false, nil
+				m.popPorts(added)
+				return false, 0
 			}
 			continue
 		}
@@ -301,32 +311,33 @@ func (m *matcher) argsMatch(pargs, targs []ir.Operand) (bool, []valueKey) {
 			if m.assign[pi] < 0 {
 				// Producer not yet mapped: cannot happen with
 				// topological match order, but guard anyway.
-				rollback()
-				return false, nil
+				m.popPorts(added)
+				return false, 0
 			}
 			if ta.Kind != ir.FromNode || ta.Index != m.assign[pi] {
-				rollback()
-				return false, nil
+				m.popPorts(added)
+				return false, 0
 			}
 			continue
 		}
 		// External pattern port: the image operand must be external to
 		// the instance and consistent with previous uses of this port.
 		if ta.Kind == ir.FromNode && m.used.Has(ta.Index) {
-			rollback()
-			return false, nil
+			m.popPorts(added)
+			return false, 0
 		}
 		pk := operandKey(pa)
 		tk := operandKey(ta)
 		if prev, ok := m.portMap[pk]; ok {
 			if prev != tk {
-				rollback()
-				return false, nil
+				m.popPorts(added)
+				return false, 0
 			}
 			continue
 		}
 		m.portMap[pk] = tk
-		added = append(added, pk)
+		m.portStack = append(m.portStack, pk)
+		added++
 	}
 	return true, added
 }

@@ -101,13 +101,17 @@ func (c *CostCache) modelFP(model *latency.Model) string {
 }
 
 // Metrics is a core.MetricsFunc: it returns the memoized costing of the
-// cut, computing and storing it on first sight.
+// cut, computing and storing it on first sight. The hit path allocates
+// nothing: the key bytes live in a stack buffer (for blocks up to 1024
+// nodes) and the map lookup uses the compiler's zero-copy []byte→string
+// conversion; only a miss materializes the key string for insertion.
 func (c *CostCache) Metrics(blk *ir.Block, model *latency.Model, cut *graph.BitSet) core.Metrics {
 	bc := c.blockFor(blk, model)
-	key := cutKey(cut)
+	var arr [128]byte
+	buf := cutKeyInto(arr[:0], cut)
 
 	bc.mu.RLock()
-	m, ok := bc.m[key]
+	m, ok := bc.m[string(buf)]
 	bc.mu.RUnlock()
 	if ok {
 		c.hits.Add(1)
@@ -116,7 +120,7 @@ func (c *CostCache) Metrics(blk *ir.Block, model *latency.Model, cut *graph.BitS
 	c.misses.Add(1)
 	m = core.MetricsOf(blk, model, cut)
 	bc.mu.Lock()
-	bc.m[key] = m
+	bc.m[string(buf)] = m
 	bc.dirty = true
 	bc.mu.Unlock()
 	return m
@@ -262,13 +266,11 @@ func (c *CostCache) blockFor(blk *ir.Block, model *latency.Model) *blockCache {
 	return bc
 }
 
-// cutKey serializes the cut's words into a map key. Two cuts of the same
-// block collide exactly when they contain the same nodes.
-func cutKey(cut *graph.BitSet) string {
-	words := cut.Words()
-	buf := make([]byte, 8*len(words))
-	for i, w := range words {
-		binary.LittleEndian.PutUint64(buf[8*i:], w)
+// cutKeyInto appends the cut's words to dst as a map key. Two cuts of the
+// same block collide exactly when they contain the same nodes.
+func cutKeyInto(dst []byte, cut *graph.BitSet) []byte {
+	for _, w := range cut.Words() {
+		dst = binary.LittleEndian.AppendUint64(dst, w)
 	}
-	return string(buf)
+	return dst
 }

@@ -41,6 +41,7 @@ type Store struct {
 	total int64
 
 	loads, loadHits, saves, evictions int64
+	bytesEvicted                      int64
 }
 
 // NewStore opens (creating if needed) a persistent cache directory.
@@ -222,27 +223,40 @@ func (s *Store) evictLocked(justSaved string) {
 		if os.Remove(filepath.Join(s.dir, f.name)) == nil {
 			total -= f.size
 			s.evictions++
+			s.bytesEvicted += f.size
 		}
 	}
 	s.total = total
 }
 
-// StoreStats is a snapshot of the store's activity counters.
+// StoreStats is a snapshot of the store's activity counters and size
+// pressure. The size fields expose how close the store runs to its bound:
+// a climbing Evictions/BytesEvicted alongside CurrentBytes pinned near
+// MaxBytes means the working set no longer fits and the cap should grow.
 type StoreStats struct {
 	// Loads counts lookup attempts; LoadHits those that found a file.
 	Loads    int64 `json:"loads"`
 	LoadHits int64 `json:"load_hits"`
 	// Saves counts persisted entry files; Evictions files removed by the
-	// size bound.
-	Saves     int64 `json:"saves"`
-	Evictions int64 `json:"evictions"`
+	// size bound, BytesEvicted their summed sizes.
+	Saves        int64 `json:"saves"`
+	Evictions    int64 `json:"evictions"`
+	BytesEvicted int64 `json:"bytes_evicted"`
+	// CurrentBytes is the store's incremental size accounting of live
+	// entry files; MaxBytes the configured bound (negative = unbounded).
+	CurrentBytes int64 `json:"current_bytes"`
+	MaxBytes     int64 `json:"max_bytes"`
 }
 
 // Stats returns the cumulative activity counters.
 func (s *Store) Stats() StoreStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return StoreStats{Loads: s.loads, LoadHits: s.loadHits, Saves: s.saves, Evictions: s.evictions}
+	return StoreStats{
+		Loads: s.loads, LoadHits: s.loadHits,
+		Saves: s.saves, Evictions: s.evictions, BytesEvicted: s.bytesEvicted,
+		CurrentBytes: s.total, MaxBytes: s.maxBytes,
+	}
 }
 
 // ModelFingerprint returns a short stable digest of the latency model's

@@ -605,3 +605,75 @@ func TestServiceMaxFrontierParam(t *testing.T) {
 		t.Fatalf("bounded frontier record has %d points, want 1..2", len(fr.Points))
 	}
 }
+
+// TestServiceMetricsStoreEvictionPressure pins the /v1/metrics surface for
+// the persistent store's eviction-pressure fields: the raw JSON must carry
+// the documented keys (backward-compatibly alongside the existing counter
+// fields), and a store squeezed under a tiny byte cap must report
+// evictions with their byte volume and a bounded current size.
+func TestServiceMetricsStoreEvictionPressure(t *testing.T) {
+	store, err := search.NewStore(t.TempDir(), 1) // 1-byte cap: every save overflows
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(Config{Cache: search.NewPersistentCostCache(store)})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Two structurally different uploads: the second flush must evict the
+	// first upload's entries (the just-saved key is exempt, so each save
+	// survives until the next one lands).
+	for _, app := range []func() *ir.Application{kernels.Conven00, kernels.Fbital00} {
+		if status, body := postSelect(t, ts, kernelDFG(t, app()), ""); status != http.StatusOK {
+			t.Fatalf("status %d: %s", status, body)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wire-level compatibility: the pre-existing keys must still be
+	// present, and the new pressure keys must appear under cache.store.
+	var doc struct {
+		Cache struct {
+			Hits  *int64                     `json:"hits"`
+			Store map[string]json.RawMessage `json:"store"`
+		} `json:"cache"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("metrics JSON: %v\n%s", err, raw)
+	}
+	if doc.Cache.Hits == nil {
+		t.Fatalf("metrics lost the cache.hits field:\n%s", raw)
+	}
+	for _, key := range []string{"loads", "load_hits", "saves", "evictions", "bytes_evicted", "current_bytes", "max_bytes"} {
+		if _, ok := doc.Cache.Store[key]; !ok {
+			t.Errorf("metrics cache.store missing %q:\n%s", key, raw)
+		}
+	}
+
+	m := fetchMetrics(t, ts)
+	st := m.Cache.Store
+	if st == nil {
+		t.Fatal("no store stats on a persistent-cache server")
+	}
+	if st.Saves < 2 {
+		t.Fatalf("store stats %+v, want >= 2 saves", st)
+	}
+	if st.Evictions == 0 || st.BytesEvicted <= 0 {
+		t.Fatalf("store stats %+v, want eviction pressure reported", st)
+	}
+	if st.MaxBytes != 1 {
+		t.Fatalf("store stats report max_bytes %d, want the configured 1", st.MaxBytes)
+	}
+	if st.CurrentBytes < 0 {
+		t.Fatalf("store stats report negative current_bytes: %+v", st)
+	}
+}
