@@ -150,6 +150,26 @@ func benchSuites() []struct {
 			}
 		}
 	}
+	// fig4Racing covers exactly fig4Exact's kernel subset so the pair is
+	// directly comparable: same blocks, same optimal answers, the racing
+	// suite measuring how much the K-L-seeded bound prunes the proof.
+	fig4Racing := func(klWorkers, subtreeWorkers int) func() {
+		return func() {
+			for _, spec := range kernels.All() {
+				if spec.CriticalSize > 25 {
+					continue
+				}
+				eng := &search.Racing{Cache: search.NewCostCache()}
+				lim := &search.Limits{
+					MaxIn: 4, MaxOut: 2, NISE: 4, Budget: 2_000_000_000,
+					Workers: klWorkers, SubtreeWorkers: subtreeWorkers,
+				}
+				if _, _, err := eng.Run(spec.App.Blocks[0], search.Merit(model), lim); err != nil {
+					fatal(err)
+				}
+			}
+		}
+	}
 	fig6AES := func(workers int) func() {
 		return func() {
 			app := kernels.AES()
@@ -170,6 +190,8 @@ func benchSuites() []struct {
 		{"figure4/iterative/par", fig4Iterative(-1)},
 		{"figure4/exact/seq", fig4Exact(0)},
 		{"figure4/exact/par", fig4Exact(-1)},
+		{"figure4/racing/seq", fig4Racing(1, 0)},
+		{"figure4/racing/par", fig4Racing(0, -1)},
 		{"figure6/aes/seq", fig6AES(1)},
 		{"figure6/aes/par", fig6AES(0)},
 	}

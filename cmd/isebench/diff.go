@@ -71,6 +71,11 @@ func runBenchDiff(basePath, freshPath string, nsTol float64) error {
 	}
 	fmt.Printf("bench-diff: %s (rev %s, %d cpus) vs %s (rev %s, %d cpus)\n",
 		freshPath, fresh.Rev, fresh.CPUs, basePath, base.Rev, base.CPUs)
+	// On a 1-CPU machine the parallel suites degenerate to their sequential
+	// twins: fan-out buys nothing, so a /par ns/op sitting on top of /seq is
+	// the expected shape, not a regression signal. Say so on every /par line
+	// rather than leaving the reader to reverse-engineer it from the header.
+	oneCPU := base.CPUs == 1 || fresh.CPUs == 1
 	failures := 0
 	for _, b := range base.Benches {
 		f, ok := freshBy[b.Name]
@@ -88,6 +93,9 @@ func runBenchDiff(basePath, freshPath string, nsTol float64) error {
 		} else if b.NsPerOp > 0 && float64(f.NsPerOp) > float64(b.NsPerOp)*(1+nsTol) {
 			status = "WARN"
 			detail = fmt.Sprintf("  ns/op %.2fx baseline (tolerance %.2fx)", float64(f.NsPerOp)/float64(b.NsPerOp), 1+nsTol)
+		}
+		if oneCPU && strings.HasSuffix(b.Name, "/par") {
+			detail += "  [1 cpu: parity with /seq expected]"
 		}
 		fmt.Printf("%s %-24s %12d ns/op (%+6.1f%%) %10d allocs/op (%+6.1f%%)%s\n",
 			status, b.Name,

@@ -8,15 +8,24 @@
 // printed per cut with node sets, I/O counts, merits and claimed instance
 // counts, followed by the whole-application report.
 //
-// Flags select the algorithm (-algo isegen|genetic|exact|iterative — any
-// name in the unified search-engine registry), the objective (-objective
-// merit|reuse|area|energy|latency|class|pareto — any name in the
-// objective registry; -gate-penalty, -latency-budget, -class-weights and
-// -max-frontier parameterize it), the port constraints (-in, -out), the
-// AFU budget (-nise), the worker-pool size (-workers), the exact engines'
-// in-block branch-and-bound pool (-subtree-workers, -split-depth; results
-// are bit-identical for every value) and optional DOT output highlighting
-// the cuts (-dot file).
+// Flags select the algorithm (-algo isegen|genetic|exact|iterative|racing
+// — any name in the unified search-engine registry), the objective
+// (-objective merit|reuse|area|energy|latency|class|pareto — any name in
+// the objective registry; -gate-penalty, -latency-budget, -class-weights
+// and -max-frontier parameterize it), the port constraints (-in, -out),
+// the AFU budget (-nise), the worker-pool size (-workers), the exact
+// engines' in-block branch-and-bound pool (-subtree-workers, -split-depth;
+// results are bit-identical for every value) and optional DOT output
+// highlighting the cuts (-dot file).
+//
+// -algo racing races K-L and the genetic baseline against the exact
+// engine per block: each heuristic answer seeds the exact search's
+// best-bound, so the proven-optimal result (the same bits -algo exact
+// produces) arrives sooner; with -json the stream
+// additionally carries "frontier" records marked anytime/optimal as each
+// racer publishes. -deadline bounds each block's race wall-clock — on
+// expiry the best anytime answer so far is returned without an error
+// (racing only; timing-dependent by construction).
 //
 // The baselines (exact, iterative, genetic) optimize merit internally and
 // accept only -objective merit; every other objective requires
@@ -62,6 +71,7 @@ func main() {
 		workers     = flag.Int("workers", 0, "worker pool size (0 = one per CPU core; results are identical)")
 		subWorkers  = flag.Int("subtree-workers", 0, "exact engines: in-block branch-and-bound workers (0/1 = single-threaded, -1 = one per CPU core; in-budget runs are identical)")
 		splitDepth  = flag.Int("split-depth", 0, "exact engines: decision depth of the subtree split (0 = automatic; results are identical)")
+		deadline    = flag.Duration("deadline", 0, "racing engine: per-block wall-clock bound (e.g. 200ms; 0 = none) — on expiry the best anytime answer so far is returned instead of the proven optimum")
 		dotFile     = flag.String("dot", "", "write a Graphviz rendering of the first block with cuts highlighted")
 		noReuse     = flag.Bool("noreuse", false, "disable reuse matching (each cut counts once)")
 		jsonOut     = flag.Bool("json", false, "emit the NDJSON result stream (same schema and bytes as the isegend service)")
@@ -82,6 +92,7 @@ func main() {
 		Algo: *algo, MaxIn: *maxIn, MaxOut: *maxOut, NISE: *nise,
 		Seed: *seed, Workers: *workers, Reuse: !*noReuse,
 		SubtreeWorkers: *subWorkers, SplitDepth: *splitDepth,
+		Deadline: *deadline,
 		Objective: *objective, GatePenalty: *gatePenalty,
 		LatencyBudget: *latBudget, ClassWeights: weights,
 		MaxFrontier: *maxFrontier,
@@ -218,6 +229,7 @@ func run(path string, p service.Params, dotFile, cacheDir string) (err error) {
 			MaxIn: p.MaxIn, MaxOut: p.MaxOut, NISE: p.NISE,
 			NodeLimit: isegen.DefaultNodeLimit(p.Algo), Budget: isegen.DefaultSearchBudget,
 			Workers: p.Workers, SubtreeWorkers: p.SubtreeWorkers, SplitDepth: p.SplitDepth,
+			Deadline: p.Deadline,
 		}
 		cuts, _, err := eng.Run(app.Blocks[hot], isegen.MeritObjective(model), lim)
 		if err != nil {

@@ -10,11 +10,21 @@
 //	     body: .dfg text; optional X-Tenant header (or ?tenant=) for
 //	     budget accounting. Response: NDJSON — one "block" record per
 //	     basic block in block order, then one "summary" record.
-//	     &subtree_workers= and &split_depth= (exact engines only) fan the
-//	     branch-and-bound out inside each block on a shared best-bound —
-//	     results stay bit-identical for every value; &max_frontier=
-//	     (objective=pareto only) bounds the frontier record with
-//	     deterministic eviction.
+//	     &subtree_workers= and &split_depth= (exact engines, including
+//	     racing) fan the branch-and-bound out inside each block on a
+//	     shared best-bound — results stay bit-identical for every value;
+//	     &max_frontier= (objective=pareto only) bounds the frontier
+//	     record with deterministic eviction.
+//	     algo=racing races K-L and the genetic baseline against the
+//	     exact engine per block (each heuristic answer seeds the exact
+//	     search's best-bound) and interleaves "frontier"
+//	     records marked anytime/optimal as each racer publishes; the
+//	     block records stay bit-identical to algo=exact. &deadline= (a Go
+//	     duration, e.g. 200ms; racing only) bounds each block's race —
+//	     on expiry the stream carries the best anytime answer instead of
+//	     the proven optimum. /v1/metrics reports the seeding
+//	     effectiveness (seed bound, raises, seeded vs unseeded explored
+//	     node counts).
 //	     &objective= selects the scoring objective (merit, reuse, area,
 //	     energy, latency, class, pareto; parameterized by &gate_penalty=,
 //	     &latency_budget=, &class_weights=memory=0.5,compute=2). An

@@ -100,6 +100,50 @@ func TestIncrementalTrajectoryPinningKernels(t *testing.T) {
 	}
 }
 
+// TestIncrementalCPToggleSequences pins the incremental critical-path
+// maintenance — addCPUpdate and removeCPUpdate, including the remove
+// path's is-critical classification — against the full recomputeCP sweep
+// on long random toggle sequences: after every single toggle, level, tail
+// and hwCP must be bit-identical between a normal State and one forced
+// through the full sweep. Random sequences revisit nodes, so removals hit
+// both critical and non-critical nodes in cuts of every shape.
+func TestIncrementalCPToggleSequences(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	cfg := DefaultConfig()
+	for trial := 0; trial < 25; trial++ {
+		blk := randKernelBlock(rng, 10+rng.Intn(50))
+		incr := NewState(blk, cfg.Model, nil)
+		full := NewState(blk, cfg.Model, nil)
+		full.fullCP = true
+		var free []int
+		for v := 0; v < blk.N(); v++ {
+			if !incr.Frozen.Has(v) {
+				free = append(free, v)
+			}
+		}
+		if len(free) == 0 {
+			continue
+		}
+		for step := 0; step < 4*len(free); step++ {
+			v := free[rng.Intn(len(free))]
+			incr.Toggle(v)
+			full.Toggle(v)
+			if incr.hwCP != full.hwCP {
+				t.Fatalf("%s step %d (toggle %d): hwCP %v incremental vs %v full", blk.Name, step, v, incr.hwCP, full.hwCP)
+			}
+			for u := 0; u < blk.N(); u++ {
+				if incr.level[u] != full.level[u] || incr.tail[u] != full.tail[u] {
+					t.Fatalf("%s step %d (toggle %d): node %d labels (%v,%v) incremental vs (%v,%v) full",
+						blk.Name, step, v, u, incr.level[u], incr.tail[u], full.level[u], full.tail[u])
+				}
+			}
+			if incr.Merit() != full.Merit() {
+				t.Fatalf("%s step %d: merit %v incremental vs %v full", blk.Name, step, incr.Merit(), full.Merit())
+			}
+		}
+	}
+}
+
 // TestPooledTrajectoryReuse pins that reusing one engine's pooled
 // workspace across many sequential trajectories changes nothing: running
 // the full seed fan-out twice on the same engine must reproduce the first

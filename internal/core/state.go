@@ -71,7 +71,8 @@ type State struct {
 	cpDirtyDown *graph.BitSet
 	cpDirtyUp   *graph.BitSet
 	// fullCP forces the full recomputeCP sweep on every toggle; the
-	// pinning tests use it to check the incremental add path bit-for-bit.
+	// pinning tests use it to check the incremental add and remove paths
+	// bit-for-bit.
 	fullCP bool
 	// version counts partition mutations (one per added/removed node). The
 	// gain context compares it against the last mutation it observed, so a
@@ -202,17 +203,26 @@ func (s *State) Feasible(maxIn, maxOut int) bool {
 // Additions update the critical-path labels incrementally: adding v can
 // only create paths through v, so only v itself plus the H nodes whose
 // longest path grew (v's H-descendants for level, H-ancestors for tail)
-// need recomputation — see addCPUpdate. Removals and SetCut fall back to
-// the full recomputeCP sweep. K-L passes toggle every unfrozen node once
-// while H stays small, so additions dominate and the common step avoids
-// the O(V+E) sweep entirely.
+// need recomputation — see addCPUpdate. Removals of nodes off the current
+// critical path are likewise incremental (see removeCPUpdate); only a
+// critical removal — where hwCP itself may shrink — and SetCut fall back
+// to the full recomputeCP sweep. K-L passes toggle every unfrozen node
+// once while H stays small, so the common step avoids the O(V+E) sweep
+// entirely.
 func (s *State) Toggle(v int) {
 	if s.Frozen.Has(v) {
 		panic("core: Toggle of frozen node")
 	}
 	if s.H.Has(v) {
+		// Criticality must be read before the sweep: removeNode leaves
+		// level/tail untouched, so these are still v's in-H labels.
+		critical := s.level[v]+s.tail[v]-s.hwLat[v] >= s.hwCP-cpCriticalEps
 		s.removeNode(v)
-		s.recomputeCP()
+		if s.fullCP || critical {
+			s.recomputeCP()
+		} else {
+			s.removeCPUpdate(v)
+		}
 	} else {
 		s.addNode(v)
 		if s.fullCP {
@@ -455,6 +465,87 @@ func (s *State) addCPUpdate(v int) {
 		}
 		nt := best + s.hwLat[u]
 		if nt == s.tail[u] && u != v {
+			continue
+		}
+		s.tail[u] = nt
+		for _, q := range dag.Preds(u) {
+			if s.H.Has(q) {
+				s.cpDirtyUp.Set(last - dag.TopoPos(q))
+			}
+		}
+	}
+}
+
+// cpCriticalEps pads the is-v-critical test of Toggle's remove path.
+// level[v]+tail[v]−hwLat[v] sums the longest path through v in a different
+// association order than recomputeCP's left-to-right level accumulation,
+// so a truly critical node could compare a few ulps below hwCP; the pad
+// (orders of magnitude above ulp error on path sums, orders below any
+// latency-model delta) errs toward the always-correct full sweep.
+const cpCriticalEps = 1e-9
+
+// removeCPUpdate restores the level/tail/hwCP invariants after v — a node
+// on no critical path — left H, recomputing only the labels that can have
+// moved. Removing v destroys paths exclusively through v, so level can
+// shrink only at v's H-descendants and tail only at its H-ancestors, and
+// no label ever grows. Each affected node is recomputed with exactly
+// recomputeCP's formula in topological order via the dirty-position
+// bitsets, so the resulting labels are bit-identical to a full sweep.
+// hwCP is untouched: it was attained at some node w, and if w's level
+// shrank its longest path ran through v, which would make v critical —
+// contradiction. Toggle sends critical removals to recomputeCP instead.
+func (s *State) removeCPUpdate(v int) {
+	dag := s.Blk.DAG()
+	topo := dag.Topo()
+	last := len(topo) - 1
+	s.level[v], s.tail[v] = 0, 0
+
+	// Downstream: recompute level at ascending topo positions, starting
+	// from v's H-successors (v itself is out of H and keeps 0 labels).
+	for _, c := range dag.Succs(v) {
+		if s.H.Has(c) {
+			s.cpDirtyDown.Set(dag.TopoPos(c))
+		}
+	}
+	for p := s.cpDirtyDown.NextSet(0); p >= 0; p = s.cpDirtyDown.NextSet(p + 1) {
+		s.cpDirtyDown.Clear(p)
+		u := topo[p]
+		best := 0.0
+		for _, q := range dag.Preds(u) {
+			if s.H.Has(q) && s.level[q] > best {
+				best = s.level[q]
+			}
+		}
+		nl := best + s.hwLat[u]
+		if nl == s.level[u] {
+			continue // unchanged: downstream labels cannot move through u
+		}
+		s.level[u] = nl
+		for _, c := range dag.Succs(u) {
+			if s.H.Has(c) {
+				s.cpDirtyDown.Set(dag.TopoPos(c))
+			}
+		}
+	}
+
+	// Upstream: recompute tail at descending topo positions (the dirty set
+	// is indexed by reversed position so NextSet walks toward ancestors).
+	for _, q := range dag.Preds(v) {
+		if s.H.Has(q) {
+			s.cpDirtyUp.Set(last - dag.TopoPos(q))
+		}
+	}
+	for p := s.cpDirtyUp.NextSet(0); p >= 0; p = s.cpDirtyUp.NextSet(p + 1) {
+		s.cpDirtyUp.Clear(p)
+		u := topo[last-p]
+		best := 0.0
+		for _, c := range dag.Succs(u) {
+			if s.H.Has(c) && s.tail[c] > best {
+				best = s.tail[c]
+			}
+		}
+		nt := best + s.hwLat[u]
+		if nt == s.tail[u] {
 			continue
 		}
 		s.tail[u] = nt

@@ -160,9 +160,13 @@ func MultiCutContext(ctx context.Context, blk *ir.Block, opt Options, nise int) 
 	if err := checkOptions(&opt, blk); err != nil {
 		return nil, err
 	}
-	sh := newSharedBound(ctx, opt.Budget)
+	sh := newSharedBound(ctx, opt.Budget, opt.Bound)
+	sh.raise(opt.SeedBound)
 	s := newMultiCutSearch(blk, opt, nise, sh)
 	best, err := s.run()
+	if opt.Explored != nil {
+		*opt.Explored += sh.explored.Load()
+	}
 	if err != nil {
 		return nil, err
 	}

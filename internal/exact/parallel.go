@@ -4,6 +4,7 @@ import (
 	"context"
 	"math"
 	"math/bits"
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
@@ -17,47 +18,77 @@ import (
 // microseconds instead of the full search.
 const checkEvery = 4096
 
+// Bound is a monotone shared merit bound: a lock-free float64 word that
+// only ever rises. It is the publication side of the branch-and-bound's
+// best-bound pruning, exported so an external producer (the racing
+// meta-engine's heuristic goroutines) can keep tightening a running search's
+// bound through the same CAS path the search's own workers use. Raising
+// it with any merit that some feasible assignment actually achieves is
+// sound AND preserves the search's bit-identical result: cross-subtree
+// pruning is strict (ub < bound), so the DFS path to the first optimal
+// leaf — every node of which has ub >= optimum — is never pruned by a
+// bound <= optimum. Raising it past the true optimum would silently
+// discard the optimum; never publish speculative values.
+type Bound struct {
+	merit atomic.Uint64 // float64 bits of the best published merit
+}
+
+// NewBound returns a bound starting at 0 (Float64bits(0) == 0, so the
+// zero value is already the initial bound).
+func NewBound() *Bound { return new(Bound) }
+
+// Best returns the current bound. Plain atomic load: pruning reads it on
+// every search node.
+func (b *Bound) Best() float64 {
+	return math.Float64frombits(b.merit.Load())
+}
+
+// Raise publishes merit m if it improves the bound and reports whether it
+// did (CAS loop; lost races retry against the new value, so the bound is
+// monotone). Safe to call from any goroutine, including while a search
+// pruning against the bound is running.
+func (b *Bound) Raise(m float64) bool {
+	for {
+		cur := b.merit.Load()
+		if m <= math.Float64frombits(cur) {
+			return false
+		}
+		if b.merit.CompareAndSwap(cur, math.Float64bits(m)) {
+			return true
+		}
+	}
+}
+
 // sharedBound is the cross-subtree search state of one branch-and-bound
-// run: the globally best merit found so far (lock-free load for pruning,
-// CAS-publish on improvement), the shared explored-node budget, and the
+// run: the globally best merit found so far (a Bound — possibly shared
+// with an external producer), the shared explored-node budget, and the
 // abort flags (budget exhaustion, context cancellation, peer abort). The
 // sequential path uses the same object with a single worker, so budget and
 // cancellation semantics live in exactly one place.
 type sharedBound struct {
 	ctx    context.Context
 	budget int64
+	bound  *Bound
 
-	merit     atomic.Uint64 // float64 bits of the best published merit
 	explored  atomic.Int64
 	stop      atomic.Bool
 	budgetHit atomic.Bool
 }
 
-func newSharedBound(ctx context.Context, budget int64) *sharedBound {
-	// Float64bits(0) == 0, so the zero-valued merit word already encodes
-	// the initial bound of 0.0.
-	return &sharedBound{ctx: ctx, budget: budget}
-}
-
-// best returns the current global bound. Plain atomic load: pruning reads
-// it on every search node.
-func (sh *sharedBound) best() float64 {
-	return math.Float64frombits(sh.merit.Load())
-}
-
-// raise publishes merit m if it improves the global bound (CAS loop; lost
-// races retry against the new value, so the bound is monotone).
-func (sh *sharedBound) raise(m float64) {
-	for {
-		cur := sh.merit.Load()
-		if m <= math.Float64frombits(cur) {
-			return
-		}
-		if sh.merit.CompareAndSwap(cur, math.Float64bits(m)) {
-			return
-		}
+// newSharedBound assembles one run's control state. bound may be an
+// external (shared, pre-seeded) Bound; nil allocates a private one.
+func newSharedBound(ctx context.Context, budget int64, bound *Bound) *sharedBound {
+	if bound == nil {
+		bound = NewBound()
 	}
+	return &sharedBound{ctx: ctx, budget: budget, bound: bound}
 }
+
+// best returns the current global bound.
+func (sh *sharedBound) best() float64 { return sh.bound.Best() }
+
+// raise publishes merit m if it improves the global bound.
+func (sh *sharedBound) raise(m float64) { sh.bound.Raise(m) }
 
 // charge adds n freshly explored nodes to the shared counter and reports
 // whether the search must stop: budget exhausted, context cancelled, or a
@@ -151,8 +182,20 @@ func (c *searchCtl) enter() bool {
 		return false
 	}
 	c.explored++
-	if c.explored-c.flushed >= checkEvery && c.flush() {
-		return false
+	if c.explored-c.flushed >= checkEvery {
+		stop := c.flush()
+		// Yield at the amortized poll point (and only here — not in the
+		// final flush, so sub-checkEvery runs never yield): the inner
+		// loops are pure CPU, so on a single-P runtime a long proof
+		// would otherwise starve concurrent bound producers (the racing
+		// engine's heuristic goroutines) down to the ~10ms preemption
+		// quantum, delaying the very seed this search prunes against.
+		// With no runnable peers this is tens of nanoseconds per
+		// checkEvery (4096) nodes — noise.
+		runtime.Gosched()
+		if stop {
+			return false
+		}
 	}
 	return true
 }

@@ -30,6 +30,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 
 	"repro/internal/core"
@@ -80,6 +81,30 @@ type Options struct {
 	// here so exact winners land in (and are served from) the same
 	// cache the other engines cost cuts through.
 	Metrics core.MetricsFunc
+	// SeedBound pre-loads the shared best-bound before the search starts
+	// (0 = unseeded). It MUST be a merit some feasible assignment of the
+	// search actually achieves (e.g. the summed merit of K-L's disjoint
+	// feasible cuts for MultiCut): pruning against the bound is strict
+	// (ub < bound), so any seed <= the optimum leaves the result
+	// bit-identical to an unseeded run while pruning strictly-worse
+	// subtrees from step one. A seed above the optimum silently discards
+	// the optimum. Explored-node counts DO change with the seed, so a run
+	// sitting near the Budget boundary may complete seeded and return
+	// ErrBudget unseeded (or vice versa) — the bit-identical guarantee is
+	// for runs that complete within budget.
+	SeedBound float64
+	// Bound, when non-nil, is the run's shared best-bound object itself:
+	// external producers may keep raising it (Bound.Raise) while the
+	// search runs, tightening the pruning mid-flight through the same CAS
+	// path the search's own workers publish through. The soundness rule
+	// is SeedBound's: only publish merits some feasible assignment
+	// achieves. SeedBound, when also set, is folded into it at start.
+	Bound *Bound
+	// Explored, when non-nil, receives the run's total explored
+	// search-tree node count, added once before the entry point returns
+	// (accumulating across the single-cut rounds of Iterative). It feeds
+	// the service's seeded-vs-unseeded pruning metrics.
+	Explored *int64
 }
 
 // metricsOf resolves the costing function.
@@ -234,9 +259,13 @@ func SingleCutContext(ctx context.Context, blk *ir.Block, opt Options, excluded 
 	if err := checkOptions(&opt, blk); err != nil {
 		return nil, err
 	}
-	sh := newSharedBound(ctx, opt.Budget)
+	sh := newSharedBound(ctx, opt.Budget, opt.Bound)
+	sh.raise(opt.SeedBound)
 	s := newSingleCutSearch(blk, opt, excluded, sh)
 	best, bestMerit, err := s.run()
+	if opt.Explored != nil {
+		*opt.Explored += sh.explored.Load()
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -332,6 +361,11 @@ func checkOptions(opt *Options, blk *ir.Block) error {
 	}
 	if opt.SplitDepth < 0 {
 		return fmt.Errorf("exact: SplitDepth = %d, must be non-negative", opt.SplitDepth)
+	}
+	// A NaN seed would poison the monotone CAS comparisons; a negative or
+	// infinite one is never the merit of a feasible assignment.
+	if opt.SeedBound < 0 || math.IsNaN(opt.SeedBound) || math.IsInf(opt.SeedBound, 0) {
+		return fmt.Errorf("exact: SeedBound = %g, must be finite and non-negative", opt.SeedBound)
 	}
 	if opt.NodeLimit > 0 && blk.N() > opt.NodeLimit {
 		return fmt.Errorf("%w: %d nodes > limit %d", ErrTooLarge, blk.N(), opt.NodeLimit)
@@ -535,9 +569,17 @@ func Iterative(blk *ir.Block, opt Options, nise int) ([]*core.Cut, error) {
 
 // IterativeContext is Iterative with cancellation (see SingleCutContext);
 // the cuts found before the abort are returned alongside ctx.Err().
+//
+// Seeding (Options.SeedBound, Options.Bound) is rejected: each round is a
+// fresh single-cut search whose own optimum shrinks as nodes freeze, so no
+// single external merit is a sound bound for every round — a joint-merit
+// seed (the only kind a producer like K-L can certify) belongs to MultiCut.
 func IterativeContext(ctx context.Context, blk *ir.Block, opt Options, nise int) ([]*core.Cut, error) {
 	if nise < 1 {
 		return nil, fmt.Errorf("exact: nise = %d, must be at least 1", nise)
+	}
+	if opt.SeedBound != 0 || opt.Bound != nil {
+		return nil, fmt.Errorf("exact: Iterative cannot be bound-seeded (per-round optima shrink; seed MultiCut instead)")
 	}
 	excluded := graph.NewBitSet(blk.N())
 	var cuts []*core.Cut

@@ -54,6 +54,13 @@ type Options struct {
 	// populations re-evaluate the same chromosomes generation after
 	// generation.
 	Metrics core.MetricsFunc
+
+	// Stop, when non-nil, is polled between generations and between the
+	// iterative rounds; a true return abandons the evolution early. The
+	// best feasible cuts found before the stop are still returned (with
+	// a nil error), so a cancelled run yields a usable partial answer —
+	// the racing engine's deadline path relies on this.
+	Stop func() bool
 }
 
 func (o *Options) fill() {
@@ -304,6 +311,9 @@ func SingleCut(blk *ir.Block, opt Options, excluded *graph.BitSet) (*core.Cut, e
 	recordBest()
 
 	for gen := 0; gen < opt.MaxGen && stall < opt.Stall; gen++ {
+		if opt.Stop != nil && opt.Stop() {
+			break
+		}
 		sort.Slice(pop, func(i, j int) bool { return pop[i].fitness > pop[j].fitness })
 		next := make([]*individual, 0, opt.Pop)
 		for i := 0; i < opt.Elite && i < len(pop); i++ {
@@ -367,6 +377,9 @@ func Iterative(blk *ir.Block, opt Options, nise int) ([]*core.Cut, error) {
 	excluded := graph.NewBitSet(blk.N())
 	var cuts []*core.Cut
 	for len(cuts) < nise {
+		if opt.Stop != nil && opt.Stop() {
+			break
+		}
 		opt.Seed++ // decorrelate successive searches deterministically
 		cut, err := SingleCut(blk, opt, excluded)
 		if err != nil {

@@ -62,6 +62,13 @@ type Limits struct {
 	// total order is evicted, so huge applications cannot grow
 	// Stats.Frontier without bound.
 	MaxFrontier int
+	// Deadline bounds the run's wall-clock time (racing engine only;
+	// 0 = none). When it expires the racer abandons the exact search and
+	// returns the best answer published so far — K-L's cuts, marked
+	// anytime (Stats.Optimal false) — with a nil error. The returned
+	// answer is timing-dependent by construction; only undeadlined racing
+	// runs carry the bit-identical-to-exact guarantee.
+	Deadline time.Duration
 }
 
 // Stats reports what one Engine.Run did.
@@ -79,6 +86,22 @@ type Stats struct {
 	// run examined — non-nil only under a multi-objective objective
 	// (see Pareto); nil for every scalar objective.
 	Frontier *Frontier
+	// Explored counts the branch-and-bound search-tree nodes the run
+	// explored (exact and racing engines; 0 elsewhere). Under a seeded
+	// bound it measures how much work the seed pruned away.
+	Explored int64
+	// Optimal marks answers carrying an optimality proof: the exact
+	// engines' completed runs and undeadlined racing runs. A racing run
+	// cut short by Limits.Deadline returns its best anytime answer with
+	// Optimal false.
+	Optimal bool
+	// SeedBound is the merit the racing engine's K-L pass published into
+	// the exact search's best-bound before it finished (0 when the exact
+	// search won the race outright or the engine is not racing).
+	SeedBound float64
+	// BoundRaises counts successful external bound publications (the
+	// racing engine's K-L raises; 0 elsewhere).
+	BoundRaises int64
 }
 
 // Engine identifies up to lim.NISE instruction-set extensions in one basic
@@ -189,8 +212,11 @@ func (e *ExactJoint) RunContext(ctx context.Context, blk *ir.Block, obj *Objecti
 	if err != nil {
 		return nil, Stats{Engine: e.Name()}, err
 	}
+	var explored int64
+	opt.Explored = &explored
 	cuts, err := exact.MultiCutContext(ctx, blk, opt, lim.NISE)
-	return cuts, Stats{Engine: e.Name(), Cuts: len(cuts), Duration: time.Since(start)}, err
+	return cuts, Stats{Engine: e.Name(), Cuts: len(cuts), Duration: time.Since(start),
+		Explored: explored, Optimal: err == nil}, err
 }
 
 // ExactIterative is the paper's "Iterative" baseline: the exact best
@@ -220,8 +246,11 @@ func (e *ExactIterative) RunContext(ctx context.Context, blk *ir.Block, obj *Obj
 	if err != nil {
 		return nil, Stats{Engine: e.Name()}, err
 	}
+	var explored int64
+	opt.Explored = &explored
 	cuts, err := exact.IterativeContext(ctx, blk, opt, lim.NISE)
-	return cuts, Stats{Engine: e.Name(), Cuts: len(cuts), Duration: time.Since(start)}, err
+	return cuts, Stats{Engine: e.Name(), Cuts: len(cuts), Duration: time.Since(start),
+		Explored: explored, Optimal: err == nil}, err
 }
 
 // checkObjective rejects objectives no per-block engine can run with.
@@ -301,8 +330,18 @@ func (e *Genetic) RunContext(ctx context.Context, blk *ir.Block, obj *Objective,
 	if e.Cache != nil {
 		opt.Metrics = e.Cache.Metrics
 	}
+	// Mid-run cancellation: the evolution polls the context between
+	// generations and abandons early, honoring the engine contract of
+	// returning ctx.Err() instead of a silently truncated answer.
+	opt.Stop = func() bool { return ctx.Err() != nil }
 	cuts, err := genetic.Iterative(blk, opt, lim.NISE)
-	return cuts, Stats{Engine: e.Name(), Cuts: len(cuts), Duration: time.Since(start)}, err
+	if err == nil {
+		err = ctx.Err()
+	}
+	if err != nil {
+		return nil, Stats{Engine: e.Name()}, err
+	}
+	return cuts, Stats{Engine: e.Name(), Cuts: len(cuts), Duration: time.Since(start)}, nil
 }
 
 // engineFactories maps registry names (lower-case CLI spellings) to
@@ -312,10 +351,11 @@ var engineFactories = map[string]func(cache *CostCache) Engine{
 	"exact":     func(c *CostCache) Engine { return &ExactJoint{Cache: c} },
 	"iterative": func(c *CostCache) Engine { return &ExactIterative{Cache: c} },
 	"genetic":   func(c *CostCache) Engine { return &Genetic{Seed: 1, Cache: c} },
+	"racing":    func(c *CostCache) Engine { return &Racing{Cache: c} },
 }
 
-// New returns the named engine ("isegen", "exact", "iterative" or
-// "genetic") wired to the given shared cost cache (which may be nil).
+// New returns the named engine ("isegen", "exact", "iterative", "genetic"
+// or "racing") wired to the given shared cost cache (which may be nil).
 func New(name string, cache *CostCache) (Engine, error) {
 	f, ok := engineFactories[name]
 	if !ok {
@@ -343,10 +383,12 @@ const DefaultBudget int64 = 2_000_000_000
 
 // DefaultNodeLimit returns the paper's block-size limit for the named
 // engine: the joint Exact search handled ~25 nodes and Iterative ~100;
-// the heuristics have no limit (0).
+// the heuristics have no limit (0). The racing engine shares the joint
+// Exact limit — its optimality proof comes from the same search, so an
+// undeadlined racing stream covers exactly the blocks an exact one does.
 func DefaultNodeLimit(name string) int {
 	switch name {
-	case "exact":
+	case "exact", "racing":
 		return 25
 	case "iterative":
 		return 100

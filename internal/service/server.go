@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/dfgio"
 	"repro/internal/search"
@@ -50,6 +51,7 @@ type Server struct {
 	cfg   Config
 	queue *Queue
 	cache *search.CostCache
+	race  *RaceCounters
 
 	mu                       sync.Mutex
 	lastJobHits, lastJobMiss int64
@@ -78,6 +80,7 @@ func NewServer(cfg Config) *Server {
 		cfg:   cfg,
 		queue: NewQueue(cfg.QueueCapacity, cfg.Workers, cfg.TenantBudget),
 		cache: cfg.Cache,
+		race:  &RaceCounters{},
 	}
 }
 
@@ -170,6 +173,15 @@ func parseParams(r *http.Request) (Params, error) {
 		}
 		p.ClassWeights = cw
 	}
+	if v := q.Get("deadline"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			return p, fmt.Errorf("bad deadline=%q (want a Go duration, e.g. 200ms)", v)
+		}
+		// Sign and algo-pairing rules live in Params.Validate, shared
+		// with the CLI.
+		p.Deadline = d
+	}
 	return p, nil
 }
 
@@ -248,7 +260,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		// reading, so no error record. Engine failures after streaming
 		// started land in-stream (the 200 is committed by then); before
 		// any record, the handler turns them into a real error status.
-		if err := Run(ctx, app, p, s.cache, emit); err != nil && ctx.Err() == nil {
+		if err := Run(WithRaceCounters(ctx, s.race), app, p, s.cache, emit); err != nil && ctx.Err() == nil {
 			if wrote {
 				_ = emit(&ErrorRecord{Type: "error", Error: err.Error()})
 			} else {
@@ -303,6 +315,9 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 type Metrics struct {
 	Queue QueueStats   `json:"queue"`
 	Cache CacheMetrics `json:"cache"`
+	// Racing reports the racing engine's bound-seeding effectiveness
+	// (see RacingMetrics); all-zero until a racing or exact job runs.
+	Racing RacingMetrics `json:"racing"`
 }
 
 // CacheMetrics reports the shared cost cache's effectiveness: cumulative
@@ -342,5 +357,5 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		cm.Store = &ss
 	}
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(&Metrics{Queue: s.queue.Stats(), Cache: cm})
+	_ = json.NewEncoder(w).Encode(&Metrics{Queue: s.queue.Stats(), Cache: cm, Racing: s.race.Snapshot()})
 }

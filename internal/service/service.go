@@ -24,6 +24,8 @@ import (
 	"slices"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	isegen "repro"
 	"repro/internal/core"
@@ -43,8 +45,11 @@ var defaultModel = latency.Default()
 // is not valid; start from DefaultParams.
 type Params struct {
 	// Algo is a search-engine registry name ("isegen", "exact",
-	// "iterative", "genetic"). "isegen" runs the paper's application-
-	// level greedy flow; the baselines run per block.
+	// "iterative", "genetic", "racing"). "isegen" runs the paper's
+	// application-level greedy flow; the baselines run per block.
+	// "racing" races K-L and the genetic baseline against the exact
+	// engine per block, streaming anytime/optimal frontier records
+	// (see RaceFrontierRecord).
 	Algo string `json:"algo"`
 	// MaxIn and MaxOut are the register-file port constraints.
 	MaxIn  int `json:"max_in"`
@@ -97,6 +102,14 @@ type Params struct {
 	// ClassWeights maps block classes ("memory", "compute") to merit
 	// multipliers for the "class" objective.
 	ClassWeights map[string]float64 `json:"class_weights,omitempty"`
+	// Deadline bounds each block's race wall-clock time ("racing" only;
+	// 0 = none; nanoseconds in JSON, a Go duration string in the query
+	// parameter and CLI flag). On expiry the racer cancels the in-flight
+	// searches and the block record carries the best anytime answer
+	// found so far instead of the proven optimum — so a deadlined
+	// stream's selections are timing-dependent, unlike every other
+	// stream this package emits.
+	Deadline time.Duration `json:"deadline,omitempty"`
 }
 
 // DefaultParams returns the paper's main configuration: ISEGEN with reuse,
@@ -142,8 +155,14 @@ func (p Params) Validate() error {
 	if p.MaxFrontier < 0 {
 		return fmt.Errorf("service: max_frontier must be non-negative (got %d)", p.MaxFrontier)
 	}
-	if (p.SubtreeWorkers != 0 || p.SplitDepth != 0) && p.Algo != "exact" && p.Algo != "iterative" {
-		return fmt.Errorf("service: subtree_workers/split_depth are only read by the exact engines (\"exact\", \"iterative\"; algo is %q)", p.Algo)
+	if (p.SubtreeWorkers != 0 || p.SplitDepth != 0) && p.Algo != "exact" && p.Algo != "iterative" && p.Algo != "racing" {
+		return fmt.Errorf("service: subtree_workers/split_depth are only read by the exact engines (\"exact\", \"iterative\", \"racing\"; algo is %q)", p.Algo)
+	}
+	if p.Deadline < 0 {
+		return fmt.Errorf("service: deadline must be non-negative (got %v)", p.Deadline)
+	}
+	if p.Deadline != 0 && p.Algo != "racing" {
+		return fmt.Errorf("service: deadline is only read by algo \"racing\" (algo is %q); the other engines run to completion", p.Algo)
 	}
 	if p.MaxFrontier != 0 && p.Objective != "pareto" {
 		return fmt.Errorf("service: max_frontier is only read by objective \"pareto\" (objective is %q)", orDefault(p.Objective))
@@ -304,11 +323,129 @@ type FrontierRecord struct {
 	Points []FrontierPoint `json:"points"`
 }
 
+// RaceFrontierRecord is the NDJSON record the racing engine streams as its
+// racers publish answers for a block: each heuristic answer marked
+// "anytime" the moment it lands, then the exact search's proven answer
+// marked "optimal". Records for one block are strictly merit-monotone, so
+// a latency-sensitive consumer can act on the first record and only ever
+// trade quality for time. Unlike every other record in the stream, WHEN
+// (and, under a deadline, whether) each record appears is timing-dependent
+// — the deterministic wire contract covers the block records and the
+// summary, which for undeadlined racing runs stay bit-identical to algo
+// "exact". It shares the "frontier" type tag with FrontierRecord (both are
+// trade-off surfaces); the "stage" field tells them apart.
+type RaceFrontierRecord struct {
+	Type  string `json:"type"`  // "frontier"
+	Stage string `json:"stage"` // "anytime" | "optimal"
+	// Engine is the racer that published ("ISEGEN" or "Exact").
+	Engine string `json:"engine"`
+	// Block is the index of the block being raced.
+	Block int `json:"block"`
+	// Merit is the summed merit of Cuts.
+	Merit float64 `json:"merit"`
+	// Cuts holds the published answer's node sets. The full costing
+	// (I/O, latencies, instances) appears in the block's final record;
+	// the in-flight record carries just enough to act on.
+	Cuts [][]int `json:"cuts"`
+}
+
 // ErrorRecord terminates a stream that failed mid-job (the HTTP status is
 // already committed by then).
 type ErrorRecord struct {
 	Type  string `json:"type"` // "error"
 	Error string `json:"error"`
+}
+
+// raceRecord converts one racing publication into its wire record.
+func raceRecord(block int, ev search.RaceEvent) *RaceFrontierRecord {
+	cuts := make([][]int, 0, len(ev.Cuts))
+	for _, c := range ev.Cuts {
+		cuts = append(cuts, c.Nodes.Elems())
+	}
+	return &RaceFrontierRecord{
+		Type: "frontier", Stage: ev.Stage, Engine: ev.Engine,
+		Block: block, Merit: ev.Merit, Cuts: cuts,
+	}
+}
+
+// RaceCounters aggregates the racing engine's bound-seeding effectiveness
+// across jobs for the metrics endpoint: what the heuristics seeded, how
+// often they published, and how many search-tree nodes the exact engine explored with
+// a seeded bound versus without one (the plain "exact"/"iterative" jobs) —
+// the seeded count staying well below the unseeded one on comparable
+// inputs is the racing speedup, measured.
+type RaceCounters struct {
+	mu               sync.Mutex
+	jobs             int64
+	lastSeedBound    float64
+	boundRaises      int64
+	exploredSeeded   int64
+	exploredUnseeded int64
+}
+
+// observeRacing folds one completed racing job in.
+func (rc *RaceCounters) observeRacing(seedBound float64, raises, explored int64) {
+	rc.mu.Lock()
+	rc.jobs++
+	rc.lastSeedBound = seedBound
+	rc.boundRaises += raises
+	rc.exploredSeeded += explored
+	rc.mu.Unlock()
+}
+
+// observeUnseeded folds one completed plain exact/iterative job in.
+func (rc *RaceCounters) observeUnseeded(explored int64) {
+	rc.mu.Lock()
+	rc.exploredUnseeded += explored
+	rc.mu.Unlock()
+}
+
+// Snapshot returns the counters as the metrics document section.
+func (rc *RaceCounters) Snapshot() RacingMetrics {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return RacingMetrics{
+		Jobs:             rc.jobs,
+		LastSeedBound:    rc.lastSeedBound,
+		BoundRaises:      rc.boundRaises,
+		ExploredSeeded:   rc.exploredSeeded,
+		ExploredUnseeded: rc.exploredUnseeded,
+	}
+}
+
+// RacingMetrics is the "racing" section of the /v1/metrics document.
+type RacingMetrics struct {
+	// Jobs counts completed racing jobs.
+	Jobs int64 `json:"jobs"`
+	// LastSeedBound is the highest bound a heuristic racer published
+	// during the most recently completed racing job (its best block's
+	// summed merit).
+	LastSeedBound float64 `json:"last_seed_bound"`
+	// BoundRaises counts successful heuristic bound publications across
+	// jobs.
+	BoundRaises int64 `json:"bound_raises"`
+	// ExploredSeeded / ExploredUnseeded are cumulative exact-engine
+	// search-tree node counts with a heuristic-seeded bound (racing jobs)
+	// versus without one (plain exact/iterative jobs).
+	ExploredSeeded   int64 `json:"explored_seeded"`
+	ExploredUnseeded int64 `json:"explored_unseeded"`
+}
+
+// raceCountersKey carries a *RaceCounters through the job context; the
+// server installs its instance so Run's per-block fan-out can report
+// without the wire contract or the Run signature changing.
+type raceCountersKey struct{}
+
+// WithRaceCounters returns a context carrying the counters.
+func WithRaceCounters(ctx context.Context, rc *RaceCounters) context.Context {
+	return context.WithValue(ctx, raceCountersKey{}, rc)
+}
+
+// raceCountersOf extracts the counters (nil when none installed — the
+// offline CLI path).
+func raceCountersOf(ctx context.Context) *RaceCounters {
+	rc, _ := ctx.Value(raceCountersKey{}).(*RaceCounters)
+	return rc
 }
 
 // NDJSONEmitter returns an emit function writing one JSON record per line
@@ -324,6 +461,10 @@ func NDJSONEmitter(w io.Writer) func(v any) error {
 // block's record as soon as the block completes (held back only as needed
 // to preserve order); the application-level ISEGEN flow emits after its
 // greedy drive finishes, since every round depends on the previous one.
+// Algo "racing" additionally interleaves *RaceFrontierRecords as its
+// racers publish — the one deliberately timing-dependent part of the
+// stream; the block records and summary of an undeadlined racing run stay
+// deterministic (and bit-identical in content to algo "exact").
 // Cancellation aborts the search and returns ctx.Err(); emit errors
 // (client disconnects) abort the fan-out and are returned as-is.
 func Run(ctx context.Context, app *ir.Application, p Params, cache *search.CostCache, emit func(v any) error) error {
@@ -385,6 +526,11 @@ func runApplication(ctx context.Context, app *ir.Application, p Params, cache *s
 // earlier blocks — completed. Blocks beyond the engine's node limit are
 // skipped (with a note in the record) rather than failing the job, so one
 // oversized block doesn't poison an application sweep.
+//
+// For algo "racing" the stream additionally carries RaceFrontierRecords,
+// emitted the moment a racer publishes — concurrently with (and therefore
+// interleaved nondeterministically between) the ordered block records; a
+// mutex serializes the writes so every line stays a whole record.
 func runPerBlock(ctx context.Context, app *ir.Application, p Params, cache *search.CostCache, emit func(v any) error) error {
 	eng, err := search.New(p.Algo, cache)
 	if err != nil {
@@ -401,10 +547,24 @@ func runPerBlock(ctx context.Context, app *ir.Application, p Params, cache *sear
 		// In-block branch-and-bound fan-out for the exact engines:
 		// orthogonal to the block axis, bit-identical results.
 		SubtreeWorkers: p.SubtreeWorkers, SplitDepth: p.SplitDepth,
+		Deadline: p.Deadline,
+	}
+
+	// Frontier records land mid-fan-out from engine goroutines while the
+	// loop below emits block records; one mutex keeps the NDJSON lines
+	// whole. A failed frontier write (client disconnect) cancels the job
+	// and surfaces as the job error below.
+	var emitMu sync.Mutex
+	var raceEmitErr error
+	syncEmit := func(v any) error {
+		emitMu.Lock()
+		defer emitMu.Unlock()
+		return emit(v)
 	}
 
 	type blockOut struct {
 		cuts    []*core.Cut
+		stats   search.Stats
 		skipped string
 		err     error
 	}
@@ -445,20 +605,46 @@ func runPerBlock(ctx context.Context, app *ir.Application, p Params, cache *sear
 				outs[i].skipped = fmt.Sprintf("block exceeds %s engine node limit (%d > %d)", p.Algo, blk.N(), lim.NodeLimit)
 				return
 			}
+			blockEng := eng
+			if _, ok := eng.(*search.Racing); ok {
+				// The event callback needs the block index, so each block
+				// races on its own (stateless, cheap) engine instance.
+				blockEng = &search.Racing{Cache: cache, OnEvent: func(ev search.RaceEvent) {
+					if err := syncEmit(raceRecord(i, ev)); err != nil {
+						emitMu.Lock()
+						if raceEmitErr == nil {
+							raceEmitErr = err
+						}
+						emitMu.Unlock()
+						cancel()
+					}
+				}}
+			}
 			// RunContext: a cancelled request (client disconnect,
 			// shutdown) aborts the engine mid-block instead of waiting
 			// for the block to finish.
-			outs[i].cuts, _, outs[i].err = eng.RunContext(ictx, blk, obj, lim)
+			outs[i].cuts, outs[i].stats, outs[i].err = blockEng.RunContext(ictx, blk, obj, lim)
 		})
 	}()
 
+	raceErr := func() error {
+		emitMu.Lock()
+		defer emitMu.Unlock()
+		return raceEmitErr
+	}
 	var sels []isegen.Selection
+	var jobSeed float64
+	var jobRaises, jobExplored int64
 	ise := 0
 	for bi := 0; bi < n; bi++ {
 		select {
 		case <-ready[bi]:
 		case <-ictx.Done():
-			if err := <-fanErr; err != nil && ctx.Err() == nil {
+			err := <-fanErr
+			if re := raceErr(); re != nil {
+				return re // a frontier write failed; that is the root cause
+			}
+			if err != nil && ctx.Err() == nil {
 				return err // fan-out panic, not a caller cancellation
 			}
 			return ictx.Err()
@@ -469,6 +655,11 @@ func runPerBlock(ctx context.Context, app *ir.Application, p Params, cache *sear
 			<-fanErr
 			return fmt.Errorf("block %d (%s): %w", bi, app.Blocks[bi].Name, out.err)
 		}
+		if out.stats.SeedBound > jobSeed {
+			jobSeed = out.stats.SeedBound
+		}
+		jobRaises += out.stats.BoundRaises
+		jobExplored += out.stats.Explored
 		recSels := make([]Selection, 0, len(out.cuts))
 		for _, c := range out.cuts {
 			ise++
@@ -476,7 +667,7 @@ func runPerBlock(ctx context.Context, app *ir.Application, p Params, cache *sear
 			sels = append(sels, sel)
 			recSels = append(recSels, toSelection(ise, sel, p.Objective != ""))
 		}
-		if err := emit(blockResult(bi, app.Blocks[bi], out.skipped, recSels)); err != nil {
+		if err := syncEmit(blockResult(bi, app.Blocks[bi], out.skipped, recSels)); err != nil {
 			cancel()
 			<-fanErr
 			return err
@@ -485,7 +676,15 @@ func runPerBlock(ctx context.Context, app *ir.Application, p Params, cache *sear
 	if err := <-fanErr; err != nil {
 		return err
 	}
-	return emitSummary(app, p, sels, emit)
+	if rc := raceCountersOf(ctx); rc != nil {
+		switch p.Algo {
+		case "racing":
+			rc.observeRacing(jobSeed, jobRaises, jobExplored)
+		case "exact", "iterative":
+			rc.observeUnseeded(jobExplored)
+		}
+	}
+	return emitSummary(app, p, sels, syncEmit)
 }
 
 func emitSummary(app *ir.Application, p Params, sels []isegen.Selection, emit func(v any) error) error {

@@ -303,10 +303,24 @@ func FindInstances(app *Application, patIdx int, cut *BitSet, perBlockLimit int)
 // All drivers route through the unified internal/search engine layer.
 
 // NewSearchEngine returns the named engine ("isegen", "exact",
-// "iterative" or "genetic") wired to the shared cost cache (may be nil).
+// "iterative", "genetic" or "racing") wired to the shared cost cache (may
+// be nil).
 func NewSearchEngine(name string, cache *CostCache) (SearchEngine, error) {
 	return search.New(name, cache)
 }
+
+// RacingEngine is the anytime meta-engine: K-L and the genetic baseline
+// race the exact joint search on the same block, each heuristic's merit
+// seeding the exact search's best-bound, so the proven-optimal answer
+// (bit-identical to the exact engine alone) arrives sooner. OnEvent
+// observes each racer's publication;
+// SearchLimits.Deadline turns it into a best-answer-by-then search. See
+// DESIGN.md, "Racing anytime search".
+type RacingEngine = search.Racing
+
+// RaceEvent is one racing publication: a complete anytime or optimal
+// answer (see search.RaceEvent).
+type RaceEvent = search.RaceEvent
 
 // NewCostCache returns an empty shared cut-costing cache.
 func NewCostCache() *CostCache { return search.NewCostCache() }
@@ -340,7 +354,8 @@ func BlockHash(b *Block) string { return dfgio.BlockHash(b) }
 func SearchEngineNames() []string { return search.Names() }
 
 // DefaultNodeLimit returns the paper's block-size limit for the named
-// engine (25 for "exact", 100 for "iterative", 0 = unlimited otherwise).
+// engine (25 for "exact" and "racing", 100 for "iterative", 0 = unlimited
+// otherwise).
 func DefaultNodeLimit(name string) int { return search.DefaultNodeLimit(name) }
 
 // DefaultSearchBudget is the standard exact-search node budget shared by
@@ -415,7 +430,18 @@ const DefaultGatePenalty = search.DefaultGatePenalty
 // ExactOptions configures the exact baselines. Setting Workers > 1 fans
 // the branch-and-bound out inside the block on a shared best-bound with
 // bit-identical results (see DESIGN.md, "Determinism contract").
+// SeedBound and Bound pre-load that best-bound with an externally known
+// feasible merit (the racing engine's heuristic answers), pruning the
+// search without changing its result (see DESIGN.md, "Seeded-bound
+// soundness").
 type ExactOptions = exact.Options
+
+// ExactBound is a raisable shared best-bound, for publishing improving
+// feasible merits into a running exact search (see ExactOptions.Bound).
+type ExactBound = exact.Bound
+
+// NewExactBound returns a fresh bound at 0 (no pruning).
+func NewExactBound() *ExactBound { return exact.NewBound() }
 
 // ExactSingleCut finds the optimal single feasible cut of a block.
 func ExactSingleCut(blk *Block, opt ExactOptions, excluded *BitSet) (*Cut, error) {
@@ -436,10 +462,10 @@ func ExactIterative(blk *Block, opt ExactOptions, nise int) ([]*Cut, error) {
 }
 
 // ExactIterativeContext is ExactIterative with in-block cancellation.
+// Every ExactOptions field is honored (Iterative rejects bound seeding;
+// see ExactOptions.SeedBound).
 func ExactIterativeContext(ctx context.Context, blk *Block, opt ExactOptions, nise int) ([]*Cut, error) {
-	eng := &search.ExactIterative{Metrics: opt.Metrics}
-	cuts, _, err := eng.RunContext(ctx, blk, search.Merit(opt.Model), exactLimits(opt, nise))
-	return cuts, err
+	return exact.IterativeContext(ctx, blk, opt, nise)
 }
 
 // ExactMultiCut finds the jointly optimal assignment into nise cuts (the
@@ -448,19 +474,11 @@ func ExactMultiCut(blk *Block, opt ExactOptions, nise int) ([]*Cut, error) {
 	return ExactMultiCutContext(context.Background(), blk, opt, nise)
 }
 
-// ExactMultiCutContext is ExactMultiCut with in-block cancellation.
+// ExactMultiCutContext is ExactMultiCut with in-block cancellation. Every
+// ExactOptions field is honored, including the anytime-seeding fields
+// (SeedBound, Bound, Explored) the racing engine uses.
 func ExactMultiCutContext(ctx context.Context, blk *Block, opt ExactOptions, nise int) ([]*Cut, error) {
-	eng := &search.ExactJoint{Metrics: opt.Metrics}
-	cuts, _, err := eng.RunContext(ctx, blk, search.Merit(opt.Model), exactLimits(opt, nise))
-	return cuts, err
-}
-
-func exactLimits(opt ExactOptions, nise int) *SearchLimits {
-	return &SearchLimits{
-		MaxIn: opt.MaxIn, MaxOut: opt.MaxOut, NISE: nise,
-		NodeLimit: opt.NodeLimit, Budget: opt.Budget,
-		SubtreeWorkers: opt.Workers, SplitDepth: opt.SplitDepth,
-	}
+	return exact.MultiCutContext(ctx, blk, opt, nise)
 }
 
 // GeneticOptions configures the genetic baseline.
