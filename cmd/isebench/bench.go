@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -15,17 +16,24 @@ import (
 	"repro/internal/exact"
 	"repro/internal/kernels"
 	"repro/internal/latency"
+	"repro/internal/obs"
 	"repro/internal/search"
 )
 
 // benchRecord is one measured suite in the JSON benchmark file: wall time
 // and allocation counts for a single iteration (-benchtime=1x semantics,
-// the same protocol as the CI benchmark smoke step).
+// the same protocol as the CI benchmark smoke step), plus the
+// engine-internal counter deltas observed during the run — work measures
+// (nodes explored, toggles, probes) that stay meaningful when wall-clock
+// is noisy. Counters are recorded with a counters-only recorder (span
+// recording disabled), whose overhead is a handful of atomic adds per
+// trajectory/search, so allocs/op stays comparable with older files.
 type benchRecord struct {
-	Name        string `json:"name"`
-	NsPerOp     int64  `json:"ns_per_op"`
-	AllocsPerOp uint64 `json:"allocs_per_op"`
-	BytesPerOp  uint64 `json:"bytes_per_op"`
+	Name        string           `json:"name"`
+	NsPerOp     int64            `json:"ns_per_op"`
+	AllocsPerOp uint64           `json:"allocs_per_op"`
+	BytesPerOp  uint64           `json:"bytes_per_op"`
+	Counters    map[string]int64 `json:"counters,omitempty"`
 }
 
 // benchFile is the BENCH_<rev>.json schema: enough provenance to compare
@@ -106,45 +114,47 @@ func measure(name string, fn func()) benchRecord {
 // benchSuites are the Figure 4 and Figure 6 measurement points, each as a
 // sequential / parallel pair so the perf trajectory captures both the
 // allocation work (visible on any machine) and the fan-out speedup
-// (visible on multi-core hosts only).
+// (visible on multi-core hosts only). Each suite takes the harness
+// context, which carries a counters-only recorder so the record can
+// report work deltas next to ns/op.
 func benchSuites() []struct {
 	name string
-	fn   func()
+	fn   func(ctx context.Context)
 } {
 	model := latency.Default()
-	fig4KL := func(workers int) func() {
-		return func() {
+	fig4KL := func(workers int) func(context.Context) {
+		return func(ctx context.Context) {
 			specs := kernels.All()
 			r := &search.Runner{Workers: workers, Cache: search.NewCostCache()}
 			for _, spec := range specs {
 				cfg := core.DefaultConfig()
-				if _, _, err := r.Generate(spec.App, cfg, search.Merit(model), nil); err != nil {
+				if _, _, err := r.GenerateContext(ctx, spec.App, cfg, search.Merit(model), nil); err != nil {
 					fatal(err)
 				}
 			}
 		}
 	}
-	fig4Iterative := func(subtreeWorkers int) func() {
-		return func() {
+	fig4Iterative := func(subtreeWorkers int) func(context.Context) {
+		return func(ctx context.Context) {
 			for _, spec := range kernels.All() {
 				if spec.CriticalSize > 100 {
 					continue
 				}
 				opt := exact.Options{MaxIn: 4, MaxOut: 2, Model: model, Budget: 2_000_000_000, Workers: subtreeWorkers}
-				if _, err := exact.Iterative(spec.App.Blocks[0], opt, 4); err != nil {
+				if _, err := exact.IterativeContext(ctx, spec.App.Blocks[0], opt, 4); err != nil {
 					fatal(err)
 				}
 			}
 		}
 	}
-	fig4Exact := func(subtreeWorkers int) func() {
-		return func() {
+	fig4Exact := func(subtreeWorkers int) func(context.Context) {
+		return func(ctx context.Context) {
 			for _, spec := range kernels.All() {
 				if spec.CriticalSize > 25 {
 					continue
 				}
 				opt := exact.Options{MaxIn: 4, MaxOut: 2, Model: model, Budget: 2_000_000_000, Workers: subtreeWorkers}
-				if _, err := exact.MultiCut(spec.App.Blocks[0], opt, 4); err != nil {
+				if _, err := exact.MultiCutContext(ctx, spec.App.Blocks[0], opt, 4); err != nil {
 					fatal(err)
 				}
 			}
@@ -153,8 +163,8 @@ func benchSuites() []struct {
 	// fig4Racing covers exactly fig4Exact's kernel subset so the pair is
 	// directly comparable: same blocks, same optimal answers, the racing
 	// suite measuring how much the K-L-seeded bound prunes the proof.
-	fig4Racing := func(klWorkers, subtreeWorkers int) func() {
-		return func() {
+	fig4Racing := func(klWorkers, subtreeWorkers int) func(context.Context) {
+		return func(ctx context.Context) {
 			for _, spec := range kernels.All() {
 				if spec.CriticalSize > 25 {
 					continue
@@ -164,25 +174,25 @@ func benchSuites() []struct {
 					MaxIn: 4, MaxOut: 2, NISE: 4, Budget: 2_000_000_000,
 					Workers: klWorkers, SubtreeWorkers: subtreeWorkers,
 				}
-				if _, _, err := eng.Run(spec.App.Blocks[0], search.Merit(model), lim); err != nil {
+				if _, _, err := eng.RunContext(ctx, spec.App.Blocks[0], search.Merit(model), lim); err != nil {
 					fatal(err)
 				}
 			}
 		}
 	}
-	fig6AES := func(workers int) func() {
-		return func() {
+	fig6AES := func(workers int) func(context.Context) {
+		return func(ctx context.Context) {
 			app := kernels.AES()
 			cfg := isegen.DefaultConfig()
 			cfg.Workers = workers
-			if _, err := isegen.Generate(app, cfg); err != nil {
+			if _, err := isegen.GenerateContext(ctx, app, cfg, nil); err != nil {
 				fatal(err)
 			}
 		}
 	}
 	return []struct {
 		name string
-		fn   func()
+		fn   func(ctx context.Context)
 	}{
 		{"figure4/isegen/seq", fig4KL(1)},
 		{"figure4/isegen/par", fig4KL(0)},
@@ -218,7 +228,13 @@ func runBenchJSON(rev, out string) error {
 		BenchTime: "1x",
 	}
 	for _, s := range benchSuites() {
-		rec := measure(s.name, s.fn)
+		// Counters-only recorder: span recording disabled (cap 0), so the
+		// span path stays out of the measured allocation counts and only
+		// the per-flush atomic adds ride along.
+		or := obs.NewRecorder(0)
+		ctx := obs.WithRecorder(context.Background(), or)
+		rec := measure(s.name, func() { s.fn(ctx) })
+		rec.Counters = or.Counters().Map()
 		fmt.Fprintf(os.Stderr, "%-24s %12d ns/op %10d allocs/op %12d B/op\n",
 			rec.Name, rec.NsPerOp, rec.AllocsPerOp, rec.BytesPerOp)
 		bf.Benches = append(bf.Benches, rec)

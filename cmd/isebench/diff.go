@@ -20,6 +20,44 @@ const (
 	parAllocSlackAbs = 256
 )
 
+// counterWarnPct is the growth threshold for engine work counters in
+// -diff: a suite whose exact_explored (or toggles, probes, ...) grew past
+// this warns even when its ns/op sits inside the tolerance — more work at
+// the same wall-clock usually means the next machine pays for it.
+const counterWarnPct = 10
+
+// workCounters are the counter deltas -diff gates on: monotone measures
+// of search effort, where growth means the engine did more work for the
+// same answer. Deliberately excluded: pool/cache hit counters (growth
+// there is an improvement) and bound raises (more raises can mean faster
+// convergence).
+var workCounters = []string{
+	"kl_toggles", "kl_probes", "kl_cp_full_sweeps", "kl_gain_rebuilds",
+	"kl_pool_misses", "exact_explored", "exact_subtree_tasks",
+	"genetic_evaluations", "cache_misses",
+}
+
+// counterWarnings compares a suite's work-counter deltas against the
+// baseline, returning one warning line per counter that grew past
+// counterWarnPct. Files without counters (older schema-1 baselines) are
+// silently ungated — both sides must carry a counter for it to be
+// compared.
+func counterWarnings(base, fresh map[string]int64) []string {
+	var warns []string
+	for _, name := range workCounters {
+		b, okB := base[name]
+		f, okF := fresh[name]
+		if !okB || !okF || b <= 0 {
+			continue
+		}
+		if f > b+b*counterWarnPct/100 {
+			warns = append(warns, fmt.Sprintf("%s %d -> %d (%+.1f%%, warn at +%d%%)",
+				name, b, f, pctDelta(float64(f), float64(b)), counterWarnPct))
+		}
+	}
+	return warns
+}
+
 // loadBenchFile reads one BENCH_<rev>.json.
 func loadBenchFile(path string) (*benchFile, error) {
 	b, err := os.ReadFile(path)
@@ -97,11 +135,20 @@ func runBenchDiff(basePath, freshPath string, nsTol float64) error {
 		if oneCPU && strings.HasSuffix(b.Name, "/par") {
 			detail += "  [1 cpu: parity with /seq expected]"
 		}
+		// Work-counter regressions warn even when ns/op is in tolerance:
+		// wall-clock noise can mask an engine quietly exploring more nodes.
+		cwarns := counterWarnings(b.Counters, f.Counters)
+		if status == "ok  " && len(cwarns) > 0 {
+			status = "WARN"
+		}
 		fmt.Printf("%s %-24s %12d ns/op (%+6.1f%%) %10d allocs/op (%+6.1f%%)%s\n",
 			status, b.Name,
 			f.NsPerOp, pctDelta(float64(f.NsPerOp), float64(b.NsPerOp)),
 			f.AllocsPerOp, pctDelta(float64(f.AllocsPerOp), float64(b.AllocsPerOp)),
 			detail)
+		for _, cw := range cwarns {
+			fmt.Printf("     %-24s work counter regressed: %s\n", "", cw)
+		}
 	}
 	// The mirror direction: a fresh suite with no baseline entry is not
 	// gated at all — surface it so adding a benchmark without

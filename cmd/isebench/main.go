@@ -11,16 +11,20 @@
 //	isebench -sim       only the cycle-level simulation validation
 //	isebench -energy    only the code-size / energy table
 //	isebench -area      only the AFU area-budget study
-//	isebench -json      measure the Figure 4/6 suites (ns/op, allocs/op;
-//	                    sequential vs parallel) and write BENCH_<rev>.json
-//	                    — the repository's tracked perf trajectory; the
-//	                    checked-in BENCH_baseline.json is one such file
+//	isebench -json      measure the Figure 4/6 suites (ns/op, allocs/op,
+//	                    engine work-counter deltas; sequential vs parallel)
+//	                    and write BENCH_<rev>.json — the repository's
+//	                    tracked perf trajectory; the checked-in
+//	                    BENCH_baseline.json is one such file
 //	isebench -diff BENCH_baseline.json BENCH_<rev>.json
 //	                    gate a fresh measurement against the baseline:
 //	                    exits non-zero when any suite's allocs/op regressed
 //	                    (deterministic, so compared near-exactly; parallel
-//	                    suites get a wider band for pool/scheduler noise)
-//	                    and warns when ns/op exceeds the -ns-tol ratio
+//	                    suites get a wider band for pool/scheduler noise),
+//	                    warns when ns/op exceeds the -ns-tol ratio, and
+//	                    warns when a work counter (exact_explored,
+//	                    kl_toggles, ...) grows >10% even inside ns/op
+//	                    tolerance
 //
 // All harnesses fan independent benchmark/configuration cells out across
 // -workers (default: one per CPU core); results are bit-identical to a

@@ -42,6 +42,13 @@
 // the stream is bit-identical to the pre-objective schema.
 // -cache-dir persists cut costings across runs (keyed by canonical block
 // hash), making repeated sweeps over the same file near-free.
+//
+// -trace file.ndjson records the run's span tree (job → block → engine →
+// trajectory/subtree, monotonic timestamps, parent links) plus the
+// engine-internal counters and writes them as NDJSON; -summary prints a
+// human-readable per-kind/per-counter table to stderr instead of (or in
+// addition to) the file. Recording never changes the result stream — the
+// NDJSON output is byte-identical with and without -trace.
 package main
 
 import (
@@ -52,6 +59,7 @@ import (
 	"strings"
 
 	isegen "repro"
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -76,6 +84,8 @@ func main() {
 		noReuse     = flag.Bool("noreuse", false, "disable reuse matching (each cut counts once)")
 		jsonOut     = flag.Bool("json", false, "emit the NDJSON result stream (same schema and bytes as the isegend service)")
 		cacheDir    = flag.String("cache-dir", "", "persist cut costings under this directory across runs")
+		traceFile   = flag.String("trace", "", "record the run's span trace and counters as NDJSON to this file")
+		traceSum    = flag.Bool("summary", false, "print a human-readable span/counter summary to stderr (implies recording)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -92,7 +102,7 @@ func main() {
 		Algo: *algo, MaxIn: *maxIn, MaxOut: *maxOut, NISE: *nise,
 		Seed: *seed, Workers: *workers, Reuse: !*noReuse,
 		SubtreeWorkers: *subWorkers, SplitDepth: *splitDepth,
-		Deadline: *deadline,
+		Deadline:  *deadline,
 		Objective: *objective, GatePenalty: *gatePenalty,
 		LatencyBudget: *latBudget, ClassWeights: weights,
 		MaxFrontier: *maxFrontier,
@@ -105,19 +115,55 @@ func main() {
 		fmt.Fprintln(os.Stderr, "isegen:", err)
 		os.Exit(2)
 	}
+	// Recording is attached through the context; the engines see the same
+	// code path either way (nil-recorder methods are no-ops), so -trace
+	// cannot perturb the result bytes.
+	ctx := context.Background()
+	var rec *obs.Recorder
+	var jobSpan obs.SpanID
+	if *traceFile != "" || *traceSum {
+		rec = obs.NewRecorder(obs.DefaultSpanCap)
+		jobSpan = rec.Start(0, obs.KindJob, p.Algo)
+		ctx = obs.WithParentSpan(obs.WithRecorder(ctx, rec), jobSpan)
+	}
 	if *jsonOut {
 		if *dotFile != "" {
 			fmt.Fprintln(os.Stderr, "isegen: -dot is not supported with -json (the NDJSON stream carries no render); drop one of the two flags")
 			os.Exit(2)
 		}
-		err = runJSON(flag.Arg(0), p, *cacheDir)
+		err = runJSON(ctx, flag.Arg(0), p, *cacheDir)
 	} else {
-		err = run(flag.Arg(0), p, *dotFile, *cacheDir)
+		err = run(ctx, flag.Arg(0), p, *dotFile, *cacheDir)
+	}
+	if rec != nil {
+		rec.End(jobSpan)
+		if terr := writeTrace(rec, *traceFile); terr != nil && err == nil {
+			err = terr
+		}
+		if *traceSum {
+			rec.WriteSummary(os.Stderr)
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "isegen:", err)
 		os.Exit(1)
 	}
+}
+
+// writeTrace dumps the recorded span tree and counters as NDJSON.
+func writeTrace(rec *obs.Recorder, path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteSpans(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // openCache builds the run's cut-costing cache: disk-persistent when
@@ -138,7 +184,7 @@ func openCache(cacheDir string) (*isegen.CostCache, error) {
 // stdout — exactly what the isegend daemon serves, so the outputs diff
 // clean. With -cache-dir the cut-costing cache is loaded from and flushed
 // back to disk, so a repeated run skips costing entirely.
-func runJSON(path string, p service.Params, cacheDir string) (err error) {
+func runJSON(ctx context.Context, path string, p service.Params, cacheDir string) (err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -162,10 +208,10 @@ func runJSON(path string, p service.Params, cacheDir string) (err error) {
 			err = ferr
 		}
 	}()
-	return service.Run(context.Background(), app, p, cache, service.NDJSONEmitter(os.Stdout))
+	return service.Run(ctx, app, p, cache, service.NDJSONEmitter(os.Stdout))
 }
 
-func run(path string, p service.Params, dotFile, cacheDir string) (err error) {
+func run(ctx context.Context, path string, p service.Params, dotFile, cacheDir string) (err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -185,7 +231,6 @@ func run(path string, p service.Params, dotFile, cacheDir string) (err error) {
 			err = ferr
 		}
 	}()
-	ctx := context.Background()
 
 	var sels []isegen.Selection
 	var frontier *isegen.Frontier
@@ -231,7 +276,7 @@ func run(path string, p service.Params, dotFile, cacheDir string) (err error) {
 			Workers: p.Workers, SubtreeWorkers: p.SubtreeWorkers, SplitDepth: p.SplitDepth,
 			Deadline: p.Deadline,
 		}
-		cuts, _, err := eng.Run(app.Blocks[hot], isegen.MeritObjective(model), lim)
+		cuts, _, err := eng.RunContext(ctx, app.Blocks[hot], isegen.MeritObjective(model), lim)
 		if err != nil {
 			return err
 		}

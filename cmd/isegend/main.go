@@ -33,8 +33,18 @@
 //	     non-dominated candidates) before the summary. Engines other
 //	     than isegen accept only objective=merit. The default stream is
 //	     unchanged and stays bit-identical to `isegen -json`.
-//	GET  /v1/metrics    queue + cost-cache statistics (JSON)
-//	GET  /healthz       liveness probe
+//	GET  /v1/metrics    queue/cache/racing/runtime/search statistics (JSON,
+//	     including engine-internal counters and fixed-bucket latency and
+//	     queue-wait histograms)
+//	GET  /metrics       Prometheus text exposition of the same data
+//	GET  /healthz       readiness probe: 503 with a JSON reason while the
+//	     persistent store is loading or the queue is saturated, 200
+//	     otherwise; ?live=1 is the always-200 liveness probe
+//
+// -pprof addr serves net/http/pprof on a separate listener (e.g.
+// -pprof localhost:6060), keeping the profiling surface off the API
+// port: CPU/heap/goroutine profiles at /debug/pprof/ without exposing
+// them to API clients.
 //
 // With -cache-dir, cut costings persist on disk keyed by canonical block
 // hash (size-bounded, LRU-evicted), so repeated sweeps over the same
@@ -55,6 +65,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux (the -pprof listener only)
 	"os"
 	"os/signal"
 	"syscall"
@@ -74,15 +85,28 @@ func main() {
 		cacheDir   = flag.String("cache-dir", "", "persist cut costings under this directory (empty = memory only)")
 		cacheBytes = flag.Int64("cache-bytes", search.DefaultStoreBytes, "disk cache size bound in bytes (LRU-evicted; negative = unbounded)")
 		maxBody    = flag.Int64("max-body", 16<<20, "maximum upload size in bytes")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060; empty = disabled)")
 	)
 	flag.Parse()
-	if err := run(*addr, *queueCap, *jobs, *budget, *workers, *cacheDir, *cacheBytes, *maxBody); err != nil {
+	if err := run(*addr, *queueCap, *jobs, *budget, *workers, *cacheDir, *cacheBytes, *maxBody, *pprofAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "isegend:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, queueCap, jobs, budget, workers int, cacheDir string, cacheBytes, maxBody int64) error {
+func run(addr string, queueCap, jobs, budget, workers int, cacheDir string, cacheBytes, maxBody int64, pprofAddr string) error {
+	if pprofAddr != "" {
+		// The API handler is a custom mux, so the pprof handlers (which
+		// the blank net/http/pprof import registers on DefaultServeMux)
+		// are reachable only through this listener — the profiling
+		// surface never leaks onto the API port.
+		go func() {
+			log.Printf("pprof listening on %s", pprofAddr)
+			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
+				log.Printf("pprof listener failed: %v", err)
+			}
+		}()
+	}
 	var store *search.Store
 	if cacheDir != "" {
 		var err error

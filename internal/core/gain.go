@@ -82,6 +82,11 @@ type gainContext struct {
 	// nbSlots is the scratch for collecting the distinct slots adjacent
 	// to a toggled node.
 	nbSlots []int
+
+	// rebuilds counts full relabel sweeps — the incremental path's
+	// fallback rate. Drained at trajectory boundaries alongside the
+	// State tallies.
+	rebuilds int64
 }
 
 // invalidate drops the labels; the next prepare rebuilds them.
@@ -91,6 +96,7 @@ func (gc *gainContext) invalidate() { gc.labelsValid = false }
 // first use) and resets the slot bookkeeping to the canonical numbering:
 // slot i is the component with the i-th smallest minimum member.
 func (gc *gainContext) rebuild(st *State) {
+	gc.rebuilds++
 	ncomp := st.Blk.DAG().ComponentsInto(st.H, &gc.sc)
 	gc.compOf = gc.sc.CompOf
 	if cap(gc.compCP) < ncomp {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/ir"
 	"repro/internal/latency"
+	"repro/internal/obs"
 )
 
 // Config controls one ISEGEN run.
@@ -246,26 +247,47 @@ func (e *Engine) Trajectory(seed *graph.BitSet) []Candidate {
 // engine's pool and is returned to it before this method returns; the
 // returned snapshots are arena-backed copies that outlive the pooling.
 func (e *Engine) TrajectoryContext(ctx context.Context, seed *graph.BitSet) ([]Candidate, error) {
-	t := e.getTrajectory()
+	_, sp := obs.StartSpan(ctx, obs.KindTrajectory, "")
+	t, reused := e.getTrajectory()
 	t.ctx = ctx
 	t.klLoop(seed)
 	snaps, err := t.snaps, t.ctxErr
+	// Drain the workspace tallies unconditionally — pooled State must
+	// not carry counts into a later job — and record them only when a
+	// recorder rides the context.
+	toggles, probes, cpInc, cpFull := t.st.drainObs()
+	rebuilds := t.gc.rebuilds
+	t.gc.rebuilds = 0
 	e.putTrajectory(t)
+	if rec := obs.FromContext(ctx); rec != nil {
+		rec.Add(obs.KLToggles, toggles)
+		rec.Add(obs.KLProbes, probes)
+		rec.Add(obs.KLCPIncremental, cpInc)
+		rec.Add(obs.KLCPFullSweeps, cpFull)
+		rec.Add(obs.KLGainRebuilds, rebuilds)
+		if reused {
+			rec.Add(obs.KLPoolHits, 1)
+		} else {
+			rec.Add(obs.KLPoolMisses, 1)
+		}
+	}
+	sp.End()
 	return snaps, err
 }
 
 // getTrajectory takes a reset workspace from the pool or builds a fresh
-// one. Pooled and fresh workspaces are behaviorally identical: everything
+// one, reporting which happened (the pool-reuse observability counter).
+// Pooled and fresh workspaces are behaviorally identical: everything
 // klLoop reads is either re-derived from the seed (SetCut normalizes the
 // State from whatever cut the previous trajectory left) or reset here.
-func (e *Engine) getTrajectory() *trajectory {
+func (e *Engine) getTrajectory() (*trajectory, bool) {
 	if v := e.pool.Get(); v != nil {
 		t := v.(*trajectory)
 		t.snaps = nil
 		t.ctxErr = nil
 		t.steps = 0
 		t.gc.invalidate()
-		return t
+		return t, true
 	}
 	n := e.blk.N()
 	t := &trajectory{
@@ -278,7 +300,7 @@ func (e *Engine) getTrajectory() *trajectory {
 	}
 	t.st.fullCP = e.fullRebuild
 	t.gc.noIncremental = e.fullRebuild
-	return t
+	return t, false
 }
 
 // putTrajectory returns a workspace to the pool. The snapshot slice was

@@ -84,6 +84,16 @@ type State struct {
 	upDist   []int
 	downDist []int
 	maxDist  int
+
+	// Observability tallies. Plain (non-atomic) integers: a State is
+	// single-goroutine, and the hot loops pay one register increment
+	// whether recording is on or off. drainObs hands them off (and
+	// zeroes them) at trajectory boundaries so pooled workspaces never
+	// leak counts across jobs.
+	nToggles      int64
+	nProbes       int64
+	cpIncremental int64
+	cpFullSweeps  int64
 }
 
 // NewState returns the all-software partition for the block. Nodes in
@@ -213,24 +223,38 @@ func (s *State) Toggle(v int) {
 	if s.Frozen.Has(v) {
 		panic("core: Toggle of frozen node")
 	}
+	s.nToggles++
 	if s.H.Has(v) {
 		// Criticality must be read before the sweep: removeNode leaves
 		// level/tail untouched, so these are still v's in-H labels.
 		critical := s.level[v]+s.tail[v]-s.hwLat[v] >= s.hwCP-cpCriticalEps
 		s.removeNode(v)
 		if s.fullCP || critical {
+			s.cpFullSweeps++
 			s.recomputeCP()
 		} else {
+			s.cpIncremental++
 			s.removeCPUpdate(v)
 		}
 	} else {
 		s.addNode(v)
 		if s.fullCP {
+			s.cpFullSweeps++
 			s.recomputeCP()
 		} else {
+			s.cpIncremental++
 			s.addCPUpdate(v)
 		}
 	}
+}
+
+// drainObs returns and clears the observability tallies. Called at
+// trajectory boundaries so counts attribute to the job that ran them
+// even though the State itself is pooled.
+func (s *State) drainObs() (toggles, probes, cpInc, cpFull int64) {
+	toggles, probes, cpInc, cpFull = s.nToggles, s.nProbes, s.cpIncremental, s.cpFullSweeps
+	s.nToggles, s.nProbes, s.cpIncremental, s.cpFullSweeps = 0, 0, 0, 0
+	return
 }
 
 // SetCut resets the partition to exactly the given cut (which must contain
@@ -571,6 +595,7 @@ type ToggleEffect struct {
 // convexity, an early-exit scan bounded by |anc(v)|+|desc(v)| that in
 // practice terminates almost immediately.
 func (s *State) Probe(v int) ToggleEffect {
+	s.nProbes++
 	adding := !s.H.Has(v)
 	var eff ToggleEffect
 	eff.NumIn, eff.NumOut = s.ioAfter(v, adding)

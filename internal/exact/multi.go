@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/ir"
+	"repro/internal/obs"
 )
 
 // cutSlot is the per-cut bookkeeping of the joint multi-cut search. The
@@ -160,10 +161,13 @@ func MultiCutContext(ctx context.Context, blk *ir.Block, opt Options, nise int) 
 	if err := checkOptions(&opt, blk); err != nil {
 		return nil, err
 	}
+	ctx, sp := obs.StartSpan(ctx, obs.KindSearch, "multi-cut")
+	defer sp.End()
 	sh := newSharedBound(ctx, opt.Budget, opt.Bound)
-	sh.raise(opt.SeedBound)
+	sh.bound.Raise(opt.SeedBound)
 	s := newMultiCutSearch(blk, opt, nise, sh)
 	best, err := s.run()
+	sh.obsFlush(ctx)
 	if opt.Explored != nil {
 		*opt.Explored += sh.explored.Load()
 	}
@@ -264,7 +268,12 @@ func (s *multiCutSearch) search(i int) {
 	}
 	cur := s.tot
 	ub := cur + float64(s.suffixSW[i])
-	if ub <= s.bestTot || ub < s.sh.best() {
+	if ub <= s.bestTot {
+		s.prunedLocal++
+		return
+	}
+	if ub < s.sh.best() {
+		s.prunedShared++
 		return
 	}
 	if s.collect != nil && i == s.splitAt {

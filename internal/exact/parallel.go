@@ -7,6 +7,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // checkEvery is the amortized control-check stride of the branch-and-bound
@@ -73,6 +75,15 @@ type sharedBound struct {
 	explored  atomic.Int64
 	stop      atomic.Bool
 	budgetHit atomic.Bool
+
+	// Observability tallies, folded into the run's recorder (if any) by
+	// the entry points. Workers count prunes into plain searchCtl fields
+	// and flush them here on the same amortized stride as explored, so
+	// the inner loops never touch an atomic.
+	prunedLocal  atomic.Int64 // subtrees cut by the worker-local best
+	prunedShared atomic.Int64 // subtrees cut by the shared bound
+	raises       atomic.Int64 // successful bound publications by this search
+	tasks        atomic.Int64 // parallel prefix tasks claimed
 }
 
 // newSharedBound assembles one run's control state. bound may be an
@@ -88,7 +99,27 @@ func newSharedBound(ctx context.Context, budget int64, bound *Bound) *sharedBoun
 func (sh *sharedBound) best() float64 { return sh.bound.Best() }
 
 // raise publishes merit m if it improves the global bound.
-func (sh *sharedBound) raise(m float64) { sh.bound.Raise(m) }
+func (sh *sharedBound) raise(m float64) {
+	if sh.bound.Raise(m) {
+		sh.raises.Add(1)
+	}
+}
+
+// obsFlush folds the run's tallies into the context's recorder, if any.
+// Called once per entry-point invocation — never on the hot path. The
+// initial seed raise (racing's heuristic bound) goes through bound.Raise
+// directly, so raises counts only publications by the search itself.
+func (sh *sharedBound) obsFlush(ctx context.Context) {
+	rec := obs.FromContext(ctx)
+	if rec == nil {
+		return
+	}
+	rec.Add(obs.ExactExplored, sh.explored.Load())
+	rec.Add(obs.ExactLocalPrunes, sh.prunedLocal.Load())
+	rec.Add(obs.ExactSharedPrunes, sh.prunedShared.Load())
+	rec.Add(obs.ExactBoundRaises, sh.raises.Load())
+	rec.Add(obs.ExactSubtreeTasks, sh.tasks.Load())
+}
 
 // charge adds n freshly explored nodes to the shared counter and reports
 // whether the search must stop: budget exhausted, context cancelled, or a
@@ -166,6 +197,11 @@ type searchCtl struct {
 	flushed  int64
 	stopped  bool
 
+	// Worker-private prune tallies; flush drains them into the shared
+	// atomics alongside the explored delta.
+	prunedLocal  int64
+	prunedShared int64
+
 	// Subtree split/replay state: collect is non-nil while enumerating
 	// decision prefixes of length splitAt (trace is the current prefix);
 	// a non-empty path makes search replay that prefix before exploring.
@@ -205,6 +241,14 @@ func (c *searchCtl) enter() bool {
 func (c *searchCtl) flush() bool {
 	d := c.explored - c.flushed
 	c.flushed = c.explored
+	if c.prunedLocal != 0 {
+		c.sh.prunedLocal.Add(c.prunedLocal)
+		c.prunedLocal = 0
+	}
+	if c.prunedShared != 0 {
+		c.sh.prunedShared.Add(c.prunedShared)
+		c.prunedShared = 0
+	}
 	if d > 0 && c.sh.charge(d) {
 		c.stopped = true
 	} else if c.sh.stop.Load() {
@@ -222,6 +266,15 @@ func (c *searchCtl) flush() bool {
 func runSubtrees(sh *sharedBound, w, tasks int, newWorker func() func(ti int)) {
 	if w > tasks {
 		w = tasks
+	}
+	// Recorder plumbing is resolved once: each claimed task gets a
+	// subtree span under the enclosing search span. With no recorder both
+	// calls are nil-receiver no-ops.
+	var rec *obs.Recorder
+	var parent obs.SpanID
+	if sh.ctx != nil {
+		rec = obs.FromContext(sh.ctx)
+		parent = obs.ParentSpan(sh.ctx)
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -248,7 +301,10 @@ func runSubtrees(sh *sharedBound, w, tasks int, newWorker func() func(ti int)) {
 				if ti >= tasks {
 					return
 				}
+				sh.tasks.Add(1)
+				sid := rec.Start(parent, obs.KindSubtree, "")
 				run(ti)
+				rec.End(sid)
 			}
 		}()
 	}

@@ -37,6 +37,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/ir"
 	"repro/internal/latency"
+	"repro/internal/obs"
 )
 
 // ErrTooLarge is returned when a block exceeds the configured node limit.
@@ -259,10 +260,13 @@ func SingleCutContext(ctx context.Context, blk *ir.Block, opt Options, excluded 
 	if err := checkOptions(&opt, blk); err != nil {
 		return nil, err
 	}
+	ctx, sp := obs.StartSpan(ctx, obs.KindSearch, "single-cut")
+	defer sp.End()
 	sh := newSharedBound(ctx, opt.Budget, opt.Bound)
-	sh.raise(opt.SeedBound)
+	sh.bound.Raise(opt.SeedBound)
 	s := newSingleCutSearch(blk, opt, excluded, sh)
 	best, bestMerit, err := s.run()
+	sh.obsFlush(ctx)
 	if opt.Explored != nil {
 		*opt.Explored += sh.explored.Load()
 	}
@@ -399,7 +403,12 @@ func (s *singleCutSearch) search(i int) {
 	// cut in an earlier subtree still surfaces and the merge tie-break
 	// stays bit-identical to the sequential order.
 	ub := core.MeritOf(s.swSum+s.suffixSW[i], s.hwCP)
-	if ub <= s.bestMerit || ub < s.sh.best() {
+	if ub <= s.bestMerit {
+		s.prunedLocal++
+		return
+	}
+	if ub < s.sh.best() {
+		s.prunedShared++
 		return
 	}
 	if s.collect != nil && i == s.splitAt {

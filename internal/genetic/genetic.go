@@ -18,6 +18,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/ir"
 	"repro/internal/latency"
+	"repro/internal/obs"
 )
 
 // Options configure the genetic search.
@@ -61,6 +62,12 @@ type Options struct {
 	// a nil error), so a cancelled run yields a usable partial answer —
 	// the racing engine's deadline path relies on this.
 	Stop func() bool
+
+	// Obs, when non-nil, receives the run's generation and fitness-
+	// evaluation counts (flushed once per SingleCut call, never inside
+	// the evolution loop). Counters are write-only: they cannot affect
+	// the evolved result.
+	Obs *obs.Recorder
 }
 
 func (o *Options) fill() {
@@ -119,6 +126,8 @@ type evaluator struct {
 	swLat   []int
 	hwLat   []float64
 	metrics core.MetricsFunc
+	// evals counts fitness evaluations for the observability flush.
+	evals int64
 }
 
 func newEvaluator(blk *ir.Block, opt *Options, excluded *graph.BitSet) *evaluator {
@@ -160,6 +169,7 @@ func newEvaluator(blk *ir.Block, opt *Options, excluded *graph.BitSet) *evaluato
 // chromosome is costed once; without one, the precomputed latency arrays
 // keep the per-evaluation cost to one longest-path sweep.
 func (e *evaluator) eval(ind *individual) {
+	e.evals++
 	cut := e.cutBuf
 	cut.Reset()
 	for g, on := range ind.genes {
@@ -310,10 +320,12 @@ func SingleCut(blk *ir.Block, opt Options, excluded *graph.BitSet) (*core.Cut, e
 	}
 	recordBest()
 
+	gens := int64(0)
 	for gen := 0; gen < opt.MaxGen && stall < opt.Stall; gen++ {
 		if opt.Stop != nil && opt.Stop() {
 			break
 		}
+		gens++
 		sort.Slice(pop, func(i, j int) bool { return pop[i].fitness > pop[j].fitness })
 		next := make([]*individual, 0, opt.Pop)
 		for i := 0; i < opt.Elite && i < len(pop); i++ {
@@ -346,6 +358,8 @@ func SingleCut(blk *ir.Block, opt Options, excluded *graph.BitSet) (*core.Cut, e
 		}
 	}
 
+	opt.Obs.Add(obs.GeneticGenerations, gens)
+	opt.Obs.Add(obs.GeneticEvaluations, e.evals)
 	if bestFeasible.Empty() || bestMerit <= 0 {
 		return nil, nil
 	}

@@ -1,0 +1,66 @@
+package obs
+
+import "context"
+
+type recorderKey struct{}
+type parentKey struct{}
+
+// WithRecorder returns a context carrying the recorder. A nil recorder
+// returns ctx unchanged, so the disabled path never allocates a context
+// link.
+func WithRecorder(ctx context.Context, r *Recorder) context.Context {
+	if r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, recorderKey{}, r)
+}
+
+// FromContext returns the context's recorder, or nil. All Recorder
+// methods are nil-safe, so callers use the result directly.
+func FromContext(ctx context.Context) *Recorder {
+	r, _ := ctx.Value(recorderKey{}).(*Recorder)
+	return r
+}
+
+// ParentSpan returns the enclosing span carried by the context, or 0.
+func ParentSpan(ctx context.Context) SpanID {
+	id, _ := ctx.Value(parentKey{}).(SpanID)
+	return id
+}
+
+// WithParentSpan returns a context whose future spans attach under id.
+// Used by callers that open a span before they have the context the work
+// will run under (the serving queue opens the job span at submit time).
+func WithParentSpan(ctx context.Context, id SpanID) context.Context {
+	if id == 0 {
+		return ctx
+	}
+	return context.WithValue(ctx, parentKey{}, id)
+}
+
+// SpanRef pairs a recorder with an open span so callers can defer End
+// without carrying both. The zero SpanRef is the no-op reference.
+type SpanRef struct {
+	r  *Recorder
+	id SpanID
+}
+
+// ID returns the referenced span's ID (0 for the no-op reference).
+func (s SpanRef) ID() SpanID { return s.id }
+
+// End closes the referenced span. Safe on the zero SpanRef.
+func (s SpanRef) End() { s.r.End(s.id) }
+
+// StartSpan opens a span under the context's current parent and returns
+// a derived context (carrying the new span as parent) plus a SpanRef to
+// close it. When the context has no recorder — or the recorder has spans
+// disabled — it returns ctx unchanged and the zero SpanRef: no
+// allocation, no lock, two branches.
+func StartSpan(ctx context.Context, kind, name string) (context.Context, SpanRef) {
+	r := FromContext(ctx)
+	if r == nil || len(r.spans) == 0 {
+		return ctx, SpanRef{}
+	}
+	id := r.Start(ParentSpan(ctx), kind, name)
+	return context.WithValue(ctx, parentKey{}, id), SpanRef{r: r, id: id}
+}

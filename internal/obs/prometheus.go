@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromWriter emits the Prometheus text exposition format (version
+// 0.0.4) without a client library: HELP/TYPE headers, label escaping,
+// and the cumulative-bucket histogram convention. The first write error
+// latches; subsequent calls are no-ops and Err reports it.
+type PromWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewPromWriter wraps w.
+func NewPromWriter(w io.Writer) *PromWriter { return &PromWriter{w: w} }
+
+// Err returns the first write error, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// escapeLabelValue escapes a label value per the exposition format:
+// backslash, double quote and newline.
+func escapeLabelValue(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// Label formats one label pair, escaping the value.
+func Label(k, v string) string {
+	return k + `="` + escapeLabelValue(v) + `"`
+}
+
+// formatFloat renders a sample value the way Prometheus expects.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Sample is one labeled sample of a counter or gauge family. Labels is a
+// comma-joined list of Label(...) pairs; empty means no labels.
+type Sample struct {
+	Labels string
+	Value  float64
+}
+
+func (p *PromWriter) family(name, help, typ string, samples []Sample) {
+	if len(samples) == 0 {
+		return
+	}
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	for _, s := range samples {
+		if s.Labels == "" {
+			p.printf("%s %s\n", name, formatFloat(s.Value))
+		} else {
+			p.printf("%s{%s} %s\n", name, s.Labels, formatFloat(s.Value))
+		}
+	}
+}
+
+// Counter emits one counter family.
+func (p *PromWriter) Counter(name, help string, samples ...Sample) {
+	p.family(name, help, "counter", samples)
+}
+
+// Gauge emits one gauge family.
+func (p *PromWriter) Gauge(name, help string, samples ...Sample) {
+	p.family(name, help, "gauge", samples)
+}
+
+// HistogramSeries is one labeled histogram within a family.
+type HistogramSeries struct {
+	Labels string // extra labels (without le); may be empty
+	Snap   HistogramSnapshot
+}
+
+// Histogram emits one histogram family with the standard cumulative
+// _bucket/_sum/_count triplet per series.
+func (p *PromWriter) Histogram(name, help string, series ...HistogramSeries) {
+	if len(series) == 0 {
+		return
+	}
+	p.printf("# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	for _, s := range series {
+		cum := int64(0)
+		for i, c := range s.Snap.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(s.Snap.Buckets) {
+				le = formatFloat(s.Snap.Buckets[i])
+			}
+			labels := Label("le", le)
+			if s.Labels != "" {
+				labels = s.Labels + "," + labels
+			}
+			p.printf("%s_bucket{%s} %d\n", name, labels, cum)
+		}
+		if s.Labels == "" {
+			p.printf("%s_sum %s\n%s_count %d\n", name, formatFloat(s.Snap.SumSeconds), name, s.Snap.Count)
+		} else {
+			p.printf("%s_sum{%s} %s\n%s_count{%s} %d\n", name, s.Labels, formatFloat(s.Snap.SumSeconds), name, s.Labels, s.Snap.Count)
+		}
+	}
+}
+
+// CounterFamilies emits every engine counter in the snapshot as its own
+// single-sample counter family named prefix_<counter>_total. Zero-valued
+// families are emitted too: a scrape that shows kl_toggles_total 0 is
+// distinguishable from a broken exporter.
+func (p *PromWriter) CounterFamilies(prefix string, s CounterSnapshot) {
+	for i := Counter(0); i < numCounters; i++ {
+		p.Counter(prefix+"_"+counterNames[i]+"_total",
+			"Engine-internal counter "+counterNames[i]+" summed over completed jobs.",
+			Sample{Value: float64(s[i])})
+	}
+}
+
+// HistogramFamily emits one histogram family from a by-key snapshot map
+// (per-engine latency, per-tenant queue wait), with deterministic series
+// order so scrapes diff cleanly.
+func (p *PromWriter) HistogramFamily(name, help, labelKey string, m map[string]HistogramSnapshot) {
+	if len(m) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	series := make([]HistogramSeries, 0, len(keys))
+	for _, k := range keys {
+		series = append(series, HistogramSeries{Labels: Label(labelKey, k), Snap: m[k]})
+	}
+	p.Histogram(name, help, series...)
+}

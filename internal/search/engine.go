@@ -23,6 +23,7 @@ import (
 	"repro/internal/exact"
 	"repro/internal/genetic"
 	"repro/internal/ir"
+	"repro/internal/obs"
 )
 
 // Limits bundles the architectural and computational constraints every
@@ -212,6 +213,8 @@ func (e *ExactJoint) RunContext(ctx context.Context, blk *ir.Block, obj *Objecti
 	if err != nil {
 		return nil, Stats{Engine: e.Name()}, err
 	}
+	ctx, sp := obs.StartSpan(ctx, obs.KindEngine, e.Name())
+	defer sp.End()
 	var explored int64
 	opt.Explored = &explored
 	cuts, err := exact.MultiCutContext(ctx, blk, opt, lim.NISE)
@@ -246,6 +249,8 @@ func (e *ExactIterative) RunContext(ctx context.Context, blk *ir.Block, obj *Obj
 	if err != nil {
 		return nil, Stats{Engine: e.Name()}, err
 	}
+	ctx, sp := obs.StartSpan(ctx, obs.KindEngine, e.Name())
+	defer sp.End()
 	var explored int64
 	opt.Explored = &explored
 	cuts, err := exact.IterativeContext(ctx, blk, opt, lim.NISE)
@@ -334,6 +339,9 @@ func (e *Genetic) RunContext(ctx context.Context, blk *ir.Block, obj *Objective,
 	// generations and abandons early, honoring the engine contract of
 	// returning ctx.Err() instead of a silently truncated answer.
 	opt.Stop = func() bool { return ctx.Err() != nil }
+	_, sp := obs.StartSpan(ctx, obs.KindEngine, e.Name())
+	defer sp.End()
+	opt.Obs = obs.FromContext(ctx)
 	cuts, err := genetic.Iterative(blk, opt, lim.NISE)
 	if err == nil {
 		err = ctx.Err()

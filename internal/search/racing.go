@@ -11,6 +11,7 @@ import (
 	"repro/internal/exact"
 	"repro/internal/genetic"
 	"repro/internal/ir"
+	"repro/internal/obs"
 )
 
 // RaceEvent is one publication of the racing engine: a complete answer one
@@ -162,6 +163,9 @@ func (e *Racing) RunContext(ctx context.Context, blk *ir.Block, obj *Objective, 
 	if lim.NodeLimit > 0 && blk.N() > lim.NodeLimit {
 		return nil, stats, fmt.Errorf("%w: %d nodes > limit %d", exact.ErrTooLarge, blk.N(), lim.NodeLimit)
 	}
+	ctx, sp := obs.StartSpan(ctx, obs.KindEngine, e.Name())
+	defer sp.End()
+	rec := obs.FromContext(ctx)
 
 	raceCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -189,6 +193,7 @@ func (e *Racing) RunContext(ctx context.Context, blk *ir.Block, obj *Objective, 
 		m := totalMerit(cuts)
 		if bound.Raise(m) {
 			r.recordRaise(m)
+			rec.Add(obs.RacingSeeds, 1)
 		}
 		r.publish(RaceEvent{Stage: "anytime", Engine: engine, Merit: m, Cuts: cuts})
 	}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/ir"
 	"repro/internal/latency"
+	"repro/internal/obs"
 )
 
 // Runner executes searches across the two independent axes of an
@@ -171,6 +172,8 @@ func (r *Runner) Generate(app *ir.Application, cfg core.Config, obj *Objective, 
 // trajectories; a cancelled run returns ctx.Err() and the cuts selected
 // so far (a deterministic prefix of the full run's output).
 func (r *Runner) GenerateContext(ctx context.Context, app *ir.Application, cfg core.Config, obj *Objective, claim ClaimFunc) ([]*core.Cut, Stats, error) {
+	ctx, sp := obs.StartSpan(ctx, obs.KindEngine, "ISEGEN")
+	defer sp.End()
 	start := time.Now()
 	stats := Stats{Engine: "ISEGEN"}
 	if err := cfg.Validate(); err != nil {
@@ -227,7 +230,9 @@ func (r *Runner) GenerateContext(ctx context.Context, app *ir.Application, cfg c
 			return nil, stats, err
 		}
 		eng.SetMetrics(cache.Metrics)
-		cands, err := candidates(ctx, eng, w)
+		bctx, bsp := obs.StartSpan(ctx, obs.KindBlock, app.Blocks[bi].Name)
+		cands, err := candidates(bctx, eng, w)
+		bsp.End()
 		if err != nil {
 			stats.Cuts = len(cuts)
 			stats.Duration = time.Since(start)

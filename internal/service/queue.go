@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // ErrQueueFull is returned by Submit when the bounded FIFO is at capacity;
@@ -23,10 +24,26 @@ type Job struct {
 	run    func(ctx context.Context)
 	done   chan struct{}
 	err    error // written before done is closed, read after
+
+	// enqueued is stamped by Submit; wait is the enqueue-to-run-start
+	// interval, written by runJob before run is invoked (and therefore
+	// safely readable after Done). Time a job spends held back by its
+	// tenant's budget is queue wait by construction — the clock only
+	// stops when a worker actually starts the job.
+	enqueued time.Time
+	wait     time.Duration
 }
 
 // Done is closed when the job has finished running or was abandoned.
 func (j *Job) Done() <-chan struct{} { return j.done }
+
+// QueueWait reports how long the job sat queued before a worker started
+// it (including time held back by its tenant's concurrency budget), or 0
+// for a job that never ran. Valid after Done.
+func (j *Job) QueueWait() time.Duration {
+	<-j.done
+	return j.wait
+}
 
 // Err is valid after Done: nil if the job ran to completion, otherwise
 // the reason it was dropped while queued or the panic it crashed with.
@@ -76,7 +93,7 @@ func NewQueue(capacity, workers, tenantBudget int) *Queue {
 // waits on the returned job's Done channel; run executes on a queue worker
 // with the submitted context.
 func (q *Queue) Submit(ctx context.Context, tenant string, run func(ctx context.Context)) (*Job, error) {
-	j := &Job{tenant: tenant, ctx: ctx, run: run, done: make(chan struct{})}
+	j := &Job{tenant: tenant, ctx: ctx, run: run, done: make(chan struct{}), enqueued: time.Now()}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
@@ -189,7 +206,17 @@ func (q *Queue) runJob(j *Job) {
 			q.mu.Unlock()
 		}
 	}()
+	j.wait = time.Since(j.enqueued)
 	j.run(j.ctx)
+}
+
+// Saturated reports whether the FIFO is at capacity — the readiness
+// probe's backpressure signal: a saturated queue means the next Submit
+// gets ErrQueueFull, so load balancers should stop routing here.
+func (q *Queue) Saturated() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.pending) >= q.cap
 }
 
 // Close stops the workers after their current jobs and abandons every

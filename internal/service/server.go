@@ -8,11 +8,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dfgio"
+	"repro/internal/obs"
 	"repro/internal/search"
 )
 
@@ -45,13 +48,23 @@ type Config struct {
 //	POST /v1/select?algo=isegen&in=4&out=2&nise=4   body: .dfg text
 //	     (&objective=pareto|merit|reuse|area|energy|latency|class,
 //	      &gate_penalty=, &latency_budget=, &class_weights=memory=0.5)
-//	GET  /v1/metrics
-//	GET  /healthz
+//	GET  /v1/metrics    JSON: queue/cache/racing/runtime/search sections
+//	GET  /metrics       Prometheus text exposition
+//	GET  /healthz       readiness (503 + reason while unready); ?live=1 liveness
 type Server struct {
 	cfg   Config
 	queue *Queue
 	cache *search.CostCache
 	race  *RaceCounters
+	// agg accumulates per-job recorders into the served metrics view:
+	// engine counters, per-engine latency and per-tenant queue-wait
+	// histograms (fixed buckets — see obs.DefaultBuckets).
+	agg *obs.Aggregate
+	// storeReady flips true once the persistent store's initial
+	// directory scan has completed; until then the readiness probe
+	// reports 503 so load balancers don't route jobs that would all
+	// miss the cache and re-cost from scratch.
+	storeReady atomic.Bool
 
 	mu                       sync.Mutex
 	lastJobHits, lastJobMiss int64
@@ -76,12 +89,26 @@ func NewServer(cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 16 << 20
 	}
-	return &Server{
+	s := &Server{
 		cfg:   cfg,
 		queue: NewQueue(cfg.QueueCapacity, cfg.Workers, cfg.TenantBudget),
 		cache: cfg.Cache,
 		race:  &RaceCounters{},
+		agg:   obs.NewAggregate(),
 	}
+	if st := s.cache.Store(); st != nil {
+		// Warm the store off the serving path: the first Stats call walks
+		// the entry directory, which on a large cache dir takes long
+		// enough that routing jobs before it finishes just stacks cold
+		// misses. Readiness reports 503 until the scan completes.
+		go func() {
+			st.Stats()
+			s.storeReady.Store(true)
+		}()
+	} else {
+		s.storeReady.Store(true)
+	}
+	return s
 }
 
 // Close stops the queue workers (current jobs finish) and flushes the
@@ -96,11 +123,35 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/select", s.handleSelect)
 	mux.HandleFunc("/v1/metrics", s.handleMetrics)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("/metrics", s.handlePromMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
+}
+
+// handleHealthz distinguishes liveness from readiness. ?live=1 is the
+// liveness probe: always 200 while the process serves HTTP. Without it
+// the probe reports readiness: 503 with a JSON reason while the
+// persistent store is still scanning its directory or the queue is
+// saturated (the next Submit would be rejected), 200 otherwise.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if r.URL.Query().Get("live") != "" {
+		_, _ = io.WriteString(w, `{"status":"ok"}`+"\n")
+		return
+	}
+	reason := ""
+	switch {
+	case !s.storeReady.Load():
+		reason = "persistent store loading"
+	case s.queue.Saturated():
+		reason = "queue saturated"
+	}
+	if reason != "" {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(map[string]string{"status": "unready", "reason": reason})
+		return
+	}
+	_, _ = io.WriteString(w, `{"status":"ok"}`+"\n")
 }
 
 // httpError writes a JSON error body with the given status.
@@ -252,8 +303,22 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		}
 		return nil
 	}
+	// Per-job recorder: spans and counters accumulate here while the job
+	// runs and fold into s.agg once at completion. The job span opens now
+	// (queue wait is part of the job); the queue span closes when a worker
+	// picks the job up.
+	tenant := tenantOf(r)
+	rec := obs.NewRecorder(obs.DefaultSpanCap)
+	jobSpan := rec.Start(0, obs.KindJob, p.Algo)
+	queueSpan := rec.Start(jobSpan, obs.KindQueue, tenant)
+	submitted := time.Now()
+
 	var runErr error // job failure with nothing streamed (read after Done)
-	job, err := s.queue.Submit(r.Context(), tenantOf(r), func(ctx context.Context) {
+	job, err := s.queue.Submit(r.Context(), tenant, func(ctx context.Context) {
+		wait := time.Since(submitted)
+		rec.End(queueSpan)
+		ctx = obs.WithParentSpan(obs.WithRecorder(ctx, rec), jobSpan)
+		runStart := time.Now()
 		h0, m0 := s.cache.Stats()
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		// A cancelled context means the client went away — nobody is
@@ -268,6 +333,13 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		h1, m1 := s.cache.Stats()
+		// Concurrent jobs blur the per-job attribution of these deltas the
+		// same way they blur lastJobHits below; the cumulative sums in the
+		// aggregate stay exact.
+		rec.Add(obs.CacheHits, h1-h0)
+		rec.Add(obs.CacheMisses, m1-m0)
+		rec.End(jobSpan)
+		s.agg.ObserveJob(rec, p.Algo, tenant, time.Since(runStart), wait)
 		flushErr := s.cache.Flush()
 		s.mu.Lock()
 		// Overlapping jobs blur these deltas; they are exact whenever
@@ -318,6 +390,51 @@ type Metrics struct {
 	// Racing reports the racing engine's bound-seeding effectiveness
 	// (see RacingMetrics); all-zero until a racing or exact job runs.
 	Racing RacingMetrics `json:"racing"`
+	// Runtime reports process-level gauges (goroutines, heap highlights).
+	Runtime RuntimeMetrics `json:"runtime"`
+	// Search reports engine-internal counters and latency/queue-wait
+	// histograms accumulated over completed jobs.
+	Search SearchMetrics `json:"search"`
+}
+
+// RuntimeMetrics is a point-in-time snapshot of process health gauges:
+// runtime.NumGoroutine plus the runtime.MemStats highlights that matter
+// for a long-lived search daemon (live heap, footprint, GC pressure).
+type RuntimeMetrics struct {
+	Goroutines      int    `json:"goroutines"`
+	HeapAllocBytes  uint64 `json:"heap_alloc_bytes"`
+	HeapSysBytes    uint64 `json:"heap_sys_bytes"`
+	HeapObjects     uint64 `json:"heap_objects"`
+	TotalAllocBytes uint64 `json:"total_alloc_bytes"`
+	NumGC           uint32 `json:"num_gc"`
+	GCPauseTotalNs  uint64 `json:"gc_pause_total_ns"`
+}
+
+func runtimeMetrics() RuntimeMetrics {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return RuntimeMetrics{
+		Goroutines:      runtime.NumGoroutine(),
+		HeapAllocBytes:  ms.HeapAlloc,
+		HeapSysBytes:    ms.HeapSys,
+		HeapObjects:     ms.HeapObjects,
+		TotalAllocBytes: ms.TotalAlloc,
+		NumGC:           ms.NumGC,
+		GCPauseTotalNs:  ms.PauseTotalNs,
+	}
+}
+
+// SearchMetrics is the observability aggregate over completed jobs:
+// engine-internal counters (nonzero only, keyed by their stable
+// exposition names), span-ring overwrites, and fixed-bucket histograms —
+// job latency by engine, queue wait by tenant. Histogram bucket
+// boundaries are obs.DefaultBuckets on every shard, so merging across
+// servers is a vector add of the count arrays.
+type SearchMetrics struct {
+	Counters         map[string]int64                 `json:"counters"`
+	SpanDrops        int64                            `json:"span_drops"`
+	LatencySeconds   map[string]obs.HistogramSnapshot `json:"latency_seconds,omitempty"`
+	QueueWaitSeconds map[string]obs.HistogramSnapshot `json:"queue_wait_seconds,omitempty"`
 }
 
 // CacheMetrics reports the shared cost cache's effectiveness: cumulative
@@ -357,5 +474,85 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		cm.Store = &ss
 	}
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(&Metrics{Queue: s.queue.Stats(), Cache: cm, Racing: s.race.Snapshot()})
+	_ = json.NewEncoder(w).Encode(&Metrics{
+		Queue:   s.queue.Stats(),
+		Cache:   cm,
+		Racing:  s.race.Snapshot(),
+		Runtime: runtimeMetrics(),
+		Search: SearchMetrics{
+			Counters:         s.agg.Counters().Map(),
+			SpanDrops:        s.agg.SpanDrops(),
+			LatencySeconds:   s.agg.Latency(),
+			QueueWaitSeconds: s.agg.QueueWait(),
+		},
+	})
+}
+
+// handlePromMetrics serves the Prometheus text exposition: queue and
+// cache state, racing effectiveness, every engine-internal counter
+// (zeros included, so a silent exporter is distinguishable from a quiet
+// engine), job-latency and queue-wait histograms, and runtime gauges.
+func (s *Server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	pw := obs.NewPromWriter(w)
+
+	qs := s.queue.Stats()
+	pw.Gauge("isegend_queue_depth", "Jobs waiting in the bounded FIFO.",
+		obs.Sample{Value: float64(qs.Depth)})
+	pw.Gauge("isegend_queue_active_jobs", "Jobs currently running on queue workers.",
+		obs.Sample{Value: float64(qs.Active)})
+	pw.Counter("isegend_queue_accepted_total", "Jobs accepted by Submit.",
+		obs.Sample{Value: float64(qs.Accepted)})
+	pw.Counter("isegend_queue_rejected_total", "Submissions refused (queue full or closed).",
+		obs.Sample{Value: float64(qs.Rejected)})
+	pw.Counter("isegend_queue_completed_total", "Jobs that ran to completion.",
+		obs.Sample{Value: float64(qs.Completed)})
+	pw.Counter("isegend_queue_dropped_total", "Jobs abandoned while queued (cancel or shutdown).",
+		obs.Sample{Value: float64(qs.Dropped)})
+	pw.Counter("isegend_queue_panics_total", "Jobs that crashed (contained to the job).",
+		obs.Sample{Value: float64(qs.Panics)})
+
+	ready := float64(0)
+	if s.storeReady.Load() && !s.queue.Saturated() {
+		ready = 1
+	}
+	pw.Gauge("isegend_ready", "1 when the readiness probe would report 200.",
+		obs.Sample{Value: ready})
+
+	hits, misses := s.cache.Stats()
+	s.mu.Lock()
+	flushErrs := s.flushErrs
+	s.mu.Unlock()
+	pw.Counter("isegend_cache_hits_total", "Cut-costing cache hits.",
+		obs.Sample{Value: float64(hits)})
+	pw.Counter("isegend_cache_misses_total", "Cut-costing cache misses.",
+		obs.Sample{Value: float64(misses)})
+	pw.Counter("isegend_cache_flush_errors_total", "Failed post-job cache persistence attempts.",
+		obs.Sample{Value: float64(flushErrs)})
+
+	rm := s.race.Snapshot()
+	pw.Counter("isegend_racing_jobs_total", "Racing jobs observed.",
+		obs.Sample{Value: float64(rm.Jobs)})
+	pw.Counter("isegend_racing_bound_raises_total", "Heuristic seeds that tightened the exact bound.",
+		obs.Sample{Value: float64(rm.BoundRaises)})
+
+	pw.CounterFamilies("isegend", s.agg.Counters())
+	pw.Counter("isegend_span_drops_total", "Span-ring overwrites across completed jobs.",
+		obs.Sample{Value: float64(s.agg.SpanDrops())})
+	pw.HistogramFamily("isegend_job_duration_seconds",
+		"Job run latency (queue wait excluded) by engine.", "engine", s.agg.Latency())
+	pw.HistogramFamily("isegend_queue_wait_seconds",
+		"Enqueue-to-run-start wait (tenant-budget holds included) by tenant.", "tenant", s.agg.QueueWait())
+
+	rt := runtimeMetrics()
+	pw.Gauge("isegend_goroutines", "Live goroutines.",
+		obs.Sample{Value: float64(rt.Goroutines)})
+	pw.Gauge("isegend_heap_alloc_bytes", "Bytes of live heap objects.",
+		obs.Sample{Value: float64(rt.HeapAllocBytes)})
+	pw.Gauge("isegend_heap_sys_bytes", "Heap memory obtained from the OS.",
+		obs.Sample{Value: float64(rt.HeapSysBytes)})
+	pw.Gauge("isegend_heap_objects", "Live heap object count.",
+		obs.Sample{Value: float64(rt.HeapObjects)})
+	pw.Counter("isegend_gc_cycles_total", "Completed GC cycles.",
+		obs.Sample{Value: float64(rt.NumGC)})
 }

@@ -32,6 +32,7 @@ import (
 	"repro/internal/dfgio"
 	"repro/internal/ir"
 	"repro/internal/latency"
+	"repro/internal/obs"
 	"repro/internal/search"
 )
 
@@ -623,7 +624,9 @@ func runPerBlock(ctx context.Context, app *ir.Application, p Params, cache *sear
 			// RunContext: a cancelled request (client disconnect,
 			// shutdown) aborts the engine mid-block instead of waiting
 			// for the block to finish.
-			outs[i].cuts, outs[i].stats, outs[i].err = blockEng.RunContext(ictx, blk, obj, lim)
+			bctx, bsp := obs.StartSpan(ictx, obs.KindBlock, blk.Name)
+			outs[i].cuts, outs[i].stats, outs[i].err = blockEng.RunContext(bctx, blk, obj, lim)
+			bsp.End()
 		})
 	}()
 
