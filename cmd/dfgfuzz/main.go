@@ -1,0 +1,187 @@
+// Command dfgfuzz drives long differential soak runs: it generates random
+// DFG blocks (internal/dfggen) across a deterministic seed range, runs
+// each through the cross-engine invariant matrix (internal/difftest), and
+// on a violation delta-debugs the block to a minimal reproducer and
+// serializes it as an annotated .dfg file.
+//
+// Typical runs:
+//
+//	dfgfuzz -seeds 10000                      # fixed-count soak, full matrix
+//	dfgfuzz -budget 30s                       # wall-clock-bounded soak
+//	dfgfuzz -seeds 2000 -engines exact,racing # subset of the engine matrix
+//	dfgfuzz -seeds 500 -full-ga               # registry-default genetic params
+//	dfgfuzz -seeds 1000 -out internal/difftest/testdata  # write reproducers
+//
+// Exit status is 0 for a clean soak, 1 when any invariant violation was
+// found, 2 for usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/dfggen"
+	"repro/internal/dfgio"
+	"repro/internal/difftest"
+	"repro/internal/genetic"
+	"repro/internal/search"
+)
+
+func main() {
+	var (
+		seeds    = flag.Int("seeds", 1000, "number of generated blocks (0 = unbounded, needs -budget)")
+		seedBase = flag.Int64("seed-base", 1, "first generator seed; block k uses seed seed-base+k")
+		budget   = flag.Duration("budget", 0, "wall-clock bound for the soak (0 = none)")
+		engines  = flag.String("engines", strings.Join(difftest.EnginesAll, ","),
+			"comma-separated engine registry names to cross-check")
+		minNodes = flag.Int("min-nodes", 0, "override generator min node count (0 = default)")
+		maxNodes = flag.Int("max-nodes", 0, "override generator max node count (0 = default)")
+		memFrac  = flag.Float64("mem", -1, "override memory-op fraction (-1 = default)")
+		maxIn    = flag.Int("maxin", 4, "INmax port constraint")
+		maxOut   = flag.Int("maxout", 2, "OUTmax port constraint")
+		nise     = flag.Int("nise", 2, "AFU budget (cuts per block)")
+		workers  = flag.Int("par", 3, "worker count of the parallel determinism arm (<2 disables)")
+		fullGA   = flag.Bool("full-ga", false, "use the genetic registry defaults instead of the reduced soak parameters")
+		noShrink = flag.Bool("no-shrink", false, "report violations without delta-debugging them")
+		outDir   = flag.String("out", "", "directory to write minimized reproducers into (empty = report only)")
+		stream   = flag.Int("stream-every", 0, "also stream-check a generated application every N blocks (0 = off)")
+		verbose  = flag.Bool("v", false, "log every block")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "dfgfuzz: unexpected arguments %v\n", flag.Args())
+		os.Exit(2)
+	}
+	if *seeds <= 0 && *budget <= 0 {
+		fmt.Fprintln(os.Stderr, "dfgfuzz: need -seeds > 0 or a -budget")
+		os.Exit(2)
+	}
+
+	cfg := difftest.DefaultConfig()
+	cfg.MaxIn, cfg.MaxOut, cfg.NISE, cfg.ParWorkers = *maxIn, *maxOut, *nise, *workers
+	cfg.Engines = nil
+	for _, name := range strings.Split(*engines, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if _, err := search.New(name, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "dfgfuzz: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Engines = append(cfg.Engines, name)
+	}
+	if len(cfg.Engines) == 0 {
+		fmt.Fprintln(os.Stderr, "dfgfuzz: -engines selected nothing")
+		os.Exit(2)
+	}
+	if *fullGA {
+		// The zero Options take the registry defaults (genetic fills
+		// Pop=96, MaxGen=220 and friends on zero values).
+		cfg.GeneticOpt = &genetic.Options{}
+	}
+
+	p := dfggen.DefaultParams()
+	if *minNodes > 0 {
+		p.MinNodes = *minNodes
+	}
+	if *maxNodes > 0 {
+		p.MaxNodes = *maxNodes
+		if p.MinNodes > p.MaxNodes {
+			p.MinNodes = p.MaxNodes
+		}
+	}
+	if *memFrac >= 0 {
+		p.MemFrac = *memFrac
+	}
+
+	start := time.Now()
+	deadline := time.Time{}
+	if *budget > 0 {
+		deadline = start.Add(*budget)
+	}
+	blocks, violations, written := 0, 0, 0
+	for k := 0; ; k++ {
+		if *seeds > 0 && k >= *seeds {
+			break
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+		seed := *seedBase + int64(k)
+		blk := dfggen.Block(dfggen.Seeded(seed), p)
+		blocks++
+		vs := difftest.CheckBlock(blk, cfg)
+		if *verbose {
+			fmt.Printf("seed %d: %d nodes, %d violations\n", seed, blk.N(), len(vs))
+		} else if blocks%500 == 0 {
+			fmt.Printf("... %d blocks, %d violations, %.0f blocks/s\n",
+				blocks, violations, float64(blocks)/time.Since(start).Seconds())
+		}
+		if len(vs) > 0 {
+			violations += len(vs)
+			fmt.Printf("seed %d (%d nodes): %d violation(s)\n", seed, blk.N(), len(vs))
+			for _, v := range vs {
+				fmt.Printf("  %s\n", v)
+			}
+			min := blk
+			kept := vs
+			if !*noShrink {
+				min, kept = difftest.ShrinkToViolation(blk, cfg, vs[0])
+				if len(kept) == 0 {
+					// The violation did not survive shrinking (it should:
+					// the property is deterministic); fall back to the
+					// original block so the evidence is not lost.
+					min, kept = blk, vs
+					fmt.Println("  (violation did not reproduce under shrinking; keeping the full block)")
+				} else {
+					fmt.Printf("  shrunk %d → %d nodes\n", blk.N(), min.N())
+				}
+			}
+			if *outDir != "" {
+				foundBy := fmt.Sprintf("dfgfuzz seed=%d engines=%s", seed, *engines)
+				path, err := difftest.WriteReproducer(*outDir, min, kept, foundBy)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "dfgfuzz: writing reproducer: %v\n", err)
+				} else {
+					written++
+					fmt.Printf("  reproducer: %s\n", path)
+				}
+			} else {
+				var sb strings.Builder
+				if err := dfgio.Write(&sb, min); err == nil {
+					fmt.Printf("  minimized reproducer:\n%s", indent(sb.String()))
+				}
+			}
+		}
+		if *stream > 0 && blocks%*stream == 0 {
+			app := dfggen.Application(dfggen.Seeded(-seed), p)
+			for _, algo := range []string{"isegen", "exact", "iterative", "genetic"} {
+				for _, v := range difftest.CheckApplicationStream(app, algo, cfg.ParWorkers) {
+					violations++
+					fmt.Printf("app seed %d: %s\n", -seed, v)
+				}
+			}
+		}
+	}
+
+	elapsed := time.Since(start)
+	fmt.Printf("soak: %d blocks in %v (%.0f blocks/s), engines [%s], %d invariant violations",
+		blocks, elapsed.Round(time.Millisecond), float64(blocks)/elapsed.Seconds(),
+		strings.Join(cfg.Engines, " "), violations)
+	if written > 0 {
+		fmt.Printf(", %d reproducers written to %s", written, *outDir)
+	}
+	fmt.Println()
+	if violations > 0 {
+		os.Exit(1)
+	}
+}
+
+// indent prefixes every line for the inline reproducer dump.
+func indent(s string) string {
+	return "    " + strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n    ") + "\n"
+}

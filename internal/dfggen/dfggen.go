@@ -1,0 +1,319 @@
+// Package dfggen is a seeded, deterministic property-based generator of
+// random basic-block DFGs, the input side of the differential fuzzing
+// harness (internal/difftest). Every block it produces is a valid ir.Block
+// — operands refer only to earlier value-producing nodes or external
+// inputs, arities match, live-out marks sit on value nodes — so the
+// engines under test can be handed generator output directly.
+//
+// Determinism contract: Block and Application consume randomness only
+// through the *rand.Rand they are given, so a fixed seed reproduces the
+// exact same block on every run, platform and Go release (math/rand's
+// explicit-source sequence is stable). The differential suite, the fuzz
+// targets and the soak CLI all rely on this to turn a seed number into a
+// reproducer.
+//
+// The shape knobs (Params) cover what the engines' edge cases care about:
+// node counts, fan-in mix (node results vs external inputs vs immediates),
+// forbidden-op (memory) placement, operand locality (deep chains vs broad
+// fan-out) and structured motifs — diamonds, chains and reconvergence —
+// that stress convexity checking far more than uniform random wiring does.
+package dfggen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/ir"
+)
+
+// Params shape the generated blocks. The zero value is not useful; start
+// from DefaultParams.
+type Params struct {
+	// MinNodes and MaxNodes bound the node count (inclusive). Motif
+	// injection may overshoot MaxNodes by at most the largest motif
+	// size minus one.
+	MinNodes, MaxNodes int
+	// MaxInputs is the external-input pool size; generated operands draw
+	// input indices uniformly from [0, MaxInputs).
+	MaxInputs int
+	// MemFrac is the probability a generated node is a memory operation
+	// (load or store, evenly split) — the forbidden ops every engine
+	// must keep out of its cuts.
+	MemFrac float64
+	// ConstFrac is the probability a generated node materializes a
+	// constant (OpConst, zero-arity).
+	ConstFrac float64
+	// ImmFrac is the per-operand probability of an immediate operand
+	// (no data dependence, no register port).
+	ImmFrac float64
+	// InputFrac is the per-operand probability of referring to an
+	// external input even when earlier node values exist.
+	InputFrac float64
+	// Locality, when positive, biases node operands to the most recent
+	// Locality value-producing nodes, growing deep chains; 0 picks
+	// uniformly over all earlier values, growing broad shallow graphs.
+	Locality int
+	// LiveOutFrac is the probability an internally consumed value node
+	// is additionally marked live out of the block. Dead value nodes
+	// (no consumers) are marked live-out with high probability
+	// regardless, so generated blocks mostly compute something.
+	LiveOutFrac float64
+	// MotifFrac is the per-step probability of emitting a structured
+	// motif (diamond, chain, reconvergence) instead of a single node.
+	MotifFrac float64
+	// MinBlocks and MaxBlocks bound Application's block count.
+	MinBlocks, MaxBlocks int
+}
+
+// DefaultParams returns the differential suite's shape: small enough that
+// the exact joint search stays fast as the reference oracle, with every
+// structural feature of real kernels present.
+func DefaultParams() Params {
+	return Params{
+		MinNodes: 4, MaxNodes: 14,
+		MaxInputs: 4,
+		MemFrac:   0.12, ConstFrac: 0.08,
+		ImmFrac: 0.10, InputFrac: 0.25,
+		Locality:    6,
+		LiveOutFrac: 0.15,
+		MotifFrac:   0.25,
+		MinBlocks:   2, MaxBlocks: 5,
+	}
+}
+
+// normalized clamps p into a range where generation always succeeds, so
+// fuzzers may mutate the knobs freely.
+func (p Params) normalized() Params {
+	clampInt := func(v, lo, hi int) int {
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	clampFrac := func(v float64) float64 {
+		if !(v >= 0) { // also catches NaN
+			return 0
+		}
+		if v > 1 {
+			return 1
+		}
+		return v
+	}
+	p.MinNodes = clampInt(p.MinNodes, 1, 1<<12)
+	p.MaxNodes = clampInt(p.MaxNodes, p.MinNodes, 1<<12)
+	p.MaxInputs = clampInt(p.MaxInputs, 1, 64)
+	p.MemFrac = clampFrac(p.MemFrac)
+	p.ConstFrac = clampFrac(p.ConstFrac)
+	if p.MemFrac+p.ConstFrac > 0.9 {
+		// Keep most nodes computational so blocks have structure.
+		scale := 0.9 / (p.MemFrac + p.ConstFrac)
+		p.MemFrac *= scale
+		p.ConstFrac *= scale
+	}
+	p.ImmFrac = clampFrac(p.ImmFrac)
+	p.InputFrac = clampFrac(p.InputFrac)
+	p.Locality = clampInt(p.Locality, 0, 1<<12)
+	p.LiveOutFrac = clampFrac(p.LiveOutFrac)
+	p.MotifFrac = clampFrac(p.MotifFrac)
+	p.MinBlocks = clampInt(p.MinBlocks, 1, 64)
+	p.MaxBlocks = clampInt(p.MaxBlocks, p.MinBlocks, 64)
+	return p
+}
+
+// arithOps is the computational opcode pool (everything except const and
+// the memory ops, which have their own draw probabilities).
+var arithOps = []ir.Op{
+	ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpNeg,
+	ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpNot,
+	ir.OpShl, ir.OpShrL, ir.OpShrA,
+	ir.OpCmpEQ, ir.OpCmpNE, ir.OpCmpLT, ir.OpCmpLE, ir.OpCmpGT, ir.OpCmpGE,
+	ir.OpSelect, ir.OpMin, ir.OpMax,
+}
+
+// gen is the in-progress block under construction.
+type gen struct {
+	rng *rand.Rand
+	p   Params
+	// nodes built so far; valueNodes indexes those producing a value.
+	nodes      []ir.Node
+	valueNodes []int
+	// consumed[i] reports whether node i's value has a consumer.
+	consumed []bool
+}
+
+// valueOperand picks an operand for a computational slot: an immediate,
+// an external input, or an earlier node value (locality-biased).
+func (g *gen) valueOperand(allowImm bool) ir.Operand {
+	r := g.rng.Float64()
+	if allowImm && r < g.p.ImmFrac {
+		return ir.ImmOperand(int32(g.rng.Intn(509) - 254))
+	}
+	if len(g.valueNodes) == 0 || g.rng.Float64() < g.p.InputFrac {
+		return ir.InputRef(g.rng.Intn(g.p.MaxInputs))
+	}
+	return ir.NodeRef(g.pickValueNode())
+}
+
+// pickValueNode picks an earlier value-producing node, biased to the most
+// recent Locality ones when configured.
+func (g *gen) pickValueNode() int {
+	n := len(g.valueNodes)
+	w := n
+	if g.p.Locality > 0 && g.p.Locality < n {
+		w = g.p.Locality
+	}
+	id := g.valueNodes[n-1-g.rng.Intn(w)]
+	g.consumed[id] = true
+	return id
+}
+
+// emit appends one node and does the value bookkeeping.
+func (g *gen) emit(nd ir.Node) int {
+	id := len(g.nodes)
+	g.nodes = append(g.nodes, nd)
+	g.consumed = append(g.consumed, false)
+	if nd.Op.HasValue() {
+		g.valueNodes = append(g.valueNodes, id)
+	}
+	return id
+}
+
+// emitArith emits one random computational node.
+func (g *gen) emitArith() int {
+	op := arithOps[g.rng.Intn(len(arithOps))]
+	nd := ir.Node{Op: op}
+	for a := 0; a < op.Arity(); a++ {
+		// At most one immediate operand per node keeps the graphs
+		// connected; the first slot of a shift/select stays a value so
+		// the op has a real dependence.
+		nd.Args = append(nd.Args, g.valueOperand(a > 0 || op.Arity() == 1))
+	}
+	return g.emit(nd)
+}
+
+// emitOne emits a single random node of any kind.
+func (g *gen) emitOne() {
+	r := g.rng.Float64()
+	switch {
+	case r < g.p.MemFrac:
+		if g.rng.Intn(2) == 0 {
+			g.emit(ir.Node{Op: ir.OpLoad, Args: []ir.Operand{g.valueOperand(true)}})
+		} else {
+			g.emit(ir.Node{Op: ir.OpStore, Args: []ir.Operand{g.valueOperand(true), g.valueOperand(false)}})
+		}
+	case r < g.p.MemFrac+g.p.ConstFrac:
+		g.emit(ir.Node{Op: ir.OpConst, Imm: int32(g.rng.Intn(1 << 16))})
+	default:
+		g.emitArith()
+	}
+}
+
+// binOp draws a two-operand computational opcode.
+func (g *gen) binOp() ir.Op {
+	for {
+		op := arithOps[g.rng.Intn(len(arithOps))]
+		if op.Arity() == 2 {
+			return op
+		}
+	}
+}
+
+// emitMotif emits one structured sub-graph. Motifs are what make random
+// blocks exercise convexity: uniform wiring rarely produces the
+// A→B→C-with-A→C shapes whose middles a cut must not skip.
+func (g *gen) emitMotif() {
+	root := g.valueOperand(false)
+	switch g.rng.Intn(3) {
+	case 0: // diamond: two independent children of one root, rejoined.
+		a := g.emit(ir.Node{Op: g.binOp(), Args: []ir.Operand{root, g.valueOperand(true)}})
+		b := g.emit(ir.Node{Op: g.binOp(), Args: []ir.Operand{root, g.valueOperand(true)}})
+		g.consumed[a], g.consumed[b] = true, true
+		g.emit(ir.Node{Op: g.binOp(), Args: []ir.Operand{ir.NodeRef(a), ir.NodeRef(b)}})
+	case 1: // chain: a deep dependent sequence.
+		prev := root
+		for k := 2 + g.rng.Intn(3); k > 0; k-- {
+			id := g.emit(ir.Node{Op: g.binOp(), Args: []ir.Operand{prev, g.valueOperand(true)}})
+			g.consumed[id] = true
+			prev = ir.NodeRef(id)
+		}
+	default: // reconvergence: two 2-deep paths from one root, rejoined.
+		a1 := g.emit(ir.Node{Op: g.binOp(), Args: []ir.Operand{root, g.valueOperand(true)}})
+		g.consumed[a1] = true
+		a2 := g.emit(ir.Node{Op: g.binOp(), Args: []ir.Operand{ir.NodeRef(a1), g.valueOperand(true)}})
+		b1 := g.emit(ir.Node{Op: g.binOp(), Args: []ir.Operand{root, g.valueOperand(true)}})
+		g.consumed[a2], g.consumed[b1] = true, true
+		g.emit(ir.Node{Op: g.binOp(), Args: []ir.Operand{ir.NodeRef(a2), ir.NodeRef(b1)}})
+	}
+}
+
+// Block generates one random valid block, drawing all randomness from rng.
+func Block(rng *rand.Rand, p Params) *ir.Block {
+	p = p.normalized()
+	target := p.MinNodes + rng.Intn(p.MaxNodes-p.MinNodes+1)
+	g := &gen{rng: rng, p: p}
+	for len(g.nodes) < target {
+		if rng.Float64() < p.MotifFrac && target-len(g.nodes) >= 3 {
+			g.emitMotif()
+		} else {
+			g.emitOne()
+		}
+	}
+	liveOut := graph.NewBitSet(len(g.nodes))
+	anyOut := false
+	for id, nd := range g.nodes {
+		if !nd.Op.HasValue() {
+			continue
+		}
+		if !g.consumed[id] {
+			// Dead value: almost always live-out, so the node matters.
+			if rng.Float64() < 0.9 {
+				liveOut.Set(id)
+				anyOut = true
+			}
+		} else if rng.Float64() < p.LiveOutFrac {
+			liveOut.Set(id)
+			anyOut = true
+		}
+	}
+	if !anyOut {
+		// Guarantee at least one observable value when any exists, so
+		// the block is never pure dead code.
+		if n := len(g.valueNodes); n > 0 {
+			liveOut.Set(g.valueNodes[n-1])
+		}
+	}
+	blk := &ir.Block{
+		Name:      fmt.Sprintf("gen%08x", rng.Uint32()),
+		Nodes:     g.nodes,
+		NumInputs: p.MaxInputs,
+		Freq:      float64(1 + rng.Intn(1000)),
+		LiveOut:   liveOut,
+	}
+	if err := ir.FinishBlock(blk); err != nil {
+		// The generator's construction rules guarantee validity; a
+		// failure here is a generator bug, not an input problem.
+		panic(fmt.Sprintf("dfggen: generated invalid block: %v", err))
+	}
+	return blk
+}
+
+// Application generates a multi-block program: MinBlocks..MaxBlocks random
+// blocks sharing the same shape parameters.
+func Application(rng *rand.Rand, p Params) *ir.Application {
+	p = p.normalized()
+	nb := p.MinBlocks + rng.Intn(p.MaxBlocks-p.MinBlocks+1)
+	app := &ir.Application{Name: fmt.Sprintf("genapp%08x", rng.Uint32())}
+	for i := 0; i < nb; i++ {
+		app.Blocks = append(app.Blocks, Block(rng, p))
+	}
+	return app
+}
+
+// Seeded returns the canonical rng for a seed — the one indirection every
+// surface (pinned suite, fuzz targets, soak CLI) shares, so "seed 7"
+// means the same block everywhere.
+func Seeded(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,43 @@
+package dfgio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseRoundTrip feeds arbitrary text to the .dfg parser. Accepted
+// inputs must round-trip: Write(Parse(x)) reparses to the same structure
+// and the same BlockHash, and serialization is a fixpoint. Rejected
+// inputs must fail with an error, never a panic. The upload path of the
+// serving layer parses untrusted bytes with exactly this code.
+func FuzzParseRoundTrip(f *testing.F) {
+	f.Add("dfg mac\nfreq 100\ninputs 3\n0 mul i0 i1\n1 add n0 i2 !out\n")
+	f.Add("dfg t\ninputs 1\n0 load i0\n1 const imm=7\n2 add n1 m-3\n3 store i0 n2\n")
+	f.Add("dfg x\nfreq 2.5\ninputs 2\n0 select i0 i1 m9 !out\n")
+	f.Add("# comment\n\ndfg empty-ish\ninputs 0\n0 const imm=-1 !out\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		blk, err := Parse(strings.NewReader(text))
+		if err != nil {
+			return // rejected input; only panics are failures here
+		}
+		var out bytes.Buffer
+		if err := Write(&out, blk); err != nil {
+			t.Fatalf("Write failed on parsed block: %v", err)
+		}
+		re, err := Parse(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("reparse of Write output failed: %v\n%s", err, out.String())
+		}
+		if a, b := BlockHash(blk), BlockHash(re); a != b {
+			t.Fatalf("BlockHash moved across round trip: %s vs %s\n%s", a, b, out.String())
+		}
+		var again bytes.Buffer
+		if err := Write(&again, re); err != nil {
+			t.Fatalf("second Write failed: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), again.Bytes()) {
+			t.Fatalf("serialization is not a fixpoint:\n%s---\n%s", out.String(), again.String())
+		}
+	})
+}

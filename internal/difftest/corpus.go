@@ -1,0 +1,108 @@
+// Reproducer corpus: minimized violating blocks serialized as annotated
+// .dfg files under testdata/. Every checked-in reproducer is re-run by
+// TestCorpusReproducers as a regression gate, so a fixed bug stays fixed.
+package difftest
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/dfgio"
+	"repro/internal/ir"
+)
+
+// Reproducer is one corpus entry: a block plus the violation metadata
+// recorded when it was minimized.
+type Reproducer struct {
+	// Path is the corpus file the entry was loaded from.
+	Path string
+	// Block is the minimized violating block.
+	Block *ir.Block
+	// Header holds the "# key: value" annotations (invariant, engine,
+	// detail, found-by) in file order.
+	Header map[string]string
+}
+
+// WriteReproducer serializes a minimized violating block into dir as an
+// annotated .dfg file named after its content hash, and returns the path.
+// Writing the same block twice is idempotent (same name, same bytes).
+// foundBy records provenance (e.g. "dfgfuzz -seeds 10000 seed=42").
+func WriteReproducer(dir string, blk *ir.Block, vs []Violation, foundBy string) (string, error) {
+	if len(vs) == 0 {
+		return "", fmt.Errorf("difftest: refusing to write a reproducer with no violations")
+	}
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "# difftest reproducer (minimized)\n")
+	fmt.Fprintf(&buf, "# invariant: %s\n", vs[0].Invariant)
+	if vs[0].Engine != "" {
+		fmt.Fprintf(&buf, "# engine: %s\n", vs[0].Engine)
+	}
+	for _, v := range vs {
+		fmt.Fprintf(&buf, "# detail: %s\n", sanitizeComment(v.Detail))
+	}
+	if foundBy != "" {
+		fmt.Fprintf(&buf, "# found-by: %s\n", sanitizeComment(foundBy))
+	}
+	if err := dfgio.Write(&buf, blk); err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	name := fmt.Sprintf("repro-%s-%s.dfg", vs[0].Invariant, dfgio.BlockHash(blk)[:12])
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// sanitizeComment keeps a violation detail on one comment line.
+func sanitizeComment(s string) string {
+	return strings.ReplaceAll(s, "\n", " \\n ")
+}
+
+// LoadCorpus parses every .dfg reproducer under dir, in sorted path order.
+// A missing directory is an empty corpus, not an error.
+func LoadCorpus(dir string) ([]Reproducer, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.dfg"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	out := make([]Reproducer, 0, len(paths))
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		blk, err := dfgio.Parse(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("difftest: corpus file %s: %w", path, err)
+		}
+		out = append(out, Reproducer{Path: path, Block: blk, Header: parseHeader(data)})
+	}
+	return out, nil
+}
+
+// parseHeader extracts the leading "# key: value" annotations.
+func parseHeader(data []byte) map[string]string {
+	h := map[string]string{}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "#") {
+			break
+		}
+		body := strings.TrimSpace(strings.TrimPrefix(line, "#"))
+		if k, v, ok := strings.Cut(body, ":"); ok {
+			key := strings.TrimSpace(k)
+			if _, dup := h[key]; !dup {
+				h[key] = strings.TrimSpace(v)
+			}
+		}
+	}
+	return h
+}

@@ -1,0 +1,95 @@
+package difftest
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/dfggen"
+	"repro/internal/dfgio"
+)
+
+// TestWriteReproducerRoundTrip covers the path a real engine bug would
+// take: serialize a violating block with its metadata, load the corpus
+// back, and get the same block and annotations. No soak has produced a
+// violation yet, so this is the only thing keeping that path honest.
+func TestWriteReproducerRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	blk := dfggen.Block(dfggen.Seeded(7), dfggen.DefaultParams())
+	vs := []Violation{
+		{Invariant: "dominance", Engine: "genetic", Detail: "exact 3 < heuristic 4\nsecond line"},
+		{Invariant: "validity", Engine: "exact", Detail: "cut 0 not convex"},
+	}
+
+	path, err := WriteReproducer(dir, blk, vs, "unit test seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base := path; !strings.Contains(base, "repro-dominance-") || !strings.HasSuffix(base, ".dfg") {
+		t.Errorf("unexpected reproducer name: %s", path)
+	}
+
+	// Idempotent: same block, same violation → same file, same bytes.
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := WriteReproducer(dir, blk, vs, "unit test seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != path {
+		t.Errorf("second write went to %s, want %s", again, path)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Error("second write changed the file bytes")
+	}
+
+	corpus, err := LoadCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus) != 1 {
+		t.Fatalf("loaded %d corpus entries, want 1", len(corpus))
+	}
+	r := corpus[0]
+	if r.Path != path {
+		t.Errorf("entry path %s, want %s", r.Path, path)
+	}
+	if d := diffBlocks(blk, r.Block); d != "" {
+		t.Errorf("loaded block differs: %s", d)
+	}
+	if a, b := dfgio.BlockHash(blk), dfgio.BlockHash(r.Block); a != b {
+		t.Errorf("hash moved through the corpus: %s vs %s", a, b)
+	}
+	for key, want := range map[string]string{
+		"invariant": "dominance",
+		"engine":    "genetic",
+		"detail":    "exact 3 < heuristic 4 \\n second line",
+		"found-by":  "unit test seed=7",
+	} {
+		if got := r.Header[key]; got != want {
+			t.Errorf("header[%q] = %q, want %q", key, got, want)
+		}
+	}
+
+	if _, err := WriteReproducer(dir, blk, nil, ""); err == nil {
+		t.Error("WriteReproducer accepted an empty violation list")
+	}
+}
+
+// TestLoadCorpusMissingDir pins the empty-corpus contract the checked-in
+// (violation-free) testdata/ relies on.
+func TestLoadCorpusMissingDir(t *testing.T) {
+	corpus, err := LoadCorpus("testdata/does-not-exist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus) != 0 {
+		t.Errorf("got %d entries from a missing dir, want 0", len(corpus))
+	}
+}

@@ -1,0 +1,62 @@
+package difftest
+
+import (
+	"testing"
+
+	"repro/internal/dfggen"
+)
+
+// fuzzParams derives a generator shape from the fuzzed knobs. Values are
+// clamped by Params.normalized, so the engine can mutate them freely; the
+// matrix keeps exact-tractable sizes by capping node counts.
+func fuzzParams(maxNodes, memPct, immPct uint8) dfggen.Params {
+	p := dfggen.DefaultParams()
+	p.MinNodes = 1
+	p.MaxNodes = 1 + int(maxNodes)%20
+	p.MemFrac = float64(memPct%60) / 100
+	p.ImmFrac = float64(immPct%40) / 100
+	return p
+}
+
+// fuzzConfig trades a little coverage for throughput: the stream arm is
+// exercised by the pinned suite; everything engine-shaped stays on.
+func fuzzConfig(tight bool) Config {
+	cfg := DefaultConfig()
+	cfg.ParWorkers = 2
+	if tight {
+		cfg.MaxIn, cfg.MaxOut, cfg.NISE = 2, 1, 1
+	}
+	return cfg
+}
+
+// FuzzDifferential is the coverage-guided face of the harness: the fuzzer
+// mutates the generator seed and shape knobs, each input becomes one
+// generated block, and the full cross-engine invariant matrix must hold.
+// On a violation the failure message carries the minimized reproducer as
+// .dfg text, ready to check into testdata/ (see DESIGN.md).
+//
+// Run locally with:
+//
+//	go test -fuzz=FuzzDifferential -fuzztime=60s ./internal/difftest/
+func FuzzDifferential(f *testing.F) {
+	for _, seed := range []uint64{1, 2, 7, 42, 1000} {
+		f.Add(seed, uint8(12), uint8(15), uint8(10), false)
+		f.Add(seed, uint8(19), uint8(40), uint8(30), true)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64, maxNodes, memPct, immPct uint8, tight bool) {
+		p := fuzzParams(maxNodes, memPct, immPct)
+		cfg := fuzzConfig(tight)
+		blk := dfggen.Block(dfggen.Seeded(int64(seed)), p)
+		vs := CheckBlock(blk, cfg)
+		if len(vs) == 0 {
+			return
+		}
+		min, kept := ShrinkToViolation(blk, cfg, vs[0])
+		report := vs[0]
+		if len(kept) > 0 {
+			report = kept[0]
+		}
+		t.Fatalf("invariant violated on generated block (seed=%d, %d nodes, shrunk to %d): %s\nminimized reproducer (save under internal/difftest/testdata/):\n%s",
+			seed, blk.N(), min.N(), report, mustDFG(t, min))
+	})
+}

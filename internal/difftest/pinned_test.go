@@ -1,0 +1,144 @@
+package difftest
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dfggen"
+	"repro/internal/dfgio"
+	"repro/internal/ir"
+)
+
+// pinnedBlockCount is the differential gate's block budget: every block
+// runs the full matrix ({isegen, exact, iterative, genetic, racing} ×
+// {seq, par} plus cache-on/off and print→parse round-trip).
+const pinnedBlockCount = 520
+
+// shortBlockCount keeps `go test -short ./...` fast; the CI differential
+// step runs the full count.
+const shortBlockCount = 60
+
+// pinnedCase derives the seed's generator shape and engine constraints —
+// a deterministic spread over port tightness, block size, memory density
+// and graph shape, so the gate isn't 520 samples of one distribution.
+func pinnedCase(seed int64) (dfggen.Params, Config) {
+	cfg := DefaultConfig()
+	p := dfggen.DefaultParams()
+	switch seed % 5 {
+	case 1: // tight ports: feasibility boundary stress
+		cfg.MaxIn, cfg.MaxOut = 2, 1
+	case 2: // larger, memory-heavy blocks: forbidden-op placement
+		p.MinNodes, p.MaxNodes = 10, 20
+		p.MemFrac = 0.3
+		cfg.NISE = 1
+	case 3: // broad shallow graphs under generous ports
+		p.Locality = 0
+		p.InputFrac = 0.45
+		cfg.MaxIn, cfg.MaxOut, cfg.NISE = 6, 3, 3
+	case 4: // deep chains, immediate-heavy, single-input pool
+		p.Locality = 2
+		p.ImmFrac = 0.3
+		p.MaxInputs = 2
+		p.MotifFrac = 0.5
+	}
+	return p, cfg
+}
+
+// TestPinnedSeedDifferential is the deterministic PR gate: it runs the
+// full differential matrix over pinned generator seeds and fails on any
+// invariant violation, printing the violating block as a .dfg reproducer.
+func TestPinnedSeedDifferential(t *testing.T) {
+	count := pinnedBlockCount
+	if testing.Short() {
+		count = shortBlockCount
+	}
+	start := time.Now()
+	for seed := int64(1); seed <= int64(count); seed++ {
+		p, cfg := pinnedCase(seed)
+		blk := dfggen.Block(dfggen.Seeded(seed), p)
+		vs := CheckBlock(blk, cfg)
+		if len(vs) == 0 {
+			continue
+		}
+		min, kept := ShrinkToViolation(blk, cfg, vs[0])
+		t.Errorf("seed %d (%d nodes, shrunk to %d): %d violation(s), first: %s\nminimized reproducer:\n%s",
+			seed, blk.N(), min.N(), len(vs), vs[0], mustDFG(t, min))
+		for _, v := range kept {
+			t.Logf("  surviving on minimized block: %s", v)
+		}
+		if len(vs) > 3 {
+			t.Fatalf("stopping after a badly violating seed; %d more violations on seed %d", len(vs)-1, seed)
+		}
+	}
+	t.Logf("differential gate: %d generated blocks, full matrix, clean in %v", count, time.Since(start))
+}
+
+// TestPinnedStreamDeterminism runs the serving layer's NDJSON path on
+// pinned multi-block applications, sequential vs parallel block fan-out,
+// and requires byte-identical streams for every deterministic algo.
+func TestPinnedStreamDeterminism(t *testing.T) {
+	apps := 12
+	if testing.Short() {
+		apps = 4
+	}
+	for seed := int64(1); seed <= int64(apps); seed++ {
+		app := dfggen.Application(dfggen.Seeded(1000+seed), dfggen.DefaultParams())
+		for _, algo := range []string{"isegen", "exact", "iterative", "genetic"} {
+			for _, v := range CheckApplicationStream(app, algo, 3) {
+				t.Errorf("app seed %d: %s", seed, v)
+			}
+		}
+	}
+}
+
+// TestGeneratorGoldenHashes pins the generator's output identity: these
+// hashes change only if the generator's draw sequence (or math/rand's
+// stable sequence contract) changes, in which case every seed-named
+// reproducer in circulation silently means a different block. Update the
+// goldens only on a deliberate generator change, and say so in the commit.
+func TestGeneratorGoldenHashes(t *testing.T) {
+	golden := map[int64]string{
+		1: "fcc4d2d9e4b29b1e3ac1b6f81e81d3c39671589bd2ccb918f9af262ed1136fcb",
+		2: "2e8765de58f64b5da8a4c39934e66e4f6d0a88a9fb1058e886126aa301d714cd",
+		3: "73ce95a8566318d456a62fa6897c94ba1d81c0b78eb8d3d7ec20580602522e41",
+	}
+	for seed, want := range golden {
+		got := dfgio.BlockHash(dfggen.Block(dfggen.Seeded(seed), dfggen.DefaultParams()))
+		if got != want {
+			t.Errorf("seed %d: BlockHash %s, golden %s", seed, got, want)
+		}
+	}
+}
+
+// TestCorpusReproducers re-runs every checked-in minimized reproducer
+// through the full matrix: a reproducer lands in the corpus together with
+// its fix, so the corpus must stay clean forever.
+func TestCorpusReproducers(t *testing.T) {
+	corpus, err := LoadCorpus("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus) == 0 {
+		t.Log("corpus is empty: the development soak found no violations (see DESIGN.md)")
+		return
+	}
+	for _, r := range corpus {
+		cfg := DefaultConfig()
+		if vs := CheckBlock(r.Block, cfg); len(vs) > 0 {
+			for _, v := range vs {
+				t.Errorf("%s (invariant %q regressed): %s", r.Path, r.Header["invariant"], v)
+			}
+		}
+	}
+}
+
+// mustDFG serializes a block for failure messages.
+func mustDFG(t *testing.T, blk *ir.Block) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := dfgio.Write(&sb, blk); err != nil {
+		t.Fatalf("serializing reproducer: %v", err)
+	}
+	return sb.String()
+}

@@ -1,0 +1,67 @@
+package difftest
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/dfggen"
+	"repro/internal/dfgio"
+)
+
+// TestRoundTripGeneratedBlocks is the dedicated dfgio property sweep
+// (checkRoundTrip also runs inside every CheckBlock): print→parse
+// structural equality, BlockHash stability across the round trip, and
+// hash invariance under renaming, over a wide spread of generated shapes.
+func TestRoundTripGeneratedBlocks(t *testing.T) {
+	seeds := int64(400)
+	if testing.Short() {
+		seeds = 80
+	}
+	p := dfggen.DefaultParams()
+	p.MinNodes, p.MaxNodes = 1, 40 // wider than the engine matrix needs
+	for seed := int64(1); seed <= seeds; seed++ {
+		blk := dfggen.Block(dfggen.Seeded(500+seed), p)
+		for _, v := range checkRoundTrip(blk) {
+			t.Errorf("seed %d: %s", seed, v)
+		}
+	}
+}
+
+// TestRoundTripGeneratedApplications round-trips whole multi-block
+// programs through WriteApplication/ParseApplication and requires
+// re-serialization to be byte-identical (print→parse→print fixpoint).
+func TestRoundTripGeneratedApplications(t *testing.T) {
+	apps := int64(40)
+	if testing.Short() {
+		apps = 8
+	}
+	for seed := int64(1); seed <= apps; seed++ {
+		app := dfggen.Application(dfggen.Seeded(900+seed), dfggen.DefaultParams())
+		var first bytes.Buffer
+		if err := dfgio.WriteApplication(&first, app); err != nil {
+			t.Fatalf("seed %d: write: %v", seed, err)
+		}
+		parsed, err := dfgio.ParseApplication(app.Name, bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v", seed, err)
+		}
+		if len(parsed.Blocks) != len(app.Blocks) {
+			t.Fatalf("seed %d: %d blocks parsed, want %d", seed, len(parsed.Blocks), len(app.Blocks))
+		}
+		for i := range app.Blocks {
+			if d := diffBlocks(app.Blocks[i], parsed.Blocks[i]); d != "" {
+				t.Errorf("seed %d block %d: %s", seed, i, d)
+			}
+			if a, b := dfgio.BlockHash(app.Blocks[i]), dfgio.BlockHash(parsed.Blocks[i]); a != b {
+				t.Errorf("seed %d block %d: hash moved: %s vs %s", seed, i, a, b)
+			}
+		}
+		var second bytes.Buffer
+		if err := dfgio.WriteApplication(&second, parsed); err != nil {
+			t.Fatalf("seed %d: rewrite: %v", seed, err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Errorf("seed %d: serialization is not a fixpoint", seed)
+		}
+	}
+}

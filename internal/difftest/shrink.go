@@ -1,0 +1,212 @@
+// Delta-debugging shrinker: given a block violating an invariant and a
+// deterministic predicate that re-checks the violation, find a (locally)
+// minimal sub-block that still violates it.
+//
+// Shrinker contract (see DESIGN.md): every candidate the shrinker proposes
+// is a valid ir.Block. Node removal is closed over validity by
+// construction — an operand referring to a removed value node is rewired
+// to a fresh external input, so dependences never dangle; live-out marks
+// and the memory program-order edges are recomputed by ir.FinishBlock on
+// the survivors. The predicate must be deterministic (run engines with
+// pinned seeds and no deadlines); the shrinker never retries a candidate.
+package difftest
+
+import (
+	"repro/internal/graph"
+	"repro/internal/ir"
+)
+
+// Property reports whether the violation of interest still reproduces on
+// the candidate block. It must be deterministic.
+type Property func(blk *ir.Block) bool
+
+// RemoveNodes projects the block onto the nodes NOT in drop. Operands
+// referring to dropped value nodes become fresh external inputs (one per
+// dropped producer, shared by all its consumers, appended after the
+// existing inputs in first-use order). Returns nil when the projection
+// fails validation — callers treat that as "cannot remove this set".
+func RemoveNodes(blk *ir.Block, drop *graph.BitSet) *ir.Block {
+	n := blk.N()
+	newID := make([]int, n)
+	kept := 0
+	for i := 0; i < n; i++ {
+		if drop.Has(i) {
+			newID[i] = -1
+		} else {
+			newID[i] = kept
+			kept++
+		}
+	}
+	if kept == 0 {
+		return nil
+	}
+	numInputs := blk.NumInputs
+	replacement := make(map[int]int) // dropped producer -> new input index
+	nodes := make([]ir.Node, 0, kept)
+	liveOut := graph.NewBitSet(kept)
+	for i := 0; i < n; i++ {
+		if newID[i] < 0 {
+			continue
+		}
+		src := &blk.Nodes[i]
+		nd := ir.Node{Op: src.Op, Imm: src.Imm, Name: src.Name}
+		for _, a := range src.Args {
+			if a.Kind == ir.FromNode {
+				if t := newID[a.Index]; t >= 0 {
+					a = ir.NodeRef(t)
+				} else {
+					in, ok := replacement[a.Index]
+					if !ok {
+						in = numInputs
+						numInputs++
+						replacement[a.Index] = in
+					}
+					a = ir.InputRef(in)
+				}
+			}
+			nd.Args = append(nd.Args, a)
+		}
+		nodes = append(nodes, nd)
+		if blk.LiveOut.Has(i) {
+			liveOut.Set(newID[i])
+		}
+	}
+	out := &ir.Block{
+		Name: blk.Name, Nodes: nodes, NumInputs: numInputs,
+		Freq: blk.Freq, LiveOut: liveOut,
+	}
+	if err := ir.FinishBlock(out); err != nil {
+		return nil
+	}
+	return out
+}
+
+// compactInputs renumbers the external inputs to the used ones only.
+// Returns nil when nothing shrinks or validation fails.
+func compactInputs(blk *ir.Block) *ir.Block {
+	used := make([]int, blk.NumInputs)
+	for i := range used {
+		used[i] = -1
+	}
+	next := 0
+	for i := range blk.Nodes {
+		for _, a := range blk.Nodes[i].Args {
+			if a.Kind == ir.FromInput && used[a.Index] < 0 {
+				used[a.Index] = next
+				next++
+			}
+		}
+	}
+	if next == blk.NumInputs {
+		return nil
+	}
+	nodes := make([]ir.Node, len(blk.Nodes))
+	for i := range blk.Nodes {
+		src := &blk.Nodes[i]
+		nd := ir.Node{Op: src.Op, Imm: src.Imm, Name: src.Name}
+		for _, a := range src.Args {
+			if a.Kind == ir.FromInput {
+				a = ir.InputRef(used[a.Index])
+			}
+			nd.Args = append(nd.Args, a)
+		}
+		nodes[i] = nd
+	}
+	out := &ir.Block{
+		Name: blk.Name, Nodes: nodes, NumInputs: next,
+		Freq: blk.Freq, LiveOut: blk.LiveOut.Clone(),
+	}
+	if err := ir.FinishBlock(out); err != nil {
+		return nil
+	}
+	return out
+}
+
+// clearLiveOut returns the block with live-out mark i cleared, or nil when
+// validation fails.
+func clearLiveOut(blk *ir.Block, i int) *ir.Block {
+	lo := blk.LiveOut.Clone()
+	lo.Clear(i)
+	out := &ir.Block{
+		Name: blk.Name, Nodes: append([]ir.Node(nil), blk.Nodes...), NumInputs: blk.NumInputs,
+		Freq: blk.Freq, LiveOut: lo,
+	}
+	if err := ir.FinishBlock(out); err != nil {
+		return nil
+	}
+	return out
+}
+
+// Shrink delta-debugs blk against prop: it returns the smallest block the
+// ddmin pass converges to on which prop still holds. prop(blk) must be
+// true on entry; Shrink returns blk unchanged otherwise. The result is
+// 1-minimal over node removal — removing any single further node breaks
+// the property — then cleaned up by dropping redundant live-out marks and
+// compacting unused external inputs.
+func Shrink(blk *ir.Block, prop Property) *ir.Block {
+	if !prop(blk) {
+		return blk
+	}
+	cur := blk
+	// ddmin over nodes: try dropping windows from n/2 down to single
+	// nodes. A successful drop keeps the scan position (the window now
+	// covers fresh nodes); a failed pass halves the window. Terminates
+	// because every success strictly shrinks the block and every
+	// all-failed pass halves the window.
+	for chunk := (cur.N() + 1) / 2; chunk >= 1; {
+		removed := false
+		for start := 0; start < cur.N(); {
+			drop := graph.NewBitSet(cur.N())
+			for i := start; i < start+chunk && i < cur.N(); i++ {
+				drop.Set(i)
+			}
+			if cand := RemoveNodes(cur, drop); cand != nil && prop(cand) {
+				cur = cand
+				removed = true
+			} else {
+				start += chunk
+			}
+		}
+		if !removed {
+			chunk /= 2
+		} else if half := (cur.N() + 1) / 2; chunk > half {
+			chunk = half
+		}
+	}
+	// Cleanup passes: redundant live-out marks, then unused inputs.
+	for i := 0; i < cur.N(); i++ {
+		if !cur.LiveOut.Has(i) {
+			continue
+		}
+		if cand := clearLiveOut(cur, i); cand != nil && prop(cand) {
+			cur = cand
+		}
+	}
+	if cand := compactInputs(cur); cand != nil && prop(cand) {
+		cur = cand
+	}
+	return cur
+}
+
+// ShrinkToViolation is the standard shrink driver: it re-checks cfg on
+// every candidate and keeps shrinking while any violation of the same
+// invariant class (and engine, when set) reproduces. It returns the
+// minimized block and the surviving violations on it.
+func ShrinkToViolation(blk *ir.Block, cfg Config, v Violation) (*ir.Block, []Violation) {
+	prop := func(b *ir.Block) bool {
+		for _, got := range CheckBlock(b, cfg) {
+			if got.Invariant == v.Invariant && (v.Engine == "" || got.Engine == v.Engine) {
+				return true
+			}
+		}
+		return false
+	}
+	min := Shrink(blk, prop)
+	var kept []Violation
+	for _, got := range CheckBlock(min, cfg) {
+		if got.Invariant == v.Invariant && (v.Engine == "" || got.Engine == v.Engine) {
+			kept = append(kept, got)
+		}
+	}
+	return min, kept
+}

@@ -1,0 +1,175 @@
+package difftest
+
+import (
+	"testing"
+
+	"repro/internal/dfggen"
+	"repro/internal/graph"
+	"repro/internal/ir"
+)
+
+// countOp counts nodes with the given opcode.
+func countOp(blk *ir.Block, op ir.Op) int {
+	n := 0
+	for i := range blk.Nodes {
+		if blk.Nodes[i].Op == op {
+			n++
+		}
+	}
+	return n
+}
+
+// TestRemoveNodesRewiresToInputs checks the projection contract: dropping
+// a producer turns its consumers' operands into fresh external inputs and
+// the result is a valid block with the survivors' opcodes intact.
+func TestRemoveNodesRewiresToInputs(t *testing.T) {
+	// 0: a+b; 1: n0*c; 2: n0^n1 (!out)
+	blk := &ir.Block{
+		Name: "t", Freq: 1, NumInputs: 3,
+		Nodes: []ir.Node{
+			{Op: ir.OpAdd, Args: []ir.Operand{ir.InputRef(0), ir.InputRef(1)}},
+			{Op: ir.OpMul, Args: []ir.Operand{ir.NodeRef(0), ir.InputRef(2)}},
+			{Op: ir.OpXor, Args: []ir.Operand{ir.NodeRef(0), ir.NodeRef(1)}},
+		},
+		LiveOut: graph.NewBitSet(3),
+	}
+	blk.LiveOut.Set(2)
+	if err := ir.FinishBlock(blk); err != nil {
+		t.Fatal(err)
+	}
+	drop := graph.NewBitSet(3)
+	drop.Set(0)
+	got := RemoveNodes(blk, drop)
+	if got == nil {
+		t.Fatal("projection failed")
+	}
+	if got.N() != 2 || got.Nodes[0].Op != ir.OpMul || got.Nodes[1].Op != ir.OpXor {
+		t.Fatalf("unexpected projection: %+v", got.Nodes)
+	}
+	// Node 0's two consumers shared one producer, so exactly one fresh
+	// input (index 3) replaces it in both.
+	if got.NumInputs != 4 {
+		t.Fatalf("NumInputs = %d, want 4 (one fresh input for the dropped producer)", got.NumInputs)
+	}
+	if a := got.Nodes[0].Args[0]; a.Kind != ir.FromInput || a.Index != 3 {
+		t.Fatalf("mul arg 0 not rewired to fresh input: %+v", a)
+	}
+	if a := got.Nodes[1].Args[0]; a.Kind != ir.FromInput || a.Index != 3 {
+		t.Fatalf("xor arg 0 not rewired to the same fresh input: %+v", a)
+	}
+	if !got.LiveOut.Has(1) {
+		t.Fatal("live-out mark lost in projection")
+	}
+}
+
+// TestShrinkReachesMinimal shrinks generated blocks against a synthetic
+// property ("contains a mul") and checks 1-minimality: one node survives,
+// and removing it breaks the property.
+func TestShrinkReachesMinimal(t *testing.T) {
+	prop := func(b *ir.Block) bool { return countOp(b, ir.OpMul) >= 1 }
+	found := 0
+	for seed := int64(1); seed <= 40 && found < 10; seed++ {
+		blk := dfggen.Block(dfggen.Seeded(seed), dfggen.DefaultParams())
+		if !prop(blk) {
+			continue
+		}
+		found++
+		min := Shrink(blk, prop)
+		if !prop(min) {
+			t.Fatalf("seed %d: shrunk block lost the property", seed)
+		}
+		if min.N() != 1 {
+			t.Errorf("seed %d: expected the single mul to survive, got %d nodes", seed, min.N())
+		}
+		// 1-minimality by definition: dropping any remaining node kills
+		// the property.
+		for i := 0; i < min.N(); i++ {
+			d := graph.NewBitSet(min.N())
+			d.Set(i)
+			if cand := RemoveNodes(min, d); cand != nil && prop(cand) {
+				t.Errorf("seed %d: shrink not 1-minimal (node %d removable)", seed, i)
+			}
+		}
+	}
+	if found == 0 {
+		t.Fatal("no generated block contained a mul; generator distribution broken")
+	}
+}
+
+// TestShrinkPreservesDependentPair shrinks against a property needing two
+// dependent nodes (an add feeding a mul), ensuring the rewiring keeps the
+// dependence rather than splitting it into inputs.
+func TestShrinkPreservesDependentPair(t *testing.T) {
+	prop := func(b *ir.Block) bool {
+		for i := range b.Nodes {
+			if b.Nodes[i].Op != ir.OpMul {
+				continue
+			}
+			for _, a := range b.Nodes[i].Args {
+				if a.Kind == ir.FromNode && b.Nodes[a.Index].Op == ir.OpAdd {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	checked := 0
+	for seed := int64(1); seed <= 120 && checked < 5; seed++ {
+		blk := dfggen.Block(dfggen.Seeded(seed), dfggen.DefaultParams())
+		if !prop(blk) {
+			continue
+		}
+		checked++
+		min := Shrink(blk, prop)
+		if !prop(min) {
+			t.Fatalf("seed %d: property lost", seed)
+		}
+		if min.N() != 2 {
+			t.Errorf("seed %d: want exactly the add→mul pair, got %d nodes:\n%s",
+				seed, min.N(), mustDFG(t, min))
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no generated block had an add feeding a mul")
+	}
+}
+
+// TestShrinkNoopWithoutProperty pins the entry contract: when the
+// property does not hold on the input, Shrink returns it unchanged and
+// ShrinkToViolation keeps no violations.
+func TestShrinkNoopWithoutProperty(t *testing.T) {
+	blk := dfggen.Block(dfggen.Seeded(5), dfggen.DefaultParams())
+	if got := Shrink(blk, func(*ir.Block) bool { return false }); got != blk {
+		t.Fatal("Shrink modified a block the property rejects")
+	}
+	min, kept := ShrinkToViolation(blk, DefaultConfig(), Violation{Invariant: "validity"})
+	if min != blk || len(kept) != 0 {
+		t.Fatalf("ShrinkToViolation on a clean block: min=%p blk=%p kept=%v", min, blk, kept)
+	}
+}
+
+// TestCompactInputsDropsUnused checks the cleanup pass via Shrink: a
+// trivially-true property lets ddmin strip everything removable, then
+// input compaction renumbers what is left.
+func TestCompactInputsDropsUnused(t *testing.T) {
+	blk := &ir.Block{
+		Name: "t", Freq: 1, NumInputs: 6,
+		Nodes: []ir.Node{
+			{Op: ir.OpAdd, Args: []ir.Operand{ir.InputRef(4), ir.InputRef(5)}},
+		},
+		LiveOut: graph.NewBitSet(1),
+	}
+	blk.LiveOut.Set(0)
+	if err := ir.FinishBlock(blk); err != nil {
+		t.Fatal(err)
+	}
+	min := Shrink(blk, func(b *ir.Block) bool { return countOp(b, ir.OpAdd) >= 1 })
+	if min.NumInputs != 2 {
+		t.Fatalf("NumInputs = %d, want 2 after compaction", min.NumInputs)
+	}
+	for _, a := range min.Nodes[0].Args {
+		if a.Kind != ir.FromInput || a.Index > 1 {
+			t.Fatalf("operand not renumbered: %+v", a)
+		}
+	}
+}

@@ -15,6 +15,7 @@ package search
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -380,6 +381,16 @@ func Names() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// IsResourceRefusal reports whether an engine error is one of the
+// documented resource refusals — the block exceeded the engine's node
+// limit or the search exhausted its tree budget — rather than a bug or a
+// cancellation. Sweep drivers (the serving layer's per-block fan-out, the
+// differential fuzzing harness) use it to skip a block for one engine
+// instead of failing the whole run.
+func IsResourceRefusal(err error) bool {
+	return errors.Is(err, exact.ErrTooLarge) || errors.Is(err, exact.ErrBudget)
 }
 
 // DefaultBudget is the standard search-tree node budget for the exact
