@@ -33,8 +33,8 @@ const counterWarnPct = 10
 // convergence).
 var workCounters = []string{
 	"kl_toggles", "kl_probes", "kl_cp_full_sweeps", "kl_gain_rebuilds",
-	"kl_pool_misses", "exact_explored", "exact_subtree_tasks",
-	"genetic_evaluations", "cache_misses",
+	"kl_gaincache_misses", "kl_pool_misses", "exact_explored",
+	"exact_subtree_tasks", "genetic_evaluations", "cache_misses",
 }
 
 // counterWarnings compares a suite's work-counter deltas against the
@@ -56,6 +56,27 @@ func counterWarnings(base, fresh map[string]int64) []string {
 		}
 	}
 	return warns
+}
+
+// counterImprovements is counterWarnings' mirror: work counters that
+// shrank past counterWarnPct. Reported (not merely stayed silent on) so a
+// perf PR's counter win shows up in the gate output — and so a forgotten
+// re-baseline after such a PR is visible as a wall of improvement lines
+// instead of nothing.
+func counterImprovements(base, fresh map[string]int64) []string {
+	var wins []string
+	for _, name := range workCounters {
+		b, okB := base[name]
+		f, okF := fresh[name]
+		if !okB || !okF || b <= 0 {
+			continue
+		}
+		if f < b-b*counterWarnPct/100 {
+			wins = append(wins, fmt.Sprintf("%s %d -> %d (%+.1f%%)",
+				name, b, f, pctDelta(float64(f), float64(b))))
+		}
+	}
+	return wins
 }
 
 // loadBenchFile reads one BENCH_<rev>.json.
@@ -148,6 +169,9 @@ func runBenchDiff(basePath, freshPath string, nsTol float64) error {
 			detail)
 		for _, cw := range cwarns {
 			fmt.Printf("     %-24s work counter regressed: %s\n", "", cw)
+		}
+		for _, ci := range counterImprovements(b.Counters, f.Counters) {
+			fmt.Printf("     %-24s work counter improved: %s (re-baseline to lock in)\n", "", ci)
 		}
 	}
 	// The mirror direction: a fresh suite with no baseline entry is not

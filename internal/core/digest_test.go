@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestProbeDigestMatchesFresh pins the cached Probe against the uncached
+// reference: two states replay the same random toggle/SetCut sequence,
+// one serving probes from the digest cache, one with the cache disabled,
+// and every node's ToggleEffect must be bit-for-bit identical at every
+// step. Probing every node after every mutation is exactly the K-L
+// access pattern, so this exercises hits, invalidation-driven misses and
+// the version guard together.
+func TestProbeDigestMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(99080620))
+	cfg := DefaultConfig()
+	for trial := 0; trial < 25; trial++ {
+		blk := randKernelBlock(rng, 10+rng.Intn(50))
+		cached := NewState(blk, cfg.Model, nil)
+		fresh := NewState(blk, cfg.Model, nil)
+		fresh.digestOff = true
+		var free []int
+		for v := 0; v < blk.N(); v++ {
+			if !cached.Frozen.Has(v) {
+				free = append(free, v)
+			}
+		}
+		if len(free) == 0 {
+			continue
+		}
+		for step := 0; step < 3*len(free); step++ {
+			v := free[rng.Intn(len(free))]
+			cached.Toggle(v)
+			fresh.Toggle(v)
+			for u := 0; u < blk.N(); u++ {
+				ce, fe := cached.Probe(u), fresh.Probe(u)
+				if ce != fe {
+					t.Fatalf("%s trial %d step %d (toggle %d): Probe(%d) %+v cached vs %+v fresh",
+						blk.Name, trial, step, v, u, ce, fe)
+				}
+			}
+			// Occasionally jump to an unrelated cut so SetCut-driven
+			// invalidation (both delta and sweep path) is in the loop.
+			if step%17 == 13 {
+				cut := graph.NewBitSet(blk.N())
+				for _, u := range free {
+					if rng.Intn(3) == 0 {
+						cut.Set(u)
+					}
+				}
+				cached.SetCut(cut)
+				fresh.SetCut(cut)
+			}
+		}
+		if cached.gainHits == 0 {
+			t.Fatalf("%s trial %d: probe cache never hit", blk.Name, trial)
+		}
+	}
+}
+
+// TestProbeCacheServesRepeatedProbes checks the cache actually caches: a
+// second full probe sweep with no intervening mutation must be all hits.
+func TestProbeCacheServesRepeatedProbes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cfg := DefaultConfig()
+	blk := randKernelBlock(rng, 40)
+	st := NewState(blk, cfg.Model, nil)
+	for v := 0; v < blk.N(); v++ {
+		if !st.Frozen.Has(v) {
+			st.Toggle(v)
+			break
+		}
+	}
+	for u := 0; u < blk.N(); u++ {
+		st.Probe(u)
+	}
+	misses := st.gainMisses
+	for u := 0; u < blk.N(); u++ {
+		st.Probe(u)
+	}
+	if st.gainMisses != misses {
+		t.Fatalf("second sweep recomputed %d digests, want 0", st.gainMisses-misses)
+	}
+	if st.gainHits < int64(blk.N()) {
+		t.Fatalf("second sweep hit %d times, want at least %d", st.gainHits, blk.N())
+	}
+}
+
+// TestSetCutDeltaBitIdentity pins SetCut's incremental small-delta path
+// against the full-sweep reference across random cut sequences: after
+// every SetCut, all critical-path labels, the I/O counts, the violator
+// count and the merit must be bit-identical. Cut sizes straddle
+// setCutDeltaMax so both the delta path and the sweep fallback run.
+func TestSetCutDeltaBitIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	cfg := DefaultConfig()
+	for trial := 0; trial < 25; trial++ {
+		blk := randKernelBlock(rng, 10+rng.Intn(60))
+		incr := NewState(blk, cfg.Model, nil)
+		full := NewState(blk, cfg.Model, nil)
+		full.fullCP = true
+		var free []int
+		for v := 0; v < blk.N(); v++ {
+			if !incr.Frozen.Has(v) {
+				free = append(free, v)
+			}
+		}
+		if len(free) == 0 {
+			continue
+		}
+		for step := 0; step < 20; step++ {
+			cut := graph.NewBitSet(blk.N())
+			// Alternate between near-current cuts (small delta), sparse
+			// random cuts, dense cuts (sweep fallback) and the empty cut.
+			switch step % 4 {
+			case 0:
+				cut.CopyFrom(incr.H)
+				for i := 0; i < 3; i++ {
+					u := free[rng.Intn(len(free))]
+					if cut.Has(u) {
+						cut.Clear(u)
+					} else {
+						cut.Set(u)
+					}
+				}
+			case 1:
+				for _, u := range free {
+					if rng.Intn(4) == 0 {
+						cut.Set(u)
+					}
+				}
+			case 2:
+				for _, u := range free {
+					if rng.Intn(4) != 0 {
+						cut.Set(u)
+					}
+				}
+			}
+			incr.SetCut(cut)
+			full.SetCut(cut)
+			if incr.hwCP != full.hwCP {
+				t.Fatalf("%s trial %d step %d: hwCP %v incremental vs %v full", blk.Name, trial, step, incr.hwCP, full.hwCP)
+			}
+			for u := 0; u < blk.N(); u++ {
+				if incr.level[u] != full.level[u] || incr.tail[u] != full.tail[u] {
+					t.Fatalf("%s trial %d step %d: node %d labels (%v,%v) incremental vs (%v,%v) full",
+						blk.Name, trial, step, u, incr.level[u], incr.tail[u], full.level[u], full.tail[u])
+				}
+			}
+			if incr.numIn != full.numIn || incr.numOut != full.numOut || incr.nviol != full.nviol {
+				t.Fatalf("%s trial %d step %d: io/viol (%d,%d,%d) incremental vs (%d,%d,%d) full",
+					blk.Name, trial, step, incr.numIn, incr.numOut, incr.nviol, full.numIn, full.numOut, full.nviol)
+			}
+			if incr.Merit() != full.Merit() {
+				t.Fatalf("%s trial %d step %d: merit %v incremental vs %v full", blk.Name, trial, step, incr.Merit(), full.Merit())
+			}
+		}
+		if incr.setCutInc == 0 {
+			t.Fatalf("%s trial %d: SetCut never took the incremental path", blk.Name, trial)
+		}
+	}
+}

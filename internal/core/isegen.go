@@ -238,7 +238,7 @@ func (e *Engine) Trajectory(seed *graph.BitSet) []Candidate {
 
 // TrajectoryContext is Trajectory with cancellation granularity inside the
 // block: the K-L loop polls the context every few toggle steps (each step
-// is an O(n·deg) gain scan, so the amortized check is free) and aborts
+// is at least an O(n) gain scan, so the amortized check is free) and aborts
 // mid-pass, returning the snapshots taken so far alongside ctx.Err(). This
 // is what lets a cancelled request abort a 696-node AES bi-partition
 // mid-search instead of waiting for the full trajectory.
@@ -255,16 +255,20 @@ func (e *Engine) TrajectoryContext(ctx context.Context, seed *graph.BitSet) ([]C
 	// Drain the workspace tallies unconditionally — pooled State must
 	// not carry counts into a later job — and record them only when a
 	// recorder rides the context.
-	toggles, probes, cpInc, cpFull := t.st.drainObs()
+	o := t.st.drainObs()
 	rebuilds := t.gc.rebuilds
 	t.gc.rebuilds = 0
 	e.putTrajectory(t)
 	if rec := obs.FromContext(ctx); rec != nil {
-		rec.Add(obs.KLToggles, toggles)
-		rec.Add(obs.KLProbes, probes)
-		rec.Add(obs.KLCPIncremental, cpInc)
-		rec.Add(obs.KLCPFullSweeps, cpFull)
+		rec.Add(obs.KLToggles, o.toggles)
+		rec.Add(obs.KLProbes, o.probes)
+		rec.Add(obs.KLCPIncremental, o.cpInc)
+		rec.Add(obs.KLCPFullSweeps, o.cpFull)
 		rec.Add(obs.KLGainRebuilds, rebuilds)
+		rec.Add(obs.KLGainCacheHits, o.gainHits)
+		rec.Add(obs.KLGainCacheMisses, o.gainMisses)
+		rec.Add(obs.KLCPCriticalInc, o.cpCriticalInc)
+		rec.Add(obs.KLSetCutIncremental, o.setCutInc)
 		if reused {
 			rec.Add(obs.KLPoolHits, 1)
 		} else {
@@ -287,6 +291,7 @@ func (e *Engine) getTrajectory() (*trajectory, bool) {
 		t.ctxErr = nil
 		t.steps = 0
 		t.gc.invalidate()
+		e.setRebuildMode(t)
 		return t, true
 	}
 	n := e.blk.N()
@@ -298,10 +303,26 @@ func (e *Engine) getTrajectory() (*trajectory, bool) {
 		best:    graph.NewBitSet(n),
 		arena:   graph.NewBitSetArena(n),
 	}
-	t.st.fullCP = e.fullRebuild
-	t.gc.noIncremental = e.fullRebuild
+	e.setRebuildMode(t)
 	return t, false
 }
+
+// setRebuildMode syncs a workspace's incremental-vs-reference switches
+// with the engine's fullRebuild flag. Pooled workspaces re-sync on every
+// checkout so a SetFullRebuild call between trajectories takes effect.
+func (e *Engine) setRebuildMode(t *trajectory) {
+	t.st.fullCP = e.fullRebuild
+	t.st.digestOff = e.fullRebuild
+	t.gc.noIncremental = e.fullRebuild
+}
+
+// SetFullRebuild routes every subsequent trajectory through the
+// non-incremental reference paths: full critical-path sweeps per toggle
+// and SetCut, uncached probes, gain-context relabels every step. The
+// pinning tests and the differential harness compare both modes
+// bit-for-bit; production callers never need it. Not safe to call
+// concurrently with running trajectories.
+func (e *Engine) SetFullRebuild(on bool) { e.fullRebuild = on }
 
 // putTrajectory returns a workspace to the pool. The snapshot slice was
 // handed to the caller, so only the reference is dropped here (by
@@ -414,7 +435,7 @@ type trajectory struct {
 }
 
 // ctxCheckEvery is the toggle-step stride of the amortized cancellation
-// poll: each step already costs an O(n·deg) gain scan, so one Err() call
+// poll: each step already costs an O(n) gain scan, so one Err() call
 // per 16 steps is unmeasurable yet keeps abort latency far below a pass.
 const ctxCheckEvery = 16
 
@@ -495,6 +516,11 @@ func (t *trajectory) klLoop(start *graph.BitSet) {
 
 // selectBestGain evaluates the gain of every unmarked, unfrozen node and
 // returns the argmax (lowest ID wins ties); -1 when no candidate remains.
+// The scan is O(n) amortized, not O(n·deg): each gain reads an O(1)
+// recombination of the candidate's cached probe digest with the global
+// scalars, and the preceding toggle's invalidation walk dirtied only the
+// candidates in its own neighbourhood — those few pay the full digest
+// rebuild, everyone else hits the cache (see State.Probe).
 func (t *trajectory) selectBestGain() int {
 	t.prepareGainContext()
 	best, bestGain := -1, 0.0

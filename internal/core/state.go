@@ -11,6 +11,7 @@ package core
 
 import (
 	"math"
+	"math/bits"
 
 	"repro/internal/graph"
 	"repro/internal/ir"
@@ -85,6 +86,23 @@ type State struct {
 	downDist []int
 	maxDist  int
 
+	// Probe digest cache: the candidate-local half of every Probe(v),
+	// recombined with the global scalars in O(1) (see Probe). Allocated
+	// lazily on the first Probe so States that never probe (the cost
+	// oracle, the baselines' SetCut users) pay nothing; digestValid marks
+	// the entries the locality invalidation has not dirtied since they
+	// were computed. digestVer is the mutation version the valid bits
+	// reflect: every maintenance hook syncs it, and Probe wholesale-resets
+	// the valid bits if it ever trails s.version, so a mutation path that
+	// bypassed the hooks can go stale-silent only by also forgetting to
+	// bump version — which would already break the gain context's guard.
+	// digestOff routes Probe through the uncached reference path (the
+	// fullRebuild pinning shim).
+	digest      []probeDigest
+	digestValid *graph.BitSet
+	digestVer   uint64
+	digestOff   bool
+
 	// Observability tallies. Plain (non-atomic) integers: a State is
 	// single-goroutine, and the hot loops pay one register increment
 	// whether recording is on or off. drainObs hands them off (and
@@ -94,6 +112,10 @@ type State struct {
 	nProbes       int64
 	cpIncremental int64
 	cpFullSweeps  int64
+	gainHits      int64
+	gainMisses    int64
+	cpCriticalInc int64
+	setCutInc     int64
 }
 
 // NewState returns the all-software partition for the block. Nodes in
@@ -213,28 +235,25 @@ func (s *State) Feasible(maxIn, maxOut int) bool {
 // Additions update the critical-path labels incrementally: adding v can
 // only create paths through v, so only v itself plus the H nodes whose
 // longest path grew (v's H-descendants for level, H-ancestors for tail)
-// need recomputation — see addCPUpdate. Removals of nodes off the current
-// critical path are likewise incremental (see removeCPUpdate); only a
-// critical removal — where hwCP itself may shrink — and SetCut fall back
-// to the full recomputeCP sweep. K-L passes toggle every unfrozen node
-// once while H stays small, so the common step avoids the O(V+E) sweep
-// entirely.
+// need recomputation — see addCPUpdate. Removals are incremental too:
+// removeCPUpdate restores every level/tail label for any removal, and
+// when v was critical — the only case where hwCP itself may shrink —
+// the new hwCP is re-derived by one O(|H|) max scan over the (tiny) cut
+// (see removeWithCPUpdate) instead of the O(V+E) sweep. Only the fullCP
+// pinning mode still sweeps per toggle.
 func (s *State) Toggle(v int) {
 	if s.Frozen.Has(v) {
 		panic("core: Toggle of frozen node")
 	}
 	s.nToggles++
 	if s.H.Has(v) {
-		// Criticality must be read before the sweep: removeNode leaves
-		// level/tail untouched, so these are still v's in-H labels.
-		critical := s.level[v]+s.tail[v]-s.hwLat[v] >= s.hwCP-cpCriticalEps
-		s.removeNode(v)
-		if s.fullCP || critical {
+		if s.fullCP {
+			s.removeNode(v)
 			s.cpFullSweeps++
 			s.recomputeCP()
 		} else {
 			s.cpIncremental++
-			s.removeCPUpdate(v)
+			s.removeWithCPUpdate(v)
 		}
 	} else {
 		s.addNode(v)
@@ -248,25 +267,79 @@ func (s *State) Toggle(v int) {
 	}
 }
 
+// removeWithCPUpdate removes v and restores the critical-path invariants
+// without a full sweep. removeCPUpdate's label propagation is exact for
+// any removal (its argument never uses criticality); only hwCP needs
+// extra care. For a non-critical v it is provably unchanged. For a
+// critical v it may shrink, and since every level label is exact once the
+// propagation settles, re-deriving hwCP is one max scan over H — the same
+// multiset maximum recomputeCP takes in topological order, hence
+// bit-identical (levels are non-negative path sums; max is order-free).
+func (s *State) removeWithCPUpdate(v int) {
+	// Criticality must be read before removeNode: level/tail are still
+	// v's in-H labels there.
+	critical := s.level[v]+s.tail[v]-s.hwLat[v] >= s.hwCP-cpCriticalEps
+	s.removeNode(v)
+	s.removeCPUpdate(v)
+	if critical {
+		s.cpCriticalInc++
+		s.rebuildHWCP()
+	}
+}
+
+// rebuildHWCP re-derives hwCP from the settled level labels: O(|H|).
+func (s *State) rebuildHWCP() {
+	cp := 0.0
+	for u := s.H.NextSet(0); u >= 0; u = s.H.NextSet(u + 1) {
+		if s.level[u] > cp {
+			cp = s.level[u]
+		}
+	}
+	s.hwCP = cp
+}
+
+// stateObs is one drain of the per-State observability tallies.
+type stateObs struct {
+	toggles, probes, cpInc, cpFull int64
+	gainHits, gainMisses           int64
+	cpCriticalInc, setCutInc       int64
+}
+
 // drainObs returns and clears the observability tallies. Called at
 // trajectory boundaries so counts attribute to the job that ran them
 // even though the State itself is pooled.
-func (s *State) drainObs() (toggles, probes, cpInc, cpFull int64) {
-	toggles, probes, cpInc, cpFull = s.nToggles, s.nProbes, s.cpIncremental, s.cpFullSweeps
+func (s *State) drainObs() stateObs {
+	o := stateObs{
+		toggles: s.nToggles, probes: s.nProbes,
+		cpInc: s.cpIncremental, cpFull: s.cpFullSweeps,
+		gainHits: s.gainHits, gainMisses: s.gainMisses,
+		cpCriticalInc: s.cpCriticalInc, setCutInc: s.setCutInc,
+	}
 	s.nToggles, s.nProbes, s.cpIncremental, s.cpFullSweeps = 0, 0, 0, 0
-	return
+	s.gainHits, s.gainMisses, s.cpCriticalInc, s.setCutInc = 0, 0, 0, 0
+	return o
 }
 
+// setCutDeltaMax bounds |H △ cut| for SetCut's incremental path. K-L
+// resets between passes move a handful of nodes; a delta this small is
+// far cheaper to apply as individual incremental updates than to pay the
+// O(V+E) relabel sweep. Larger deltas (fresh restart seeds on big blocks,
+// the baselines' arbitrary cuts) take the sweep, which also stays the
+// pinning reference for the delta path.
+const setCutDeltaMax = 32
+
 // SetCut resets the partition to exactly the given cut (which must contain
-// no frozen nodes).
+// no frozen nodes). Small symmetric differences are applied as individual
+// addNode/removeNode steps with incremental critical-path updates — each
+// step leaves the exact invariant state a full sweep would, so the final
+// labels are bit-identical to the fallback sweep by induction.
 func (s *State) SetCut(cut *graph.BitSet) {
-	// Remove extras (H \ cut), then add missing (cut \ H). Word-level
-	// NextSet walks over the sets themselves replace the former per-index
-	// Has scans over [0, n): SetCut runs once per K-L restart seed and
-	// once per pass, where n is the block size but the cuts are tiny.
+	// Count the symmetric difference first (word-level NextSet walks over
+	// the sets themselves; the cuts are tiny relative to n).
+	delta := 0
 	for v := s.H.NextSet(0); v >= 0; v = s.H.NextSet(v + 1) {
 		if !cut.Has(v) {
-			s.removeNode(v)
+			delta++
 		}
 	}
 	for v := cut.NextSet(0); v >= 0; v = cut.NextSet(v + 1) {
@@ -274,9 +347,44 @@ func (s *State) SetCut(cut *graph.BitSet) {
 			if s.Frozen.Has(v) {
 				panic("core: SetCut includes frozen node")
 			}
+			delta++
+		}
+	}
+	if delta == 0 {
+		return // H already equals cut; every invariant already holds
+	}
+	if !s.fullCP && delta <= setCutDeltaMax {
+		s.setCutInc++
+		// Remove extras (H \ cut), then add missing (cut \ H) — the same
+		// order the sweep path mutates in.
+		for v := s.H.NextSet(0); v >= 0; v = s.H.NextSet(v + 1) {
+			if !cut.Has(v) {
+				s.removeWithCPUpdate(v)
+			}
+		}
+		for v := cut.NextSet(0); v >= 0; v = cut.NextSet(v + 1) {
+			if !s.H.Has(v) {
+				s.addNode(v)
+				s.addCPUpdate(v)
+			}
+		}
+		return
+	}
+	// Full path: the wholesale digest reset below subsumes per-node
+	// invalidation, so suspend the walk while the loops run.
+	suspended := s.digest
+	s.digest = nil
+	for v := s.H.NextSet(0); v >= 0; v = s.H.NextSet(v + 1) {
+		if !cut.Has(v) {
+			s.removeNode(v)
+		}
+	}
+	for v := cut.NextSet(0); v >= 0; v = cut.NextSet(v + 1) {
+		if !s.H.Has(v) {
 			s.addNode(v)
 		}
 	}
+	s.digest = suspended
 	s.recomputeCP()
 }
 
@@ -332,6 +440,9 @@ func (s *State) addNode(v int) {
 	for _, c := range dag.Succs(v) {
 		s.nbrH[c]++
 	}
+	if s.digest != nil {
+		s.digestMutate(v, true)
+	}
 }
 
 func (s *State) removeNode(v int) {
@@ -378,6 +489,191 @@ func (s *State) removeNode(v int) {
 	for _, c := range dag.Succs(v) {
 		s.nbrH[c]--
 	}
+	if s.digest != nil {
+		s.digestMutate(v, false)
+	}
+}
+
+// Digest count fields patchCone can adjust in place.
+const (
+	patchPDesc = iota // probeDigest.pDescCnt (add direction, P witnesses)
+	patchQAnc         // probeDigest.qAncCnt  (add direction, Q witnesses)
+	patchFix          // probeDigest.fixCnt   (remove direction, A/D repairs)
+)
+
+// patchCone adds delta to one count field of every still-valid digest in
+// mask on the requested side of the cut. The three filters (cone, valid,
+// direction) intersect word-level, so the cost is O(n/64) plus one add
+// per surviving entry — cheap enough that a predicate flip patches its
+// readers instead of invalidating them.
+func (s *State) patchCone(mask *graph.BitSet, inH bool, kind, delta int) {
+	mw, vw, hw := mask.Words(), s.digestValid.Words(), s.H.Words()
+	for i, w := range mw {
+		w &= vw[i]
+		if inH {
+			w &= hw[i]
+		} else {
+			w &^= hw[i]
+		}
+		for w != 0 {
+			u := i*64 + bits.TrailingZeros64(w)
+			w &= w - 1
+			switch kind {
+			case patchPDesc:
+				s.digest[u].pDescCnt += delta
+			case patchQAnc:
+				s.digest[u].qAncCnt += delta
+			default:
+				s.digest[u].fixCnt += delta
+			}
+		}
+	}
+}
+
+// digestMutate repairs the probe-digest cache after the toggle of v,
+// matched read-for-read against ioAfter, convexAfter and cpAfter (see
+// DESIGN.md, "O(1) candidate gains").
+//
+// The neighbourhood rules invalidate outright: v itself (its toggle
+// direction flipped), Preds(v) and Succs(v) (they read H(v) in the I/O
+// replay and level[v]/tail[v] in the through-path bound), and for each of
+// v's source values both its producer node and its other consumers
+// ("siblings" — their I/O replays read inCnt[src], which just moved).
+//
+// The convexity terms are repaired in place rather than invalidated. A
+// cached cone scan reads node x only through four predicates —
+//
+//	P(x) = !H(x) ∧ aCnt(x)==0 ∧ dCnt(x)>0   (pDescCnt, read by off-H Anc(x))
+//	Q(x) = !H(x) ∧ dCnt(x)==0 ∧ aCnt(x)>0   (qAncCnt,  read by off-H Desc(x))
+//	A(x) = !H(x) ∧ aCnt(x)==1 ∧ dCnt(x)>0   (fixCnt,   read by in-H Anc(x))
+//	D(x) = !H(x) ∧ dCnt(x)==1 ∧ aCnt(x)>0   (fixCnt,   read by in-H Desc(x))
+//
+// — and each cached field is a plain count of the predicate over a cone,
+// so when a predicate flips at x the readers' counts move by exactly ±1:
+// patchCone applies the delta to the surviving entries and validity is
+// untouched. Reader sets split by direction because a valid digest always
+// matches its owner's current side of the cut: P and Q feed the
+// add-direction witness counts, A and D feed the remove-direction repair
+// count, so a flip at x patches only the matching side of Anc(x)/Desc(x).
+//
+// The toggle moved aCnt by one at every x ∈ Desc(v) and dCnt by one at
+// every x ∈ Anc(v), and flipped H at v only, which gives exact flip
+// tests on the post-toggle counters: x ∈ H cannot flip anything (all
+// four predicates carry !H(x)); an off-cut descendant flips P iff the
+// new aCnt crossed 0↔1 with dCnt>0, flips A iff it crossed a 0↔1/1↔2
+// boundary with dCnt>0, and flips Q/D iff it crossed 0↔1 while dCnt is
+// 0/1 (ancestors symmetrically); v's own H flip replays the same tests
+// with its unchanged counters. The patch direction is the new predicate
+// value: +1 when the flip turned it on, −1 when it turned it off.
+// (Violator-set churn needs no separate rule: a viol membership change
+// at x is an A/D contribution change, and nviol is recombined fresh.)
+//
+// Costs O(deg(v) + |Anc(v)| + |Desc(v)| + flips·n/64) — the same
+// asymptotic class as the counter maintenance it piggybacks on.
+func (s *State) digestMutate(v int, added bool) {
+	blk := s.Blk
+	dag := blk.DAG()
+	dv := s.digestValid
+	dv.Clear(v)
+	for _, p := range dag.Preds(v) {
+		dv.Clear(p)
+	}
+	for _, c := range dag.Succs(v) {
+		dv.Clear(c)
+	}
+	for _, src := range blk.Srcs(v) {
+		if src < s.n {
+			dv.Clear(src)
+		}
+		for _, u := range blk.Uses(src) {
+			dv.Clear(u)
+		}
+	}
+	anc, desc := dag.Anc(v), dag.Desc(v)
+	// Boundary values for the moved counter: after addNode it was
+	// incremented (crossed 0↔1 iff ==1, touched a 0↔1/1↔2 boundary iff
+	// ≤2); after removeNode decremented (crossed 0↔1 iff ==0, boundary
+	// iff ≤1).
+	lo, lim := 0, 1
+	if added {
+		lo, lim = 1, 2
+	}
+	// on is the patch delta for predicates whose flip tracks the moved
+	// counter crossing 0↔1: they turn on when the counter rose to 1
+	// (added) and off when it fell to 0 (removed).
+	on := -1
+	if added {
+		on = 1
+	}
+	for x := desc.NextSet(0); x >= 0; x = desc.NextSet(x + 1) {
+		if s.H.Has(x) {
+			continue
+		}
+		a, d := s.aCnt[x], s.dCnt[x]
+		if d > 0 {
+			if a == lo { // P(x) flipped: on iff aCnt fell to 0
+				s.patchCone(dag.Anc(x), false, patchPDesc, -on)
+			}
+			if a <= lim { // A(x) flipped: on iff aCnt landed on 1
+				delta := -1
+				if a == 1 {
+					delta = 1
+				}
+				s.patchCone(dag.Anc(x), true, patchFix, delta)
+			}
+		}
+		if a == lo {
+			if d == 0 { // Q(x) flipped: on iff aCnt rose to 1
+				s.patchCone(dag.Desc(x), false, patchQAnc, on)
+			} else if d == 1 { // D(x) flipped: same crossing
+				s.patchCone(dag.Desc(x), true, patchFix, on)
+			}
+		}
+	}
+	for x := anc.NextSet(0); x >= 0; x = anc.NextSet(x + 1) {
+		if s.H.Has(x) {
+			continue
+		}
+		a, d := s.aCnt[x], s.dCnt[x]
+		if a > 0 {
+			if d == lo { // Q(x) flipped: on iff dCnt fell to 0
+				s.patchCone(dag.Desc(x), false, patchQAnc, -on)
+			}
+			if d <= lim { // D(x) flipped: on iff dCnt landed on 1
+				delta := -1
+				if d == 1 {
+					delta = 1
+				}
+				s.patchCone(dag.Desc(x), true, patchFix, delta)
+			}
+		}
+		if d == lo {
+			if a == 0 { // P(x) flipped: on iff dCnt rose to 1
+				s.patchCone(dag.Anc(x), false, patchPDesc, on)
+			} else if a == 1 { // A(x) flipped: same crossing
+				s.patchCone(dag.Anc(x), true, patchFix, on)
+			}
+		}
+	}
+	// v's own H flip, with v's counters unchanged by its own toggle: all
+	// four predicates go off on an add (H(v) now true) and take their
+	// counter values on a remove, so the delta is -on for every flip.
+	a, d := s.aCnt[v], s.dCnt[v]
+	if d > 0 {
+		if a == 0 {
+			s.patchCone(anc, false, patchPDesc, -on)
+		} else if a == 1 {
+			s.patchCone(anc, true, patchFix, -on)
+		}
+	}
+	if a > 0 {
+		if d == 0 {
+			s.patchCone(desc, false, patchQAnc, -on)
+		} else if d == 1 {
+			s.patchCone(desc, true, patchFix, -on)
+		}
+	}
+	s.digestVer = s.version
 }
 
 // updateViol refreshes the membership of x in the violator set.
@@ -396,9 +692,15 @@ func (s *State) updateViol(x int) {
 }
 
 // recomputeCP rebuilds level, tail and hwCP for the current H in one
-// topological sweep. Called once per committed toggle: O(V+E), which keeps
-// a full K-L pass within the paper's O(n²) budget.
+// topological sweep: O(V+E). Since PR's incremental paths took over the
+// steady state, this runs only for large SetCut deltas and the fullCP
+// pinning mode. Every label may move, so the digest cache is reset
+// wholesale.
 func (s *State) recomputeCP() {
+	if s.digest != nil {
+		s.digestValid.Reset()
+		s.digestVer = s.version
+	}
 	dag := s.Blk.DAG()
 	topo := dag.Topo()
 	cp := 0.0
@@ -461,10 +763,12 @@ func (s *State) addCPUpdate(v int) {
 			}
 		}
 		nl := best + s.hwLat[u]
-		if nl == s.level[u] && u != v {
+		if nl != s.level[u] {
+			s.level[u] = nl
+			s.digestDirtyLevel(u)
+		} else if u != v {
 			continue // unchanged: downstream labels cannot move through u
 		}
-		s.level[u] = nl
 		if nl > s.hwCP {
 			s.hwCP = nl
 		}
@@ -488,10 +792,12 @@ func (s *State) addCPUpdate(v int) {
 			}
 		}
 		nt := best + s.hwLat[u]
-		if nt == s.tail[u] && u != v {
+		if nt != s.tail[u] {
+			s.tail[u] = nt
+			s.digestDirtyTail(u)
+		} else if u != v {
 			continue
 		}
-		s.tail[u] = nt
 		for _, q := range dag.Preds(u) {
 			if s.H.Has(q) {
 				s.cpDirtyUp.Set(last - dag.TopoPos(q))
@@ -500,24 +806,53 @@ func (s *State) addCPUpdate(v int) {
 	}
 }
 
-// cpCriticalEps pads the is-v-critical test of Toggle's remove path.
+// digestDirtyLevel invalidates the digests that read level[u]: the
+// through-path bound of every successor candidate still outside H. In-H
+// successors hold remove-direction digests, which read no labels — and a
+// later toggle of theirs clears their entry anyway.
+func (s *State) digestDirtyLevel(u int) {
+	if s.digest == nil {
+		return
+	}
+	for _, c := range s.Blk.DAG().Succs(u) {
+		if !s.H.Has(c) {
+			s.digestValid.Clear(c)
+		}
+	}
+}
+
+// digestDirtyTail invalidates the digests that read tail[u]: the
+// through-path bound of every predecessor candidate still outside H.
+func (s *State) digestDirtyTail(u int) {
+	if s.digest == nil {
+		return
+	}
+	for _, p := range s.Blk.DAG().Preds(u) {
+		if !s.H.Has(p) {
+			s.digestValid.Clear(p)
+		}
+	}
+}
+
+// cpCriticalEps pads the is-v-critical test of the remove path.
 // level[v]+tail[v]−hwLat[v] sums the longest path through v in a different
 // association order than recomputeCP's left-to-right level accumulation,
 // so a truly critical node could compare a few ulps below hwCP; the pad
 // (orders of magnitude above ulp error on path sums, orders below any
-// latency-model delta) errs toward the always-correct full sweep.
+// latency-model delta) errs toward the always-correct hwCP rebuild scan.
 const cpCriticalEps = 1e-9
 
-// removeCPUpdate restores the level/tail/hwCP invariants after v — a node
-// on no critical path — left H, recomputing only the labels that can have
-// moved. Removing v destroys paths exclusively through v, so level can
-// shrink only at v's H-descendants and tail only at its H-ancestors, and
-// no label ever grows. Each affected node is recomputed with exactly
-// recomputeCP's formula in topological order via the dirty-position
-// bitsets, so the resulting labels are bit-identical to a full sweep.
-// hwCP is untouched: it was attained at some node w, and if w's level
-// shrank its longest path ran through v, which would make v critical —
-// contradiction. Toggle sends critical removals to recomputeCP instead.
+// removeCPUpdate restores the level/tail invariants after v left H,
+// recomputing only the labels that can have moved. Removing v destroys
+// paths exclusively through v, so level can shrink only at v's
+// H-descendants and tail only at its H-ancestors, and no label ever
+// grows. Each affected node is recomputed with exactly recomputeCP's
+// formula in topological order via the dirty-position bitsets, so the
+// resulting labels are bit-identical to a full sweep — for any removal.
+// hwCP is NOT restored here: when v was off every critical path it is
+// provably unchanged (if the attaining node's level shrank, its longest
+// path ran through v — contradiction); when v was critical the caller
+// re-derives it from the settled levels (see removeWithCPUpdate).
 func (s *State) removeCPUpdate(v int) {
 	dag := s.Blk.DAG()
 	topo := dag.Topo()
@@ -545,6 +880,7 @@ func (s *State) removeCPUpdate(v int) {
 			continue // unchanged: downstream labels cannot move through u
 		}
 		s.level[u] = nl
+		s.digestDirtyLevel(u)
 		for _, c := range dag.Succs(u) {
 			if s.H.Has(c) {
 				s.cpDirtyDown.Set(dag.TopoPos(c))
@@ -573,6 +909,7 @@ func (s *State) removeCPUpdate(v int) {
 			continue
 		}
 		s.tail[u] = nt
+		s.digestDirtyTail(u)
 		for _, q := range dag.Preds(u) {
 			if s.H.Has(q) {
 				s.cpDirtyUp.Set(last - dag.TopoPos(q))
@@ -591,12 +928,92 @@ type ToggleEffect struct {
 	HWCP          float64
 }
 
-// Probe predicts the effect of toggling v. Cost is O(deg(v)) plus, for
-// convexity, an early-exit scan bounded by |anc(v)|+|desc(v)| that in
-// practice terminates almost immediately.
+// probeDigest is the candidate-local half of one Probe(v): everything
+// that depends only on v's neighbourhood, cached until a toggle's
+// locality invalidation dirties it (see digestMutate). The direction it
+// was computed for is implicit — a toggle of v itself always dirties the
+// entry, so a valid digest always matches the current !H.Has(v).
+type probeDigest struct {
+	// dIn/dOut are the I/O replay's port deltas against numIn/numOut.
+	dIn, dOut int
+	// levelIn/tailOut bound the new through-path for an addition
+	// (cpAfter's max over in-H predecessors/successors).
+	levelIn, tailOut float64
+	// pDescCnt/qAncCnt count, for an addition, the fresh convexity
+	// violators it would create — the P witnesses among v's descendants
+	// and the Q witnesses among its ancestors (see digestMutate). The
+	// addition stays convex iff both counts are zero.
+	pDescCnt, qAncCnt int
+	// fixCnt counts, for a removal, the current violators that removing v
+	// repairs; the cut stays convex iff it equals nviol (every violator
+	// fixed) and v itself does not become one.
+	fixCnt int
+}
+
+// Probe predicts the effect of toggling v. Amortized cost is O(1): the
+// candidate-local digest (I/O port deltas, convexity scan witness,
+// through-path levelIn/tailOut) is served from a per-State cache and
+// recombined with the global scalars (numIn/numOut, swSum, nviol, hwCP)
+// by a handful of reads. A digest rebuild — the old O(deg(v)) replay plus
+// the ancestor/descendant convexity scan — triggers only when a committed
+// toggle's invalidation walk dirtied v's entry: v itself or a
+// neighbour/sibling toggled, v's ancestor-or-descendant cone saw an H
+// flip or an aCnt/dCnt boundary crossing, or a critical-path label next
+// to v moved. Recombination reproduces the uncached arithmetic
+// expression-for-expression, so the returned ToggleEffect is bit-for-bit
+// identical to the reference path (including the conservative
+// critical-removal upper bound in HWCP).
 func (s *State) Probe(v int) ToggleEffect {
-	s.nProbes++
 	adding := !s.H.Has(v)
+	if s.digestOff {
+		s.nProbes++
+		return s.probeFresh(v, adding)
+	}
+	if s.digest == nil {
+		s.digest = make([]probeDigest, s.n)
+		s.digestValid = graph.NewBitSet(s.n)
+		s.digestVer = s.version
+	} else if s.digestVer != s.version {
+		// A mutation bypassed the maintenance hooks (impossible via the
+		// public API, but the version guard makes staleness structurally
+		// unreachable rather than merely unlikely).
+		s.digestValid.Reset()
+		s.digestVer = s.version
+	}
+	d := &s.digest[v]
+	if s.digestValid.Has(v) {
+		s.gainHits++
+	} else {
+		s.nProbes++
+		s.gainMisses++
+		s.computeDigest(v, adding, d)
+		s.digestValid.Set(v)
+	}
+	var eff ToggleEffect
+	eff.NumIn = s.numIn + d.dIn
+	eff.NumOut = s.numOut + d.dOut
+	if adding {
+		eff.SWSum = s.swSum + s.swLat[v]
+		base := s.nviol
+		if s.viol.Has(v) {
+			base--
+		}
+		eff.Convex = base <= 0 && d.pDescCnt == 0 && d.qAncCnt == 0
+		eff.HWCP = math.Max(s.hwCP, d.levelIn+s.hwLat[v]+d.tailOut)
+	} else {
+		eff.SWSum = s.swSum - s.swLat[v]
+		eff.Convex = !(s.aCnt[v] > 0 && s.dCnt[v] > 0) && d.fixCnt == s.nviol
+		eff.HWCP = s.hwCP
+	}
+	return eff
+}
+
+// probeFresh is the uncached reference Probe: the full I/O replay,
+// convexity scan and critical-path query. The fullRebuild pinning shim
+// routes here (digestOff), and computeDigest derives the cached entries
+// from the same helpers, so cached and fresh probes share every
+// arithmetic expression.
+func (s *State) probeFresh(v int, adding bool) ToggleEffect {
 	var eff ToggleEffect
 	eff.NumIn, eff.NumOut = s.ioAfter(v, adding)
 	eff.Convex = s.convexAfter(v, adding)
@@ -607,6 +1024,61 @@ func (s *State) Probe(v int) ToggleEffect {
 	}
 	eff.HWCP = s.cpAfter(v, adding)
 	return eff
+}
+
+// computeDigest fills d with the candidate-local half of Probe(v) for the
+// current toggle direction, using the same scans as the reference path.
+func (s *State) computeDigest(v int, adding bool, d *probeDigest) {
+	in, out := s.ioAfter(v, adding)
+	d.dIn, d.dOut = in-s.numIn, out-s.numOut
+	dag := s.Blk.DAG()
+	if !adding {
+		d.levelIn, d.tailOut = 0, 0
+		d.pDescCnt, d.qAncCnt = 0, 0
+		fix := 0
+		desc, anc := dag.Desc(v), dag.Anc(v)
+		s.viol.ForEach(func(x int) bool {
+			if (desc.Has(x) && s.aCnt[x] == 1) || (anc.Has(x) && s.dCnt[x] == 1) {
+				fix++
+			}
+			return true
+		})
+		d.fixCnt = fix
+		return
+	}
+	d.fixCnt = 0
+	levelIn, tailOut := 0.0, 0.0
+	for _, p := range dag.Preds(v) {
+		if s.H.Has(p) && s.level[p] > levelIn {
+			levelIn = s.level[p]
+		}
+	}
+	for _, c := range dag.Succs(v) {
+		if s.H.Has(c) && s.tail[c] > tailOut {
+			tailOut = s.tail[c]
+		}
+	}
+	d.levelIn, d.tailOut = levelIn, tailOut
+	// The convexity scans record full witness counts, not booleans and
+	// not early-exits: digestMutate repairs the counts by ±1 on each
+	// predicate flip, which only composes if the cache holds the exact
+	// count of P/Q witnesses in the cone.
+	cnt := 0
+	dag.Desc(v).ForEach(func(x int) bool {
+		if !s.H.Has(x) && s.aCnt[x] == 0 && s.dCnt[x] > 0 {
+			cnt++
+		}
+		return true
+	})
+	d.pDescCnt = cnt
+	cnt = 0
+	dag.Anc(v).ForEach(func(x int) bool {
+		if !s.H.Has(x) && s.dCnt[x] == 0 && s.aCnt[x] > 0 {
+			cnt++
+		}
+		return true
+	})
+	d.qAncCnt = cnt
 }
 
 // ioAfter computes the exact post-toggle I/O counts by replaying the

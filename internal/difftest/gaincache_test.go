@@ -1,0 +1,64 @@
+package difftest
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dfggen"
+)
+
+// gaincacheBlockCount sizes the cached-gain sweep: each block runs every
+// restart trajectory twice (cached digests vs the fullRebuild reference)
+// across the same parameter profiles as the differential gate.
+const gaincacheBlockCount = 500
+
+const gaincacheShortCount = 60
+
+// TestGainCacheTrajectoryPinning is the property sweep for the O(1)
+// candidate-gain cache: across generated blocks spanning the pinned
+// profile spread (port tightness, memory density, graph shape), every
+// K-L trajectory run with cached probe digests, incremental critical
+// path and delta SetCut must be bit-identical — same snapshot count,
+// same cut bits, same float merits — to the trajectory the fullRebuild
+// shim produces from the same seed. This is the difftest-level guard
+// that the digest invalidation/patching rules in core never let a stale
+// entry reach a gain decision.
+func TestGainCacheTrajectoryPinning(t *testing.T) {
+	count := gaincacheBlockCount
+	if testing.Short() {
+		count = gaincacheShortCount
+	}
+	for seed := int64(1); seed <= int64(count); seed++ {
+		p, dcfg := pinnedCase(seed)
+		blk := dfggen.Block(dfggen.Seeded(8000+seed), p)
+		cfg := core.DefaultConfig()
+		cfg.MaxIn, cfg.MaxOut = dcfg.MaxIn, dcfg.MaxOut
+		cached, err := core.NewEngine(blk, cfg, nil)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		ref, err := core.NewEngine(blk, cfg, nil)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		ref.SetFullRebuild(true)
+		for si, start := range cached.Seeds() {
+			got := cached.Trajectory(start)
+			want := ref.Trajectory(start)
+			if len(got) != len(want) {
+				t.Fatalf("seed %d trajectory %d: %d snapshots cached vs %d fullRebuild",
+					seed, si, len(got), len(want))
+			}
+			for i := range got {
+				if !got[i].Nodes.Equal(want[i].Nodes) {
+					t.Fatalf("seed %d trajectory %d snapshot %d: cut %s cached vs %s fullRebuild",
+						seed, si, i, got[i].Nodes, want[i].Nodes)
+				}
+				if got[i].Merit != want[i].Merit {
+					t.Fatalf("seed %d trajectory %d snapshot %d: merit %v cached vs %v fullRebuild",
+						seed, si, i, got[i].Merit, want[i].Merit)
+				}
+			}
+		}
+	}
+}
