@@ -86,15 +86,17 @@ func main() {
 		cacheBytes = flag.Int64("cache-bytes", search.DefaultStoreBytes, "disk cache size bound in bytes (LRU-evicted; negative = unbounded)")
 		maxBody    = flag.Int64("max-body", 16<<20, "maximum upload size in bytes")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060; empty = disabled)")
+		jobDeadl   = flag.Duration("job-deadline", 0, "server-enforced per-job run deadline (e.g. 30s; 0 = none); expiry returns 504 or an in-stream error record")
+		cacheFsync = flag.Bool("cache-fsync", false, "fsync cache entry files before the atomic rename (crash durability at write-latency cost)")
 	)
 	flag.Parse()
-	if err := run(*addr, *queueCap, *jobs, *budget, *workers, *cacheDir, *cacheBytes, *maxBody, *pprofAddr); err != nil {
+	if err := run(*addr, *queueCap, *jobs, *budget, *workers, *cacheDir, *cacheBytes, *maxBody, *pprofAddr, *jobDeadl, *cacheFsync); err != nil {
 		fmt.Fprintln(os.Stderr, "isegend:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, queueCap, jobs, budget, workers int, cacheDir string, cacheBytes, maxBody int64, pprofAddr string) error {
+func run(addr string, queueCap, jobs, budget, workers int, cacheDir string, cacheBytes, maxBody int64, pprofAddr string, jobDeadline time.Duration, cacheFsync bool) error {
 	if pprofAddr != "" {
 		// The API handler is a custom mux, so the pprof handlers (which
 		// the blank net/http/pprof import registers on DefaultServeMux)
@@ -110,10 +112,10 @@ func run(addr string, queueCap, jobs, budget, workers int, cacheDir string, cach
 	var store *search.Store
 	if cacheDir != "" {
 		var err error
-		if store, err = search.NewStore(cacheDir, cacheBytes); err != nil {
+		if store, err = search.NewStoreOptions(cacheDir, cacheBytes, search.StoreOptions{Fsync: cacheFsync}); err != nil {
 			return err
 		}
-		log.Printf("persistent cost cache at %s (bound %d bytes)", cacheDir, cacheBytes)
+		log.Printf("persistent cost cache at %s (bound %d bytes, fsync %v)", cacheDir, cacheBytes, cacheFsync)
 	}
 	srv := service.NewServer(service.Config{
 		QueueCapacity: queueCap,
@@ -122,6 +124,7 @@ func run(addr string, queueCap, jobs, budget, workers int, cacheDir string, cach
 		RunnerWorkers: workers,
 		Cache:         search.NewPersistentCostCache(store),
 		MaxBodyBytes:  maxBody,
+		JobDeadline:   jobDeadline,
 	})
 
 	hs := &http.Server{Addr: addr, Handler: srv.Handler()}

@@ -1,0 +1,439 @@
+// Package chaos is the seeded fault-injection soak for the serving
+// stack: it drives generated applications through a live isegend server
+// whose disk and job pipeline are both hostile, classifies every
+// response against the offline reference stream, then crashes the
+// server, poisons the surviving cache files and requires a fresh server
+// over the same directory to quarantine the poison and recover to
+// byte-identical answers.
+//
+// The fault clock is the injector's (seed, fault point, op counter)
+// triple — never wall time — so a soak's fault pattern replays exactly
+// for a given seed. Responses are classified, not scheduled: the set of
+// faults fired per request is deterministic, while which block inside a
+// parallel fan-out absorbs one may vary with goroutine scheduling, so
+// the soak asserts invariants (well-formed streams, byte-identity,
+// Retry-After on rejection, quarantine on poison, zero leaks) rather
+// than an exact response transcript.
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"time"
+
+	"repro/internal/dfggen"
+	"repro/internal/dfgio"
+	"repro/internal/fault"
+	"repro/internal/search"
+	"repro/internal/service"
+)
+
+// Config shapes one soak run. The zero value is usable: Soak fills in
+// the defaults below.
+type Config struct {
+	// Seed drives everything: app generation and both fault clocks.
+	Seed int64
+	// Apps is the number of generated applications (default 4).
+	Apps int
+	// Requests is the hostile-phase request count (default 8*Apps).
+	Requests int
+	// JobDeadline bounds stalled jobs; without it an injected stall
+	// would wedge a worker forever (default 500ms).
+	JobDeadline time.Duration
+	// Dir is the persistent store directory, shared by both server
+	// generations. Empty means a private temp dir, removed afterwards.
+	Dir string
+	// ServeRules and DiskRules override the fault mix (defaults below).
+	ServeRules []fault.Rule
+	DiskRules  []fault.Rule
+	// Logf receives progress lines; nil is silent.
+	Logf func(format string, args ...any)
+}
+
+// DefaultServeRules is the serving-layer fault mix: job errors, a
+// contained panic, a stall (reclaimed by the job deadline), mid-stream
+// per-block failures and a greedy-round abort.
+func DefaultServeRules() []fault.Rule {
+	return []fault.Rule{
+		{Point: fault.PointServiceJob, Kind: fault.Err, Prob: 0.06},
+		{Point: fault.PointServiceJob, Kind: fault.Panic, Prob: 0.04},
+		{Point: fault.PointServiceJob, Kind: fault.Stall, Prob: 0.03},
+		{Point: fault.PointEngineBlock, Kind: fault.Err, Prob: 0.05},
+		{Point: fault.PointSearchRound, Kind: fault.Err, Prob: 0.04},
+	}
+}
+
+// DefaultDiskRules is the hostile-disk mix: failed and short writes,
+// fsync errors, torn renames and read-side bit rot.
+func DefaultDiskRules() []fault.Rule {
+	return []fault.Rule{
+		{Point: fault.PointWrite, Kind: fault.ENOSPC, Prob: 0.12},
+		{Point: fault.PointWrite, Kind: fault.PartialWrite, Prob: 0.06},
+		{Point: fault.PointSync, Kind: fault.Err, Prob: 0.05},
+		{Point: fault.PointRename, Kind: fault.TornRename, Prob: 0.06},
+		{Point: fault.PointRead, Kind: fault.BitFlip, Prob: 0.15},
+	}
+}
+
+// Result is one soak's tally. Violations is the contract: an empty
+// slice means every response upheld the serving invariants.
+type Result struct {
+	// Hostile-phase response classes. Clean streams are byte-compared
+	// against the offline reference; MidStream counts committed 200s
+	// that terminated with an in-band error record; Failed counts
+	// pre-stream 5xx from injected faults; Rejected counts 503s (each
+	// must carry Retry-After).
+	Requests  int
+	Clean     int
+	MidStream int
+	Failed    int
+	Rejected  int
+	// ServeFires and DiskFires count injector events actually fired.
+	ServeFires int
+	DiskFires  int
+	// Poisoned is the number of cache entry files corrupted on disk
+	// between the two server generations.
+	Poisoned int
+	// HostileStore and RecoveredStore are the store stats of the two
+	// generations; RecoveredStore.Corrupt is the quarantine count.
+	HostileStore   search.StoreStats
+	RecoveredStore search.StoreStats
+	// Recovery is the number of post-recovery requests (all must be
+	// byte-identical to the reference).
+	Recovery   int
+	Violations []string
+}
+
+// variant pairs a query string with the offline params that reproduce
+// it, so every served stream has a byte-exact reference. The exact
+// engine exercises the per-block fan-out (and its mid-stream faults);
+// the default ISEGEN path exercises the greedy-round fault point.
+type variant struct {
+	query  string
+	params service.Params
+}
+
+func variants() []variant {
+	exact := service.DefaultParams()
+	exact.Algo, exact.Reuse = "exact", false
+	return []variant{
+		{query: "", params: service.DefaultParams()},
+		{query: "?algo=exact&reuse=false", params: exact},
+	}
+}
+
+// soak carries one run's state.
+type soak struct {
+	cfg  Config
+	res  Result
+	apps [][]byte   // marshalled .dfg uploads
+	refs [][][]byte // refs[app][variant] = offline NDJSON
+}
+
+func (s *soak) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+func (s *soak) violatef(format string, args ...any) {
+	s.res.Violations = append(s.res.Violations, fmt.Sprintf(format, args...))
+}
+
+// Soak runs the full two-generation soak and returns the tally. The
+// error covers setup problems only (an unusable Dir, say); injected
+// faults and contract breaches land in Result.Violations.
+func Soak(cfg Config) (Result, error) {
+	if cfg.Apps <= 0 {
+		cfg.Apps = 4
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = 8 * cfg.Apps
+	}
+	if cfg.JobDeadline <= 0 {
+		cfg.JobDeadline = 500 * time.Millisecond
+	}
+	if cfg.ServeRules == nil {
+		cfg.ServeRules = DefaultServeRules()
+	}
+	if cfg.DiskRules == nil {
+		cfg.DiskRules = DefaultDiskRules()
+	}
+	s := &soak{cfg: cfg}
+	s.res.Requests = cfg.Requests
+
+	dir := cfg.Dir
+	if dir == "" {
+		var err error
+		if dir, err = os.MkdirTemp("", "chaossoak-*"); err != nil {
+			return s.res, err
+		}
+		defer os.RemoveAll(dir)
+	}
+	if err := s.generate(); err != nil {
+		return s.res, err
+	}
+
+	baseline := runtime.NumGoroutine()
+	serveIn := fault.New(cfg.Seed+1, cfg.ServeRules...)
+	diskIn := fault.New(cfg.Seed+2, cfg.DiskRules...)
+	if err := s.hostilePhase(dir, serveIn, diskIn); err != nil {
+		return s.res, err
+	}
+	s.awaitGoroutines(baseline, "hostile-phase shutdown")
+	s.res.ServeFires = len(serveIn.Events())
+	s.res.DiskFires = len(diskIn.Events())
+
+	s.res.Poisoned = s.poison(dir)
+	s.logf("poisoned %d cache entry files", s.res.Poisoned)
+
+	baseline = runtime.NumGoroutine()
+	if err := s.recoveryPhase(dir); err != nil {
+		return s.res, err
+	}
+	s.awaitGoroutines(baseline, "recovery-phase shutdown")
+	return s.res, nil
+}
+
+// generate builds the app corpus and its offline reference streams.
+func (s *soak) generate() error {
+	rng := dfggen.Seeded(s.cfg.Seed)
+	vars := variants()
+	for i := 0; i < s.cfg.Apps; i++ {
+		app := dfggen.Application(rng, dfggen.DefaultParams())
+		var buf bytes.Buffer
+		if err := dfgio.WriteApplication(&buf, app); err != nil {
+			return fmt.Errorf("marshal app %d: %w", i, err)
+		}
+		dfg := buf.Bytes()
+		refs := make([][]byte, len(vars))
+		for v, va := range vars {
+			// Parse the upload bytes back the way the server does, so
+			// the reference is byte-exact including the app name.
+			parsed, err := dfgio.ParseApplication("upload", bytes.NewReader(dfg))
+			if err != nil {
+				return fmt.Errorf("reparse app %d: %w", i, err)
+			}
+			var out bytes.Buffer
+			if err := service.Run(context.Background(), parsed, va.params,
+				search.NewCostCache(), service.NDJSONEmitter(&out)); err != nil {
+				return fmt.Errorf("offline reference app %d variant %q: %w", i, va.query, err)
+			}
+			refs[v] = out.Bytes()
+		}
+		s.apps = append(s.apps, dfg)
+		s.refs = append(s.refs, refs)
+	}
+	s.logf("generated %d apps (%d reference streams)", len(s.apps), len(s.apps)*len(vars))
+	return nil
+}
+
+// hostilePhase serves the request mix with both injectors armed, then
+// shuts the server down with the faults still firing — the crash the
+// recovery phase must survive.
+func (s *soak) hostilePhase(dir string, serveIn, diskIn *fault.Injector) error {
+	store, err := search.NewStoreOptions(dir, 0, search.StoreOptions{
+		FS:    fault.NewInjectFS(nil, diskIn),
+		Fsync: true, BreakerThreshold: 2, ProbeEvery: 1,
+	})
+	if err != nil {
+		return err
+	}
+	srv := service.NewServer(service.Config{
+		Cache:         search.NewPersistentCostCache(store),
+		FaultInjector: serveIn,
+		JobDeadline:   s.cfg.JobDeadline,
+		FlushBackoff:  time.Millisecond,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	vars := variants()
+	for r := 0; r < s.cfg.Requests; r++ {
+		i := r % len(s.apps)
+		v := (r / len(s.apps)) % len(vars)
+		status, body, hdr := s.post(ts, s.apps[i], vars[v].query)
+		s.classify(r, status, body, hdr, s.refs[i][v])
+	}
+	// Mid-chaos the daemon must stay ready: degraded is a 200, only a
+	// saturated queue (impossible for this sequential client) is not.
+	if code, body := s.get(ts, "/healthz"); code != http.StatusOK {
+		s.violatef("hostile-phase healthz = %d %s, want 200 (degraded is still ready)", code, body)
+	}
+	ts.Close()
+	srv.Close() // final flush still races the hostile disk — by design
+	s.res.HostileStore = store.Stats()
+	s.logf("hostile phase: %d clean, %d mid-stream, %d failed, %d rejected (store %+v)",
+		s.res.Clean, s.res.MidStream, s.res.Failed, s.res.Rejected, s.res.HostileStore)
+	return nil
+}
+
+// classify checks one hostile-phase response against the invariants.
+func (s *soak) classify(r int, status int, body []byte, hdr http.Header, ref []byte) {
+	switch status {
+	case http.StatusOK:
+		lines := bytes.Split(bytes.TrimSpace(body), []byte("\n"))
+		for _, ln := range lines {
+			var rec struct {
+				Type string `json:"type"`
+			}
+			if err := json.Unmarshal(ln, &rec); err != nil || rec.Type == "" {
+				s.violatef("request %d: malformed NDJSON record %q (err %v)", r, ln, err)
+				return
+			}
+		}
+		var last struct {
+			Type  string `json:"type"`
+			Error string `json:"error"`
+		}
+		_ = json.Unmarshal(lines[len(lines)-1], &last)
+		if last.Type == "error" {
+			// A fault after the 200 was committed: everything streamed
+			// before the in-band error record must be an exact prefix
+			// of the reference — a faulted stream may be short, never
+			// wrong.
+			prefix := body[:len(body)-len(lines[len(lines)-1])-1]
+			if !bytes.HasPrefix(ref, prefix) {
+				s.violatef("request %d: mid-stream-faulted response is not a prefix of the reference:\n%s", r, body)
+			}
+			s.res.MidStream++
+			return
+		}
+		if !bytes.Equal(body, ref) {
+			s.violatef("request %d: clean 200 diverges from the offline reference:\ngot:\n%s\nwant:\n%s", r, body, ref)
+			return
+		}
+		s.res.Clean++
+	case http.StatusServiceUnavailable:
+		if secs, err := strconv.Atoi(hdr.Get("Retry-After")); err != nil || secs < 1 {
+			s.violatef("request %d: 503 with Retry-After %q, want a positive integer", r, hdr.Get("Retry-After"))
+		}
+		s.res.Rejected++
+	case http.StatusInternalServerError, http.StatusGatewayTimeout:
+		s.res.Failed++
+	default:
+		s.violatef("request %d: unexpected status %d: %s", r, status, body)
+	}
+}
+
+// poison flips one byte in every surviving cache entry file — the
+// on-disk corruption the recovery phase must quarantine, never serve.
+func (s *soak) poison(dir string) int {
+	files, _ := filepath.Glob(filepath.Join(dir, "*.gob"))
+	n := 0
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil || len(data) == 0 {
+			continue
+		}
+		data[len(data)/2] ^= 0x40
+		if os.WriteFile(f, data, 0o644) == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// recoveryPhase brings a fresh, unfaulted server up over the crashed
+// and poisoned directory: it must sweep temp litter, quarantine every
+// poisoned entry it reads, answer byte-identically, and report healthy.
+func (s *soak) recoveryPhase(dir string) error {
+	store, err := search.NewStore(dir, 0)
+	if err != nil {
+		return fmt.Errorf("recovery store over crashed dir: %w", err)
+	}
+	srv := service.NewServer(service.Config{
+		Cache: search.NewPersistentCostCache(store),
+	})
+	ts := httptest.NewServer(srv.Handler())
+	for i, dfg := range s.apps {
+		for v, va := range variants() {
+			status, body, _ := s.post(ts, dfg, va.query)
+			s.res.Recovery++
+			if status != http.StatusOK {
+				s.violatef("recovery app %d variant %q: status %d: %s", i, va.query, status, body)
+				continue
+			}
+			if !bytes.Equal(body, s.refs[i][v]) {
+				s.violatef("recovery app %d variant %q: stream diverges from the offline reference — poisoned data may have been served:\ngot:\n%s\nwant:\n%s",
+					i, va.query, body, s.refs[i][v])
+			}
+		}
+	}
+	if s.res.Poisoned > 0 && store.Stats().Corrupt == 0 {
+		s.violatef("%d poisoned entry files, yet none were quarantined on re-read", s.res.Poisoned)
+	}
+	if store.Degraded() {
+		s.violatef("recovery store is degraded on a healthy disk")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		code, body := s.get(ts, "/healthz")
+		if code == http.StatusOK {
+			if !bytes.Contains(body, []byte(`"ok"`)) {
+				s.violatef("recovered healthz body %s, want status ok", body)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			s.violatef("recovered server never became ready: %d %s", code, body)
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ts.Close()
+	srv.Close()
+	s.res.RecoveredStore = store.Stats()
+	s.logf("recovery phase: %d requests, %d quarantined (store %+v)",
+		s.res.Recovery, s.res.RecoveredStore.Corrupt, s.res.RecoveredStore)
+	return nil
+}
+
+// awaitGoroutines polls the goroutine count back to (near) baseline —
+// the zero-leak invariant after each server generation dies.
+func (s *soak) awaitGoroutines(baseline int, what string) {
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			s.violatef("%s leaked goroutines: %d > baseline %d", what, runtime.NumGoroutine(), baseline)
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func (s *soak) post(ts *httptest.Server, dfg []byte, query string) (int, []byte, http.Header) {
+	resp, err := http.Post(ts.URL+"/v1/select"+query, "text/plain", bytes.NewReader(dfg))
+	if err != nil {
+		s.violatef("POST %s: transport error: %v", query, err)
+		return 0, nil, nil
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		s.violatef("POST %s: read body: %v", query, err)
+		return 0, nil, nil
+	}
+	return resp.StatusCode, body, resp.Header
+}
+
+func (s *soak) get(ts *httptest.Server, path string) (int, []byte) {
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		s.violatef("GET %s: transport error: %v", path, err)
+		return 0, nil
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, body
+}

@@ -1,0 +1,322 @@
+// Package fault is the repository's deterministic fault-injection layer:
+// a seeded schedule of named failures that the persistence and serving
+// layers consult at explicit points, plus an injectable filesystem
+// (fs.go) that search.Store writes through. Production code paths carry a
+// nil *Injector, which every method treats as "never fire" at the cost of
+// one branch — no build tags, no global state, no time.
+//
+// Determinism contract: whether a fault fires depends only on (seed,
+// point name, per-point operation index). Wall-clock time, goroutine
+// scheduling and map order never enter the decision, so a chaos run that
+// found a failure replays the same schedule bit-for-bit from its seed —
+// the property the differential suite (PR 8) established for engine
+// inputs, extended here to the failure domain. Concurrent callers of one
+// point do race for operation indices, but the schedule *as a function of
+// the index* is fixed; single-threaded harnesses (the store crash tests,
+// the chaos soak's serialized uploads) therefore replay exactly.
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"syscall"
+)
+
+// Kind enumerates the injectable failure modes.
+type Kind int
+
+const (
+	// None means the point proceeds normally.
+	None Kind = iota
+	// Err fails the operation with a generic injected error.
+	Err
+	// ENOSPC fails a write with syscall.ENOSPC (disk full).
+	ENOSPC
+	// PartialWrite commits a prefix of the buffer, then fails — the torn
+	// write a crash or full disk leaves mid-file.
+	PartialWrite
+	// TornRename simulates a crash inside a non-atomic replace: the
+	// destination is left holding a truncated copy of the source and the
+	// rename reports failure.
+	TornRename
+	// BitFlip lets a read succeed but flips one byte of the returned
+	// data — silent media corruption.
+	BitFlip
+	// Panic panics at the point (an engine bug taking down a job).
+	Panic
+	// Stall blocks at the point until the operation's context is
+	// cancelled — a wedged job that only a deadline can reclaim.
+	Stall
+)
+
+var kindNames = map[Kind]string{
+	None: "none", Err: "err", ENOSPC: "enospc", PartialWrite: "partial_write",
+	TornRename: "torn_rename", BitFlip: "bit_flip", Panic: "panic", Stall: "stall",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// ErrInjected wraps every error this package fabricates, so callers (and
+// tests) can tell injected failures from real ones with errors.Is.
+var ErrInjected = errors.New("fault: injected")
+
+// Serving-layer fault points (the filesystem points live in fs.go).
+// PointServiceJob fires once per job as it starts on a queue worker
+// (Panic exercises the queue's crash containment, Stall a wedged job only
+// a deadline reclaims, Err a job that dies before streaming).
+// PointEngineBlock fires per block inside the per-block fan-out, and
+// PointSearchRound per greedy round of the application-level ISEGEN flow —
+// both after real work has typically streamed, so they exercise the
+// mid-stream error path.
+const (
+	PointServiceJob  = "service.job"
+	PointEngineBlock = "engine.block"
+	PointSearchRound = "search.round"
+)
+
+// Rule matches a point name and decides which operation indices fire.
+// Exactly one selection mode applies: Prob > 0 selects hash-scheduled
+// firing with that probability; otherwise the arithmetic (Start, Every,
+// Count) schedule applies.
+type Rule struct {
+	// Point is the exact fault-point name the rule covers (see the
+	// inventory in DESIGN.md "Failure model"), e.g. "fs.write".
+	Point string
+	// Kind is the failure injected when the rule fires.
+	Kind Kind
+	// Start is the first 0-based operation index that may fire; Every
+	// fires each Every-th index from Start (0 or 1 = every index);
+	// Count bounds total fires (0 = unlimited).
+	Start, Every, Count int64
+	// Prob, when positive, fires each index independently with this
+	// probability, decided by a hash of (seed, point, index) — a "random"
+	// schedule that is still a pure function of the seed.
+	Prob float64
+}
+
+// fires reports whether the rule selects operation index n (not yet
+// counting the Count bound, which the injector enforces).
+func (r *Rule) fires(seed int64, n int64) bool {
+	if r.Prob > 0 {
+		return unit(seed, r.Point, n) < r.Prob
+	}
+	if n < r.Start {
+		return false
+	}
+	every := r.Every
+	if every <= 1 {
+		return true
+	}
+	return (n-r.Start)%every == 0
+}
+
+// Fault is one fired (or empty) injection decision.
+type Fault struct {
+	Kind  Kind
+	Point string
+	// Op is the 0-based operation index at the point that fired.
+	Op int64
+	// salt drives deterministic sub-decisions (which byte flips, how much
+	// of a partial write commits).
+	salt uint64
+}
+
+// Firing reports whether the fault is live (Kind != None).
+func (f Fault) Firing() bool { return f.Kind != None }
+
+// Error returns the error an error-returning call site should fail with:
+// nil unless the kind is error-shaped (Err, ENOSPC, PartialWrite,
+// TornRename — the FS layer turns the latter two into the richer
+// behaviors; plain call sites may fail outright).
+func (f Fault) Error() error {
+	switch f.Kind {
+	case Err, PartialWrite, TornRename:
+		return fmt.Errorf("%w: %s at %s op %d", ErrInjected, f.Kind, f.Point, f.Op)
+	case ENOSPC:
+		return fmt.Errorf("%w: %s at %s op %d: %w", ErrInjected, f.Kind, f.Point, f.Op, syscall.ENOSPC)
+	}
+	return nil
+}
+
+// Apply enacts the control-flow kinds at a call site with no error
+// channel: Panic panics, Stall blocks until ctx is done; every other kind
+// (including None) is a no-op. Error-shaped kinds must be consumed via
+// Error at sites that can fail.
+func (f Fault) Apply(ctx context.Context) {
+	switch f.Kind {
+	case Panic:
+		panic(fmt.Sprintf("fault: injected panic at %s op %d", f.Point, f.Op))
+	case Stall:
+		<-ctx.Done()
+	}
+}
+
+// Event is one log entry of a fired fault, in firing order.
+type Event struct {
+	Point string
+	Op    int64
+	Kind  Kind
+}
+
+// Injector evaluates rules at named points. The zero value is unusable;
+// construct with New. A nil *Injector never fires. Safe for concurrent
+// use.
+type Injector struct {
+	seed int64
+
+	mu     sync.Mutex
+	rules  []Rule
+	counts map[string]int64 // per-point operation indices issued
+	fired  []int64          // per-rule fire counts (Count bound)
+	events []Event
+	off    bool
+}
+
+// New returns an injector firing the given rules on the seed's schedule.
+func New(seed int64, rules ...Rule) *Injector {
+	return &Injector{
+		seed:   seed,
+		rules:  rules,
+		counts: map[string]int64{},
+		fired:  make([]int64, len(rules)),
+	}
+}
+
+// Check advances the point's operation counter and returns the scheduled
+// fault (Kind None when nothing fires). The first matching rule wins.
+// Nil-safe: a nil injector always returns the empty Fault.
+func (in *Injector) Check(point string) Fault {
+	if in == nil {
+		return Fault{}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	n := in.counts[point]
+	in.counts[point] = n + 1
+	if in.off {
+		return Fault{}
+	}
+	for i := range in.rules {
+		r := &in.rules[i]
+		if r.Point != point {
+			continue
+		}
+		if r.Count > 0 && in.fired[i] >= r.Count {
+			continue
+		}
+		if !r.fires(in.seed, n) {
+			continue
+		}
+		in.fired[i]++
+		in.events = append(in.events, Event{Point: point, Op: n, Kind: r.Kind})
+		return Fault{Kind: r.Kind, Point: point, Op: n, salt: mix(uint64(in.seed), point, n)}
+	}
+	return Fault{}
+}
+
+// Clear stops all further injection (the "faults cleared" phase of a
+// chaos run); operation counters keep advancing so replays that Clear at
+// the same op index stay aligned.
+func (in *Injector) Clear() {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.off = true
+	in.mu.Unlock()
+}
+
+// Resume re-enables injection after Clear.
+func (in *Injector) Resume() {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.off = false
+	in.mu.Unlock()
+}
+
+// Events returns a copy of the fired-fault log in firing order.
+func (in *Injector) Events() []Event {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]Event, len(in.events))
+	copy(out, in.events)
+	return out
+}
+
+// Fires reports how many times any rule fired at the point.
+func (in *Injector) Fires(point string) int64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var n int64
+	for _, e := range in.events {
+		if e.Point == point {
+			n++
+		}
+	}
+	return n
+}
+
+// Ops reports how many operations the point has seen (fired or not).
+func (in *Injector) Ops(point string) int64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.counts[point]
+}
+
+// mix hashes (seed, point, op) into 64 uniform bits: FNV-1a over the
+// point name folded with a splitmix64 finalizer, so adjacent ops and
+// seeds decorrelate.
+func mix(seed uint64, point string, op int64) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(point); i++ {
+		h ^= uint64(point[i])
+		h *= 1099511628211
+	}
+	z := h ^ seed ^ (uint64(op) * 0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// unit maps (seed, point, op) to [0, 1).
+func unit(seed int64, point string, op int64) float64 {
+	return float64(mix(uint64(seed), point, op)>>11) / float64(uint64(1)<<53)
+}
+
+// injectorKey threads an *Injector through a context without the layers
+// in between naming this package in their signatures.
+type injectorKey struct{}
+
+// WithInjector returns a context carrying the injector. A nil injector
+// returns ctx unchanged.
+func WithInjector(ctx context.Context, in *Injector) context.Context {
+	if in == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, injectorKey{}, in)
+}
+
+// FromContext extracts the context's injector, nil (the never-firing
+// injector) when none was installed.
+func FromContext(ctx context.Context) *Injector {
+	in, _ := ctx.Value(injectorKey{}).(*Injector)
+	return in
+}

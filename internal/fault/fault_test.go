@@ -1,0 +1,215 @@
+package fault
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"syscall"
+	"testing"
+)
+
+// drive runs the same operation sequence against a fresh injector and
+// returns the event log — the replay primitive the determinism tests
+// compare.
+func drive(seed int64, rules []Rule, ops []string) []Event {
+	in := New(seed, rules...)
+	for _, p := range ops {
+		in.Check(p)
+	}
+	return in.Events()
+}
+
+func TestScheduleIsPureFunctionOfSeed(t *testing.T) {
+	rules := []Rule{
+		{Point: "fs.write", Kind: ENOSPC, Prob: 0.3},
+		{Point: "fs.read", Kind: BitFlip, Prob: 0.2},
+		{Point: "service.job", Kind: Panic, Start: 3, Every: 5},
+	}
+	var ops []string
+	for i := 0; i < 200; i++ {
+		ops = append(ops, []string{"fs.write", "fs.read", "service.job"}[i%3])
+	}
+	a, b := drive(42, rules, ops), drive(42, rules, ops)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different schedules:\n%v\nvs\n%v", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatal("no faults fired over 200 ops with p=0.3/0.2 rules; schedule hash is broken")
+	}
+	c := drive(43, rules, ops)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestArithmeticRuleFiresExactIndices(t *testing.T) {
+	in := New(1, Rule{Point: "p", Kind: Err, Start: 2, Every: 3, Count: 2})
+	var fired []int64
+	for i := int64(0); i < 12; i++ {
+		if in.Check("p").Firing() {
+			fired = append(fired, i)
+		}
+	}
+	if !reflect.DeepEqual(fired, []int64{2, 5}) {
+		t.Fatalf("fired at %v, want [2 5] (start 2, every 3, count 2)", fired)
+	}
+}
+
+func TestClearStopsFiringButKeepsCounting(t *testing.T) {
+	in := New(1, Rule{Point: "p", Kind: Err})
+	if !in.Check("p").Firing() {
+		t.Fatal("unconditional rule did not fire")
+	}
+	in.Clear()
+	if in.Check("p").Firing() {
+		t.Fatal("fired after Clear")
+	}
+	if got := in.Ops("p"); got != 2 {
+		t.Fatalf("Ops = %d after 2 checks, want 2 (counters must advance through Clear)", got)
+	}
+	in.Resume()
+	if !in.Check("p").Firing() {
+		t.Fatal("did not fire after Resume")
+	}
+}
+
+func TestNilInjectorNeverFires(t *testing.T) {
+	var in *Injector
+	f := in.Check("anything")
+	if f.Firing() || f.Error() != nil {
+		t.Fatal("nil injector fired")
+	}
+	in.Clear()
+	if in.Events() != nil || in.Fires("x") != 0 || in.Ops("x") != 0 {
+		t.Fatal("nil injector reported activity")
+	}
+	f.Apply(context.Background()) // must not panic or block
+}
+
+func TestFaultErrorShapes(t *testing.T) {
+	in := New(1,
+		Rule{Point: "e", Kind: ENOSPC},
+		Rule{Point: "g", Kind: Err},
+		Rule{Point: "p", Kind: Panic},
+	)
+	if err := in.Check("e").Error(); !errors.Is(err, syscall.ENOSPC) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("ENOSPC fault error = %v, want wrapping syscall.ENOSPC and ErrInjected", err)
+	}
+	if err := in.Check("g").Error(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Err fault error = %v, want wrapping ErrInjected", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Panic fault did not panic")
+		}
+	}()
+	in.Check("p").Apply(context.Background())
+}
+
+func TestStallUnblocksOnContextCancel(t *testing.T) {
+	in := New(1, Rule{Point: "s", Kind: Stall})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		in.Check("s").Apply(ctx)
+		close(done)
+	}()
+	cancel()
+	<-done // deadlocks (test timeout) if Stall ignores the context
+}
+
+func TestInjectFSBitFlipCorruptsExactlyOneBit(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	want := bytes.Repeat([]byte{0xAA}, 64)
+	if err := os.WriteFile(path, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fsys := NewInjectFS(nil, New(7, Rule{Point: PointRead, Kind: BitFlip}))
+	got, err := fsys.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range want {
+		for b := 0; b < 8; b++ {
+			if (want[i]^got[i])&(1<<b) != 0 {
+				diff++
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("bit-flip changed %d bits, want exactly 1", diff)
+	}
+	// On-disk bytes are untouched: the corruption is in the read path.
+	onDisk, _ := os.ReadFile(path)
+	if !bytes.Equal(onDisk, want) {
+		t.Fatal("BitFlip modified the file on disk")
+	}
+}
+
+func TestInjectFSPartialWriteCommitsPrefix(t *testing.T) {
+	dir := t.TempDir()
+	fsys := NewInjectFS(nil, New(5, Rule{Point: PointWrite, Kind: PartialWrite}))
+	f, err := fsys.CreateTemp(dir, "tmp-*.gob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{1}, 100)
+	n, err := f.Write(payload)
+	if err == nil {
+		t.Fatal("partial write reported success")
+	}
+	if n >= len(payload) {
+		t.Fatalf("partial write committed %d of %d bytes, want a strict prefix", n, len(payload))
+	}
+	_ = f.Close()
+	onDisk, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(onDisk) != n {
+		t.Fatalf("file holds %d bytes, Write reported %d", len(onDisk), n)
+	}
+}
+
+func TestInjectFSTornRenameLeavesTruncatedDestination(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "tmp-src.gob")
+	dst := filepath.Join(dir, "entry.gob")
+	payload := bytes.Repeat([]byte{9}, 128)
+	if err := os.WriteFile(src, payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fsys := NewInjectFS(nil, New(3, Rule{Point: PointRename, Kind: TornRename}))
+	if err := fsys.Rename(src, dst); err == nil {
+		t.Fatal("torn rename reported success")
+	}
+	got, err := os.ReadFile(dst)
+	if err != nil {
+		t.Fatalf("torn rename left no destination: %v", err)
+	}
+	if len(got) >= len(payload) {
+		t.Fatalf("destination holds %d bytes, want a truncated copy of %d", len(got), len(payload))
+	}
+	if _, err := os.Stat(src); !os.IsNotExist(err) {
+		t.Fatal("torn rename left the source in place")
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty context yielded an injector")
+	}
+	in := New(1)
+	ctx := WithInjector(context.Background(), in)
+	if FromContext(ctx) != in {
+		t.Fatal("injector did not round-trip through the context")
+	}
+	if WithInjector(context.Background(), nil) != context.Background() {
+		t.Fatal("nil injector should leave the context unchanged")
+	}
+}

@@ -1,0 +1,187 @@
+package fault
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// File is the write handle FS.CreateTemp returns — the subset of *os.File
+// the store's atomic-write path uses.
+type File interface {
+	io.Writer
+	// Name returns the file's path, as *os.File.Name does.
+	Name() string
+	// Sync flushes the file to stable storage.
+	Sync() error
+	Close() error
+}
+
+// FS is the filesystem surface search.Store persists through. The
+// production implementation is OS; tests and the chaos harness wrap it in
+// an InjectFS to fail or corrupt individual operations on a seeded
+// schedule.
+type FS interface {
+	MkdirAll(path string, perm fs.FileMode) error
+	// ReadFile returns the file's entire contents (the store verifies a
+	// checksum over the whole payload, so streaming reads buy nothing).
+	ReadFile(name string) ([]byte, error)
+	CreateTemp(dir, pattern string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	Stat(name string) (fs.FileInfo, error)
+	ReadDir(name string) ([]fs.DirEntry, error)
+	Chtimes(name string, atime, mtime time.Time) error
+}
+
+// OS is the passthrough FS backed by package os.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) Stat(name string) (fs.FileInfo, error)        { return os.Stat(name) }
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error)   { return os.ReadDir(name) }
+func (osFS) Chtimes(name string, atime, mtime time.Time) error {
+	return os.Chtimes(name, atime, mtime)
+}
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Fault points the InjectFS consults, one per failure-relevant operation.
+// Read-side faults (fs.read) corrupt or fail loads; write-side faults
+// (fs.write, fs.sync, fs.rename) break persistence — the store's breaker
+// and quarantine paths exist to absorb exactly these.
+const (
+	PointRead   = "fs.read"
+	PointWrite  = "fs.write"
+	PointSync   = "fs.sync"
+	PointRename = "fs.rename"
+	PointRemove = "fs.remove"
+)
+
+// InjectFS wraps a base FS, consulting the injector before the failure-
+// relevant operations. Operations with no registered rule pass straight
+// through.
+type InjectFS struct {
+	base FS
+	in   *Injector
+}
+
+// NewInjectFS wraps base (nil = OS) with the injector's schedule.
+func NewInjectFS(base FS, in *Injector) *InjectFS {
+	if base == nil {
+		base = OS
+	}
+	return &InjectFS{base: base, in: in}
+}
+
+func (f *InjectFS) MkdirAll(path string, perm fs.FileMode) error { return f.base.MkdirAll(path, perm) }
+func (f *InjectFS) Stat(name string) (fs.FileInfo, error)        { return f.base.Stat(name) }
+func (f *InjectFS) ReadDir(name string) ([]fs.DirEntry, error)   { return f.base.ReadDir(name) }
+func (f *InjectFS) Chtimes(name string, atime, mtime time.Time) error {
+	return f.base.Chtimes(name, atime, mtime)
+}
+
+// ReadFile injects Err (failed read) and BitFlip (one byte of the
+// returned data flipped at a salt-chosen offset — silent corruption the
+// store's checksum must catch).
+func (f *InjectFS) ReadFile(name string) ([]byte, error) {
+	ft := f.in.Check(PointRead)
+	if err := ft.Error(); err != nil {
+		return nil, err
+	}
+	data, err := f.base.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	if ft.Kind == BitFlip && len(data) > 0 {
+		flipped := make([]byte, len(data))
+		copy(flipped, data)
+		flipped[ft.salt%uint64(len(flipped))] ^= 1 << (ft.salt % 8)
+		return flipped, nil
+	}
+	return data, nil
+}
+
+func (f *InjectFS) Remove(name string) error {
+	if err := f.in.Check(PointRemove).Error(); err != nil {
+		return err
+	}
+	return f.base.Remove(name)
+}
+
+// Rename injects Err (rename fails, both files intact) and TornRename:
+// the destination is left holding a truncated prefix of the source — the
+// on-disk state a crash inside a non-atomic replace leaves behind — and
+// the temp source is removed, then the error reported.
+func (f *InjectFS) Rename(oldpath, newpath string) error {
+	ft := f.in.Check(PointRename)
+	if ft.Kind == TornRename {
+		if data, err := f.base.ReadFile(oldpath); err == nil {
+			cut := len(data) / 2
+			if tmp, err := f.base.CreateTemp(filepath.Dir(newpath), "tmp-torn-*.gob"); err == nil {
+				_, _ = tmp.Write(data[:cut])
+				name := tmp.Name()
+				_ = tmp.Close()
+				_ = f.base.Rename(name, newpath)
+			}
+		}
+		_ = f.base.Remove(oldpath)
+		return ft.Error()
+	}
+	if err := ft.Error(); err != nil {
+		return err
+	}
+	return f.base.Rename(oldpath, newpath)
+}
+
+func (f *InjectFS) CreateTemp(dir, pattern string) (File, error) {
+	file, err := f.base.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &injectFile{File: file, in: f.in}, nil
+}
+
+// injectFile applies write-path faults per Write/Sync call.
+type injectFile struct {
+	File
+	in *Injector
+}
+
+func (f *injectFile) Write(p []byte) (int, error) {
+	ft := f.in.Check(PointWrite)
+	if ft.Kind == PartialWrite && len(p) > 0 {
+		// Commit a salt-chosen strict prefix, then fail: the classic torn
+		// write. The prefix really lands on disk so recovery code sees it.
+		n := int(ft.salt % uint64(len(p)))
+		if n > 0 {
+			if m, err := f.File.Write(p[:n]); err != nil {
+				return m, err
+			}
+		}
+		return n, ft.Error()
+	}
+	if err := ft.Error(); err != nil {
+		return 0, err
+	}
+	return f.File.Write(p)
+}
+
+func (f *injectFile) Sync() error {
+	if err := f.in.Check(PointSync).Error(); err != nil {
+		return err
+	}
+	return f.File.Sync()
+}

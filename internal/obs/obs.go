@@ -109,6 +109,13 @@ const (
 	CacheHits
 	CacheMisses
 
+	// Store persistence resilience (serving layer): post-job flush
+	// attempts that were retried after a transient failure, and flushes
+	// that still failed after every retry (the costings stay dirty in
+	// memory for the next job's flush).
+	StoreFlushRetries
+	StoreFlushFailures
+
 	numCounters
 )
 
@@ -136,6 +143,8 @@ var counterNames = [numCounters]string{
 	"racing_seed_publications",
 	"cache_hits",
 	"cache_misses",
+	"store_flush_retries",
+	"store_flush_failures",
 }
 
 // String returns the counter's stable exposition name.

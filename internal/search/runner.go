@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/ir"
 	"repro/internal/latency"
@@ -220,6 +221,17 @@ func (r *Runner) GenerateContext(ctx context.Context, app *ir.Application, cfg c
 			stats.Cuts = len(cuts)
 			stats.Duration = time.Since(start)
 			return cuts, stats, err
+		}
+		if ft := fault.FromContext(ctx).Check(fault.PointSearchRound); ft.Firing() {
+			// Error-shaped kinds abort the round loop (the cuts selected so
+			// far are a deterministic prefix, same as cancellation); Panic
+			// and Stall flow through Apply.
+			if err := ft.Error(); err != nil {
+				stats.Cuts = len(cuts)
+				stats.Duration = time.Since(start)
+				return cuts, stats, err
+			}
+			ft.Apply(ctx)
 		}
 		bi := selectBlock(app, cfg.Model, excluded, exhausted)
 		if bi < 0 {

@@ -1,9 +1,11 @@
 package search
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -12,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/ir"
 	"repro/internal/latency"
 )
@@ -21,18 +24,42 @@ import (
 // that a long-lived service cannot fill a disk.
 const DefaultStoreBytes = 64 << 20
 
+// ErrStoreDegraded is returned by Save while the write circuit breaker is
+// open: the disk has failed enough consecutive writes that further
+// attempts are skipped (except periodic recovery probes). Loads still
+// work — the store is degraded, not dead — so callers should treat it as
+// "persistence postponed", not retry.
+var ErrStoreDegraded = errors.New("search: cache store degraded (write breaker open)")
+
 // Store persists per-block cut-costing maps on disk so a CostCache
 // survives process restarts: repeated sweeps over the same application
 // (CI, a long-lived service answering the same uploads) skip cut costing
-// entirely. One gob file per (block hash, model fingerprint) pair lives
-// under Dir; total size is bounded by MaxBytes with least-recently-used
-// eviction (access order is tracked via file mtimes, which Load refreshes).
+// entirely. One checksummed gob file per (block hash, model fingerprint)
+// pair lives under Dir; total size is bounded by MaxBytes with least-
+// recently-used eviction (access order is tracked via file mtimes, which
+// Load refreshes).
 //
-// A Store is safe for concurrent use. Corrupt or unreadable files are
-// treated as absent — the cache recomputes and overwrites them.
+// A Store is safe for concurrent use, and is built to survive a hostile
+// disk (see DESIGN.md "Failure model"):
+//
+//   - Every entry carries a whole-payload checksum under a magic header;
+//     a file that fails the header, checksum or gob decode — torn write,
+//     torn rename, bit rot — is quarantined (moved to the quarantine/
+//     subdirectory, removed from the size accounting, counted in
+//     StoreStats.Corrupt) and never re-read, so corruption can neither be
+//     served nor re-fail every subsequent load.
+//   - BreakerThreshold consecutive Save failures trip a write circuit
+//     breaker: the store enters read-through degraded mode, failing
+//     further Saves fast with ErrStoreDegraded while every ProbeEvery-th
+//     attempt still goes to disk as a recovery probe; one successful
+//     probe restores healthy writes.
 type Store struct {
 	dir      string
 	maxBytes int64
+	fs       fault.FS
+	fsync    bool
+	breakAt  int
+	probeN   int64
 
 	mu sync.Mutex
 	// total tracks the summed size of entry files incrementally, so the
@@ -40,28 +67,85 @@ type Store struct {
 	// authoritatively on the rare occasions the bound is exceeded.
 	total int64
 
-	loads, loadHits, saves, evictions int64
-	bytesEvicted                      int64
+	// Write circuit breaker state: consecFails counts Save failures since
+	// the last success; degraded is the breaker bit; saveAttempts drives
+	// the probe cadence deterministically (operation count, not time).
+	consecFails  int
+	degraded     bool
+	saveAttempts int64
+
+	loads, loadHits, saves, evictions       int64
+	bytesEvicted                            int64
+	writeErrors, corrupt, probes            int64
+	breakerTrips, recoveries, degradedSkips int64
 }
 
-// NewStore opens (creating if needed) a persistent cache directory.
-// maxBytes bounds the total size of stored entries; 0 selects
-// DefaultStoreBytes, negative disables eviction.
+// StoreOptions configures the failure-handling knobs of a Store. The zero
+// value selects the production defaults.
+type StoreOptions struct {
+	// FS is the filesystem the store persists through (nil = fault.OS).
+	// The chaos harness passes a fault.InjectFS here.
+	FS fault.FS
+	// Fsync syncs entry files to stable storage before the atomic rename,
+	// trading write latency for crash durability of the rename itself.
+	Fsync bool
+	// BreakerThreshold is the number of consecutive Save failures that
+	// trips the write breaker (0 = default 3, negative = never trip).
+	BreakerThreshold int
+	// ProbeEvery sets the recovery cadence while degraded: every
+	// ProbeEvery-th Save attempt actually goes to disk as a probe
+	// (0 = default 8, 1 = every attempt).
+	ProbeEvery int
+}
+
+// defaultBreakerThreshold and defaultProbeEvery are the production
+// breaker knobs: three consecutive failures trip it (one flaky write
+// shouldn't), and one in eight skipped saves probes for recovery — cheap
+// enough to leave on, frequent enough that a healed disk is noticed
+// within a few jobs.
+const (
+	defaultBreakerThreshold = 3
+	defaultProbeEvery       = 8
+)
+
+// NewStore opens (creating if needed) a persistent cache directory with
+// default options. maxBytes bounds the total size of stored entries; 0
+// selects DefaultStoreBytes, negative disables eviction.
 func NewStore(dir string, maxBytes int64) (*Store, error) {
+	return NewStoreOptions(dir, maxBytes, StoreOptions{})
+}
+
+// NewStoreOptions opens a store with explicit failure-handling options.
+func NewStoreOptions(dir string, maxBytes int64, opt StoreOptions) (*Store, error) {
 	if maxBytes == 0 {
 		maxBytes = DefaultStoreBytes
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if opt.FS == nil {
+		opt.FS = fault.OS
+	}
+	if opt.BreakerThreshold == 0 {
+		opt.BreakerThreshold = defaultBreakerThreshold
+	}
+	if opt.ProbeEvery <= 0 {
+		opt.ProbeEvery = defaultProbeEvery
+	}
+	if err := opt.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("search: cache store: %w", err)
 	}
-	s := &Store{dir: dir, maxBytes: maxBytes}
+	s := &Store{
+		dir: dir, maxBytes: maxBytes,
+		fs: opt.FS, fsync: opt.Fsync,
+		breakAt: opt.BreakerThreshold, probeN: int64(opt.ProbeEvery),
+	}
 	// Sweep temp files orphaned by a crash between CreateTemp and the
 	// rename: they can never be live across a process boundary, and
 	// eviction ignores them, so they would otherwise accumulate outside
 	// the size bound forever.
-	if stale, err := filepath.Glob(filepath.Join(dir, "tmp-*.gob")); err == nil {
-		for _, f := range stale {
-			_ = os.Remove(f)
+	if dirents, err := s.fs.ReadDir(dir); err == nil {
+		for _, de := range dirents {
+			if !de.IsDir() && strings.HasPrefix(de.Name(), "tmp-") && strings.HasSuffix(de.Name(), ".gob") {
+				_ = s.fs.Remove(filepath.Join(dir, de.Name()))
+			}
 		}
 	}
 	for _, f := range s.entryFiles() {
@@ -80,32 +164,50 @@ type storedEntry struct {
 }
 
 // storeFormatVersion is embedded in entry file names. Bump it whenever
-// the persisted payload's semantics change — the core.Metrics schema or
-// the core.MetricsOf costing itself — so entries written by older
-// binaries read as misses and are recomputed instead of silently serving
-// stale costings (gob would otherwise decode drifted structs cleanly).
-// Orphaned old-version files age out through the LRU size bound.
-const storeFormatVersion = 1
+// the persisted layout or the payload's semantics change — the checksum
+// framing, the core.Metrics schema or the core.MetricsOf costing itself —
+// so entries written by older binaries read as misses and are recomputed
+// instead of silently serving stale costings (gob would otherwise decode
+// drifted structs cleanly). Orphaned old-version files age out through
+// the LRU size bound without touching the corruption counter: they are
+// never opened, so they cannot fail a checksum.
+//
+// v2 added the checksummed layout: storeMagic, then the big-endian
+// FNV-1a 64 of the gob payload, then the payload.
+const storeFormatVersion = 2
+
+// storeMagic heads every v2 entry file. A file too short for the header
+// or with the wrong magic is corrupt by definition.
+var storeMagic = [8]byte{'I', 'S', 'E', 'G', 'O', 'B', 'v', '2'}
+
+// quarantineDir is the subdirectory corrupt entries are moved into. Its
+// contents are never read, never counted against MaxBytes, and carry no
+// .gob suffix exposure to entryFiles (subdirectories are skipped).
+const quarantineDir = "quarantine"
 
 func (s *Store) path(key string) string {
 	return filepath.Join(s.dir, fmt.Sprintf("%s.v%d.gob", key, storeFormatVersion))
 }
 
 // Load reads the persisted costing map for the given stable key, returning
-// (nil, false) when absent or unreadable. A successful load refreshes the
-// file's mtime, marking it most-recently-used. The store lock is only
-// taken for counter updates, never across file I/O.
+// (nil, false) when absent, unreadable or corrupt. A corrupt file — bad
+// header, checksum mismatch, gob decode failure — is quarantined on the
+// spot: moved aside, dropped from the size accounting and counted, so it
+// is never re-read and can never be decoded into served metrics. A
+// successful load refreshes the file's mtime, marking it most-recently-
+// used. The store lock is only taken for counter updates, never across
+// file I/O.
 func (s *Store) Load(key string) (map[string]core.Metrics, bool) {
 	s.mu.Lock()
 	s.loads++
 	s.mu.Unlock()
-	f, err := os.Open(s.path(key))
+	data, err := s.fs.ReadFile(s.path(key))
 	if err != nil {
 		return nil, false
 	}
-	defer f.Close()
-	var entries []storedEntry
-	if err := gob.NewDecoder(f).Decode(&entries); err != nil {
+	entries, err := decodeEntries(data)
+	if err != nil {
+		s.quarantine(s.path(key), int64(len(data)))
 		return nil, false
 	}
 	m := make(map[string]core.Metrics, len(entries))
@@ -113,53 +215,162 @@ func (s *Store) Load(key string) (map[string]core.Metrics, bool) {
 		m[e.Key] = e.Metrics
 	}
 	now := time.Now()
-	_ = os.Chtimes(s.path(key), now, now)
+	_ = s.fs.Chtimes(s.path(key), now, now)
 	s.mu.Lock()
 	s.loadHits++
 	s.mu.Unlock()
 	return m, true
 }
 
-// Save atomically persists the costing map for the stable key (temp file +
-// rename), then enforces the size bound by evicting the least recently
-// used entries. Encoding happens outside the store lock; only the rename,
-// size accounting and (rare) eviction are serialized, so saves do not
-// block concurrent Loads on the job hot path for the duration of disk
-// writes.
-func (s *Store) Save(key string, m map[string]core.Metrics) error {
+// decodeEntries verifies the v2 framing (magic + checksum) and decodes
+// the payload. Any failure means the file cannot be trusted.
+func decodeEntries(data []byte) ([]storedEntry, error) {
+	if len(data) < 16 || !bytes.Equal(data[:8], storeMagic[:]) {
+		return nil, errors.New("bad header")
+	}
+	sum := binary.BigEndian.Uint64(data[8:16])
+	payload := data[16:]
+	if fnv64Bytes(payload) != sum {
+		return nil, errors.New("checksum mismatch")
+	}
+	var entries []storedEntry
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&entries); err != nil {
+		return nil, err
+	}
+	return entries, nil
+}
+
+// encodeEntries produces the v2 on-disk bytes for a costing map:
+// deterministic (sorted) gob payload under the magic + checksum header.
+func encodeEntries(m map[string]core.Metrics) ([]byte, error) {
 	entries := make([]storedEntry, 0, len(m))
 	for k, v := range m {
 		entries = append(entries, storedEntry{Key: k, Metrics: v})
 	}
-	// Deterministic file contents: sort by key.
 	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(entries); err != nil {
+		return nil, err
+	}
+	data := make([]byte, 16+payload.Len())
+	copy(data, storeMagic[:])
+	binary.BigEndian.PutUint64(data[8:16], fnv64Bytes(payload.Bytes()))
+	copy(data[16:], payload.Bytes())
+	return data, nil
+}
 
-	tmp, err := os.CreateTemp(s.dir, "tmp-*.gob")
+// quarantine moves a corrupt entry file aside and fixes the accounting.
+// The move keeps the evidence for postmortems; if even the move fails
+// (hostile disk), the file is removed outright — the one thing that must
+// never happen is re-reading it.
+func (s *Store) quarantine(path string, size int64) {
+	qdir := filepath.Join(s.dir, quarantineDir)
+	moved := false
+	if err := s.fs.MkdirAll(qdir, 0o755); err == nil {
+		if err := s.fs.Rename(path, filepath.Join(qdir, filepath.Base(path))); err == nil {
+			moved = true
+		}
+	}
+	if !moved {
+		_ = s.fs.Remove(path)
+	}
+	s.mu.Lock()
+	s.corrupt++
+	s.total -= size
+	if s.total < 0 {
+		s.total = 0
+	}
+	s.mu.Unlock()
+}
+
+// Save atomically persists the costing map for the stable key (temp file +
+// rename, optionally fsynced), then enforces the size bound by evicting
+// the least recently used entries. Encoding happens outside the store
+// lock; only the rename, size accounting and (rare) eviction are
+// serialized, so saves do not block concurrent Loads on the job hot path
+// for the duration of disk writes.
+//
+// While the write breaker is open, Save fails fast with ErrStoreDegraded
+// except on probe attempts (every ProbeEvery-th), which go to disk; a
+// successful probe closes the breaker.
+func (s *Store) Save(key string, m map[string]core.Metrics) error {
+	s.mu.Lock()
+	s.saveAttempts++
+	if s.degraded {
+		if s.saveAttempts%s.probeN != 0 {
+			s.degradedSkips++
+			s.mu.Unlock()
+			return ErrStoreDegraded
+		}
+		s.probes++
+	}
+	s.mu.Unlock()
+	err := s.save(key, m)
+	s.observeSave(err)
+	return err
+}
+
+// observeSave updates the breaker on one disk-touching Save outcome.
+func (s *Store) observeSave(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err == nil {
+		if s.degraded {
+			s.recoveries++
+		}
+		s.degraded = false
+		s.consecFails = 0
+		return
+	}
+	s.writeErrors++
+	s.consecFails++
+	if !s.degraded && s.breakAt > 0 && s.consecFails >= s.breakAt {
+		s.degraded = true
+		s.breakerTrips++
+	}
+}
+
+// save is the breaker-blind write path.
+func (s *Store) save(key string, m map[string]core.Metrics) error {
+	data, err := encodeEntries(m)
 	if err != nil {
 		return fmt.Errorf("search: cache store: %w", err)
 	}
-	if err := gob.NewEncoder(tmp).Encode(entries); err != nil {
+	tmp, err := s.fs.CreateTemp(s.dir, "tmp-*.gob")
+	if err != nil {
+		return fmt.Errorf("search: cache store: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
-		os.Remove(tmp.Name())
+		_ = s.fs.Remove(tmp.Name())
 		return fmt.Errorf("search: cache store: %w", err)
 	}
+	if s.fsync {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			_ = s.fs.Remove(tmp.Name())
+			return fmt.Errorf("search: cache store: %w", err)
+		}
+	}
+	tmpName := tmp.Name()
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+		_ = s.fs.Remove(tmpName)
 		return fmt.Errorf("search: cache store: %w", err)
 	}
-	size := int64(0)
-	if fi, err := os.Stat(tmp.Name()); err == nil {
-		size = fi.Size()
-	}
+	size := int64(len(data))
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var replaced int64
-	if fi, err := os.Stat(s.path(key)); err == nil {
+	if fi, err := s.fs.Stat(s.path(key)); err == nil {
 		replaced = fi.Size()
 	}
-	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
-		os.Remove(tmp.Name())
+	if err := s.fs.Rename(tmpName, s.path(key)); err != nil {
+		_ = s.fs.Remove(tmpName)
+		// A torn rename may have left a corrupt destination behind; the
+		// next Load of this key will checksum-fail and quarantine it, so
+		// keep the accounting pessimistic (assume the old size is gone,
+		// re-derived authoritatively by the next eviction scan).
 		return fmt.Errorf("search: cache store: %w", err)
 	}
 	s.total += size - replaced
@@ -170,22 +381,31 @@ func (s *Store) Save(key string, m map[string]core.Metrics) error {
 	return nil
 }
 
+// Degraded reports whether the write breaker is open (read-through
+// degraded mode). Loads keep working either way.
+func (s *Store) Degraded() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degraded
+}
+
 type entryFile struct {
 	name  string
 	size  int64
 	mtime time.Time
 }
 
-// entryFiles lists the store's entry files (ignoring in-flight temp
-// files). Used at open and by eviction; never on the save/load hot path.
+// entryFiles lists the store's entry files (ignoring in-flight temp files
+// and the quarantine subdirectory). Used at open and by eviction; never
+// on the save/load hot path.
 func (s *Store) entryFiles() []entryFile {
-	dirents, err := os.ReadDir(s.dir)
+	dirents, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return nil
 	}
 	var files []entryFile
 	for _, de := range dirents {
-		if !strings.HasSuffix(de.Name(), ".gob") || strings.HasPrefix(de.Name(), "tmp-") {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".gob") || strings.HasPrefix(de.Name(), "tmp-") {
 			continue
 		}
 		fi, err := de.Info()
@@ -203,7 +423,9 @@ func (s *Store) entryFiles() []entryFile {
 // bound) rather than just under it, so a store sitting at capacity does
 // not re-run the full directory scan on every subsequent Save. The
 // just-written key is exempt so a single oversized entry still persists
-// its own costings.
+// its own costings. Old-format-version files participate like any other
+// entry: never read, they age out here without touching the corruption
+// counter.
 func (s *Store) evictLocked(justSaved string) {
 	files := s.entryFiles()
 	var total int64
@@ -220,7 +442,7 @@ func (s *Store) evictLocked(justSaved string) {
 		if f.name == saved {
 			continue
 		}
-		if os.Remove(filepath.Join(s.dir, f.name)) == nil {
+		if s.fs.Remove(filepath.Join(s.dir, f.name)) == nil {
 			total -= f.size
 			s.evictions++
 			s.bytesEvicted += f.size
@@ -229,12 +451,17 @@ func (s *Store) evictLocked(justSaved string) {
 	s.total = total
 }
 
-// StoreStats is a snapshot of the store's activity counters and size
-// pressure. The size fields expose how close the store runs to its bound:
-// a climbing Evictions/BytesEvicted alongside CurrentBytes pinned near
-// MaxBytes means the working set no longer fits and the cap should grow.
+// StoreStats is a snapshot of the store's activity counters, size
+// pressure and failure state. The size fields expose how close the store
+// runs to its bound: a climbing Evictions/BytesEvicted alongside
+// CurrentBytes pinned near MaxBytes means the working set no longer fits
+// and the cap should grow. The failure fields drive the degraded-mode
+// surfaces: Corrupt counts quarantined entries (each one a write the disk
+// or an older crash mangled), WriteErrors/BreakerTrips/Probes/Recoveries
+// narrate the breaker's history, and Degraded is its current state.
 type StoreStats struct {
-	// Loads counts lookup attempts; LoadHits those that found a file.
+	// Loads counts lookup attempts; LoadHits those that found a valid
+	// file.
 	Loads    int64 `json:"loads"`
 	LoadHits int64 `json:"load_hits"`
 	// Saves counts persisted entry files; Evictions files removed by the
@@ -246,6 +473,21 @@ type StoreStats struct {
 	// entry files; MaxBytes the configured bound (negative = unbounded).
 	CurrentBytes int64 `json:"current_bytes"`
 	MaxBytes     int64 `json:"max_bytes"`
+	// Corrupt counts entries quarantined on load (bad header, checksum
+	// mismatch, undecodable gob); they are moved aside, dropped from
+	// CurrentBytes and never re-read.
+	Corrupt int64 `json:"corrupt"`
+	// WriteErrors counts disk-touching Save attempts that failed;
+	// DegradedSkips Saves failed fast by the open breaker without
+	// touching the disk.
+	WriteErrors   int64 `json:"write_errors"`
+	DegradedSkips int64 `json:"degraded_skips"`
+	// Degraded is the breaker state; BreakerTrips/Probes/Recoveries its
+	// cumulative history.
+	Degraded     bool  `json:"degraded"`
+	BreakerTrips int64 `json:"breaker_trips"`
+	Probes       int64 `json:"probes"`
+	Recoveries   int64 `json:"recoveries"`
 }
 
 // Stats returns the cumulative activity counters.
@@ -256,6 +498,10 @@ func (s *Store) Stats() StoreStats {
 		Loads: s.loads, LoadHits: s.loadHits,
 		Saves: s.saves, Evictions: s.evictions, BytesEvicted: s.bytesEvicted,
 		CurrentBytes: s.total, MaxBytes: s.maxBytes,
+		Corrupt:     s.corrupt,
+		WriteErrors: s.writeErrors, DegradedSkips: s.degradedSkips,
+		Degraded: s.degraded, BreakerTrips: s.breakerTrips,
+		Probes: s.probes, Recoveries: s.recoveries,
 	}
 }
 
@@ -283,6 +529,16 @@ func fnv64(s string) uint64 {
 	h := uint64(14695981039346656037)
 	for i := 0; i < len(s); i++ {
 		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// fnv64Bytes is fnv64 over raw bytes — the entry-file payload checksum.
+func fnv64Bytes(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
 		h *= 1099511628211
 	}
 	return h

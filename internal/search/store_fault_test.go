@@ -1,0 +1,320 @@
+package search
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+)
+
+// oldTime returns a timestamp hours in the past, distinct per i, so LRU
+// order is well defined on coarse filesystem timestamp granularity.
+func oldTime(i int) time.Time { return time.Now().Add(time.Duration(i-48) * time.Hour) }
+
+// sampleCostings is a small deterministic costing map for store tests.
+func sampleCostings(n int) map[string]core.Metrics {
+	m := make(map[string]core.Metrics, n)
+	for i := 0; i < n; i++ {
+		m[strings.Repeat("k", 8)+string(rune('a'+i))] = core.Metrics{SWLat: i, NumIn: i % 4}
+	}
+	return m
+}
+
+// diskBytes sums the sizes of live entry files under dir (excluding the
+// quarantine subdirectory and temp files), the ground truth the store's
+// incremental accounting must track.
+func diskBytes(t *testing.T, dir string) int64 {
+	t.Helper()
+	var total int64
+	dirents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range dirents {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".gob") || strings.HasPrefix(de.Name(), "tmp-") {
+			continue
+		}
+		fi, err := de.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += fi.Size()
+	}
+	return total
+}
+
+// TestStoreQuarantinesCorruptEntries pins the poisoned-cache discipline:
+// a mangled entry file reads as a miss exactly once, is moved to
+// quarantine/ (never re-read, never re-counted), and the corruption
+// counter records it.
+func TestStoreQuarantinesCorruptEntries(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleCostings(8)
+	if err := store.Save("k", want); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "k.v2.gob")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-3] ^= 0x40 // flip one payload bit
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if m, ok := store.Load("k"); ok {
+		t.Fatalf("corrupt entry was served: %v", m)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt entry left in place after failed load")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "quarantine", "k.v2.gob")); err != nil {
+		t.Fatalf("corrupt entry not quarantined: %v", err)
+	}
+	st := store.Stats()
+	if st.Corrupt != 1 {
+		t.Fatalf("Corrupt = %d, want 1", st.Corrupt)
+	}
+	if st.CurrentBytes != 0 {
+		t.Fatalf("CurrentBytes = %d after quarantine, want 0 (quarantined bytes must leave the budget)", st.CurrentBytes)
+	}
+	// The second load is a plain miss: the file is gone from the live
+	// set, so it cannot re-fail (loads-hit accounting stays clean).
+	if _, ok := store.Load("k"); ok {
+		t.Fatal("quarantined entry loaded")
+	}
+	if got := store.Stats().Corrupt; got != 1 {
+		t.Fatalf("Corrupt = %d after re-load, want 1 (quarantine must prevent re-reads)", got)
+	}
+	// A clean rewrite of the same key round-trips.
+	if err := store.Save("k", want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := store.Load("k")
+	if !ok || !reflect.DeepEqual(got, want) {
+		t.Fatal("re-saved entry does not round-trip")
+	}
+}
+
+// TestStoreChecksumCatchesBitFlipOnRead pins silent media corruption:
+// the bytes on disk are fine, the read path flips one bit, and the
+// checksum must refuse the entry rather than decode it.
+func TestStoreChecksumCatchesBitFlipOnRead(t *testing.T) {
+	dir := t.TempDir()
+	in := fault.New(11, fault.Rule{Point: fault.PointRead, Kind: fault.BitFlip, Start: 1})
+	store, err := NewStoreOptions(dir, 0, StoreOptions{FS: fault.NewInjectFS(nil, in)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Save("k", sampleCostings(16)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := store.Load("k"); !ok { // op 0: clean read
+		t.Fatal("clean load failed")
+	}
+	if _, ok := store.Load("k"); ok { // op 1: flipped read
+		t.Fatal("bit-flipped entry was decoded and served")
+	}
+	if got := store.Stats().Corrupt; got != 1 {
+		t.Fatalf("Corrupt = %d, want 1", got)
+	}
+}
+
+// TestStoreCrashRecovery kills the write path at every injected fault
+// point with every applicable failure kind, then reopens the directory
+// with a clean filesystem and requires: NewStore succeeds, the key either
+// misses or round-trips exactly (after at most one quarantining load),
+// the size accounting matches the disk, and a subsequent clean save
+// round-trips. This is the ALICE-style torn-write sweep for the gob
+// store.
+func TestStoreCrashRecovery(t *testing.T) {
+	cases := []fault.Rule{
+		{Point: fault.PointWrite, Kind: fault.Err},
+		{Point: fault.PointWrite, Kind: fault.ENOSPC},
+		{Point: fault.PointWrite, Kind: fault.PartialWrite},
+		{Point: fault.PointSync, Kind: fault.Err},
+		{Point: fault.PointRename, Kind: fault.Err},
+		{Point: fault.PointRename, Kind: fault.TornRename},
+	}
+	want := sampleCostings(12)
+	for _, rule := range cases {
+		name := rule.Point + "/" + rule.Kind.String()
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			in := fault.New(99, rule)
+			store, err := NewStoreOptions(dir, 0, StoreOptions{
+				FS: fault.NewInjectFS(nil, in), Fsync: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := store.Save("k", want); err == nil {
+				t.Fatalf("Save under %s reported success", name)
+			}
+			if in.Fires(rule.Point) == 0 {
+				t.Fatalf("fault at %s never fired", rule.Point)
+			}
+
+			// "Crash": abandon the store, reopen over the same directory
+			// with a healthy filesystem.
+			re, err := NewStore(dir, 0)
+			if err != nil {
+				t.Fatalf("reopen after %s: %v", name, err)
+			}
+			if m, ok := re.Load("k"); ok {
+				// A load that succeeds must be the full, correct map —
+				// anything else is served corruption.
+				if !reflect.DeepEqual(m, want) {
+					t.Fatalf("reopened load returned wrong data after %s", name)
+				}
+			}
+			if got, onDisk := re.Stats().CurrentBytes, diskBytes(t, dir); got != onDisk {
+				t.Fatalf("accounting %d != disk %d after %s", got, onDisk, name)
+			}
+			// The store must be fully serviceable after the crash.
+			if err := re.Save("k", want); err != nil {
+				t.Fatalf("clean save after reopen: %v", err)
+			}
+			m, ok := re.Load("k")
+			if !ok || !reflect.DeepEqual(m, want) {
+				t.Fatalf("post-recovery round-trip failed after %s", name)
+			}
+			if got, onDisk := re.Stats().CurrentBytes, diskBytes(t, dir); got != onDisk {
+				t.Fatalf("post-recovery accounting %d != disk %d", got, onDisk)
+			}
+		})
+	}
+}
+
+// TestStoreBreakerTripsAndRecovers pins the write circuit breaker: after
+// BreakerThreshold consecutive failures Saves fail fast with
+// ErrStoreDegraded (no disk traffic), probe attempts keep testing the
+// disk, and the first successful probe restores healthy writes.
+func TestStoreBreakerTripsAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	in := fault.New(7, fault.Rule{Point: fault.PointWrite, Kind: fault.ENOSPC})
+	store, err := NewStoreOptions(dir, 0, StoreOptions{
+		FS:               fault.NewInjectFS(nil, in),
+		BreakerThreshold: 3,
+		ProbeEvery:       4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sampleCostings(4)
+	for i := 0; i < 3; i++ {
+		if err := store.Save("k", m); err == nil || errors.Is(err, ErrStoreDegraded) {
+			t.Fatalf("save %d: err = %v, want a real disk error pre-trip", i, err)
+		}
+	}
+	if !store.Degraded() {
+		t.Fatal("breaker did not trip after 3 consecutive failures")
+	}
+	writeOpsAtTrip := in.Ops(fault.PointWrite)
+
+	// Degraded saves fail fast without touching the disk, except probes
+	// (every 4th attempt here).
+	sawProbe := false
+	for i := 0; i < 8; i++ {
+		err := store.Save("k", m)
+		if errors.Is(err, ErrStoreDegraded) {
+			continue
+		}
+		sawProbe = true
+		if err == nil {
+			t.Fatal("probe save succeeded while writes are still failing")
+		}
+	}
+	if !sawProbe {
+		t.Fatal("no probe attempt in 8 degraded saves with ProbeEvery=4")
+	}
+	st := store.Stats()
+	if st.DegradedSkips == 0 || st.Probes == 0 {
+		t.Fatalf("stats = %+v, want both degraded skips and probes", st)
+	}
+	if probeWrites := in.Ops(fault.PointWrite) - writeOpsAtTrip; probeWrites >= 8 {
+		t.Fatalf("%d disk writes for 8 degraded saves; the breaker must absorb most of them", probeWrites)
+	}
+
+	// Disk heals: the next probe closes the breaker.
+	in.Clear()
+	recovered := false
+	for i := 0; i < 8; i++ {
+		if err := store.Save("k", m); err == nil {
+			recovered = true
+			break
+		}
+	}
+	if !recovered || store.Degraded() {
+		t.Fatal("store did not recover after faults cleared")
+	}
+	if got := store.Stats().Recoveries; got != 1 {
+		t.Fatalf("Recoveries = %d, want 1", got)
+	}
+	if got, ok := store.Load("k"); !ok || !reflect.DeepEqual(got, m) {
+		t.Fatal("post-recovery entry does not round-trip")
+	}
+}
+
+// TestStoreOldVersionFilesAgeOutCleanly pins satellite 6: v1-format files
+// left by an older binary are never read (no corruption counted, no
+// load), still occupy budget, and age out through the LRU bound.
+func TestStoreOldVersionFilesAgeOutCleanly(t *testing.T) {
+	dir := t.TempDir()
+	// Plant stale v1 entries before the store opens, with old mtimes.
+	for i := 0; i < 4; i++ {
+		name := filepath.Join(dir, "old"+string(rune('a'+i))+".v1.gob")
+		if err := os.WriteFile(name, make([]byte, 512), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		old := oldTime(i)
+		if err := os.Chtimes(name, old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	store, err := NewStore(dir, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := store.Stats().CurrentBytes; got != 4*512 {
+		t.Fatalf("open counted %d bytes, want %d (old-version files occupy budget until evicted)", got, 4*512)
+	}
+	// Old-version keys never load — and never count as corruption.
+	if _, ok := store.Load("olda"); ok {
+		t.Fatal("v1 entry loaded through a v2 store")
+	}
+	if got := store.Stats().Corrupt; got != 0 {
+		t.Fatalf("Corrupt = %d, want 0 (old versions are stale, not corrupt)", got)
+	}
+	// New saves push past the bound; the stale v1 files are the LRU
+	// victims.
+	big := sampleCostings(40)
+	for i := 0; i < 8; i++ {
+		if err := store.Save("new"+string(rune('a'+i)), big); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dirents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range dirents {
+		if strings.Contains(de.Name(), ".v1.") {
+			t.Fatalf("stale v1 entry %s survived eviction", de.Name())
+		}
+	}
+	if got := store.Stats().Corrupt; got != 0 {
+		t.Fatalf("Corrupt = %d after eviction, want 0", got)
+	}
+}

@@ -136,7 +136,7 @@ func TestStoreEvictionBoundsSize(t *testing.T) {
 	for i := 0; i < 40; i++ {
 		entry[strings.Repeat("k", 20)+string(rune('a'+i))] = core.Metrics{SWLat: i}
 	}
-	entryName := func(key string) string { return key + ".v1.gob" }
+	entryName := func(key string) string { return key + ".v2.gob" }
 	for i := 0; i < 16; i++ {
 		key := "block" + string(rune('a'+i))
 		if err := store.Save(key, entry); err != nil {
@@ -205,7 +205,7 @@ func TestStoreVersionedEntries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(dirents) != 1 || !strings.Contains(dirents[0].Name(), ".v1.") {
+	if len(dirents) != 1 || !strings.Contains(dirents[0].Name(), ".v2.") {
 		t.Fatalf("entry files %v, want one name embedding the format version", dirents)
 	}
 	// An unversioned file from a hypothetical older binary is ignored.
@@ -219,7 +219,10 @@ func TestStoreVersionedEntries(t *testing.T) {
 
 func TestFlushRetriesAfterSaveFailure(t *testing.T) {
 	dir := t.TempDir()
-	store, err := NewStore(dir, 0)
+	// ProbeEvery 1: every Save while degraded goes to disk as a recovery
+	// probe, so the healed directory is noticed on the first post-recovery
+	// Flush no matter how many entries tripped the write breaker.
+	store, err := NewStoreOptions(dir, 0, StoreOptions{ProbeEvery: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

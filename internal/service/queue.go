@@ -220,22 +220,27 @@ func (q *Queue) Saturated() bool {
 }
 
 // Close stops the workers after their current jobs and abandons every
-// still-pending job with ErrQueueClosed. Safe to call once.
+// still-pending job with ErrQueueClosed. Pending jobs are failed *before*
+// waiting for in-flight ones to drain, so submitters blocked on Done are
+// released promptly even while a slow job still occupies a worker — a
+// shutdown must not hold every queued client hostage to the longest
+// running search. Idempotent: later calls just wait for the drain.
 func (q *Queue) Close() {
 	q.mu.Lock()
 	q.closed = true
-	q.cond.Broadcast()
-	q.mu.Unlock()
-	q.wg.Wait()
-	q.mu.Lock()
+	// Extracting pending under the same lock that set closed means the
+	// watchers and worker scans can never find these jobs again: this
+	// path alone closes their done channels, exactly once.
 	pending := q.pending
 	q.pending = nil
 	q.dropped += int64(len(pending))
+	q.cond.Broadcast()
 	q.mu.Unlock()
 	for _, j := range pending {
 		j.err = ErrQueueClosed
 		close(j.done)
 	}
+	q.wg.Wait()
 }
 
 // QueueStats is a snapshot of the queue's state and counters.

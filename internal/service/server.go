@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/dfgio"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/search"
 )
@@ -39,6 +40,25 @@ type Config struct {
 	Cache *search.CostCache
 	// MaxBodyBytes bounds an upload (default 16 MiB).
 	MaxBodyBytes int64
+	// JobDeadline bounds each job's run wall-clock time (0 = none): on
+	// expiry the job's context cancels, the search aborts, and the client
+	// gets 504 — or an in-stream error record if bytes were already
+	// committed. It reclaims wedged jobs even when the client never
+	// disconnects.
+	JobDeadline time.Duration
+	// FlushRetries and FlushBackoff govern post-job store persistence: a
+	// failed flush retries up to FlushRetries times (default 2, negative
+	// = none) with exponential backoff starting at FlushBackoff (default
+	// 10ms). A flush refused by the store's write breaker
+	// (search.ErrStoreDegraded) is never retried — the breaker exists
+	// precisely to stop traffic to a failing disk.
+	FlushRetries int
+	FlushBackoff time.Duration
+	// FaultInjector, when set, is installed on every job context and
+	// consulted at the serving-layer fault points (fault.PointServiceJob
+	// here; fault.PointEngineBlock and fault.PointSearchRound downstream).
+	// Production servers leave it nil, which costs one branch per point.
+	FaultInjector *fault.Injector
 }
 
 // Server is the long-lived ISE-selection service: .dfg uploads in, NDJSON
@@ -89,6 +109,15 @@ func NewServer(cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 16 << 20
 	}
+	if cfg.FlushRetries == 0 {
+		cfg.FlushRetries = 2
+	}
+	if cfg.FlushRetries < 0 {
+		cfg.FlushRetries = 0
+	}
+	if cfg.FlushBackoff <= 0 {
+		cfg.FlushBackoff = 10 * time.Millisecond
+	}
 	s := &Server{
 		cfg:   cfg,
 		queue: NewQueue(cfg.QueueCapacity, cfg.Workers, cfg.TenantBudget),
@@ -130,9 +159,13 @@ func (s *Server) Handler() http.Handler {
 
 // handleHealthz distinguishes liveness from readiness. ?live=1 is the
 // liveness probe: always 200 while the process serves HTTP. Without it
-// the probe reports readiness: 503 with a JSON reason while the
-// persistent store is still scanning its directory or the queue is
-// saturated (the next Submit would be rejected), 200 otherwise.
+// the probe reports readiness: 503 with a JSON reason (and a Retry-After
+// hint derived from the backlog) while the persistent store is still
+// scanning its directory or the queue is saturated (the next Submit would
+// be rejected), 200 otherwise. A store whose write breaker is open
+// reports 200 with status "degraded" — persistence is postponed but reads
+// and jobs still work, so load balancers must keep routing here while
+// operators see the flag.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	if r.URL.Query().Get("live") != "" {
@@ -147,11 +180,27 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		reason = "queue saturated"
 	}
 	if reason != "" {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSecs()))
 		w.WriteHeader(http.StatusServiceUnavailable)
 		_ = json.NewEncoder(w).Encode(map[string]string{"status": "unready", "reason": reason})
 		return
 	}
+	if st := s.cache.Store(); st != nil && st.Degraded() {
+		_ = json.NewEncoder(w).Encode(map[string]string{"status": "degraded", "reason": "store write breaker open"})
+		return
+	}
 	_, _ = io.WriteString(w, `{"status":"ok"}`+"\n")
+}
+
+// retryAfterSecs derives the Retry-After hint from the current backlog:
+// roughly one second per Workers-wide batch of queued jobs, clamped to
+// [1, 60] so a deep queue never pushes clients away for unbounded time.
+func (s *Server) retryAfterSecs() int {
+	secs := 1 + s.queue.Stats().Depth/s.cfg.Workers
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
 }
 
 // httpError writes a JSON error body with the given status.
@@ -317,15 +366,36 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	job, err := s.queue.Submit(r.Context(), tenant, func(ctx context.Context) {
 		wait := time.Since(submitted)
 		rec.End(queueSpan)
+		if s.cfg.JobDeadline > 0 {
+			// Server-enforced deadline: covers the run only (queue wait is
+			// already bounded by the FIFO + budgets), so a wedged engine is
+			// reclaimed even when the client never disconnects.
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.JobDeadline)
+			defer cancel()
+		}
 		ctx = obs.WithParentSpan(obs.WithRecorder(ctx, rec), jobSpan)
+		if in := s.cfg.FaultInjector; in != nil {
+			ctx = fault.WithInjector(ctx, in)
+			ft := in.Check(fault.PointServiceJob)
+			if err := ft.Error(); err != nil {
+				runErr = err // job dies before streaming; handler sends 500
+				return
+			}
+			// Panic is contained by the queue's recovery; Stall parks until
+			// the deadline or the client disconnect reclaims the worker.
+			ft.Apply(ctx)
+		}
 		runStart := time.Now()
 		h0, m0 := s.cache.Stats()
 		w.Header().Set("Content-Type", "application/x-ndjson")
-		// A cancelled context means the client went away — nobody is
-		// reading, so no error record. Engine failures after streaming
+		// A cancelled *request* context means the client went away — nobody
+		// is reading, so no error record. The job context expiring (server
+		// deadline) is a real failure: in-stream error record after bytes
+		// were committed, 504 before. Engine failures after streaming
 		// started land in-stream (the 200 is committed by then); before
 		// any record, the handler turns them into a real error status.
-		if err := Run(WithRaceCounters(ctx, s.race), app, p, s.cache, emit); err != nil && ctx.Err() == nil {
+		if err := Run(WithRaceCounters(ctx, s.race), app, p, s.cache, emit); err != nil && r.Context().Err() == nil {
 			if wrote {
 				_ = emit(&ErrorRecord{Type: "error", Error: err.Error()})
 			} else {
@@ -338,9 +408,14 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		// aggregate stay exact.
 		rec.Add(obs.CacheHits, h1-h0)
 		rec.Add(obs.CacheMisses, m1-m0)
+		// Flush before the recorder folds into the aggregate so the
+		// retry/failure counters land in this job's observation; runDur is
+		// captured first so persistence latency (and its backoff sleeps)
+		// never pollutes the job-duration histograms.
+		runDur := time.Since(runStart)
+		flushErr := s.flushStore(rec)
 		rec.End(jobSpan)
-		s.agg.ObserveJob(rec, p.Algo, tenant, time.Since(runStart), wait)
-		flushErr := s.cache.Flush()
+		s.agg.ObserveJob(rec, p.Algo, tenant, runDur, wait)
 		s.mu.Lock()
 		// Overlapping jobs blur these deltas; they are exact whenever
 		// jobs run one at a time (the benchmark/repro setup).
@@ -351,8 +426,8 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 	})
 	if err != nil {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSecs()))
 		if errors.Is(err, ErrQueueFull) {
-			w.Header().Set("Retry-After", "1")
 			httpError(w, http.StatusServiceUnavailable, "queue full; retry later")
 			return
 		}
@@ -369,9 +444,13 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case jerr == nil:
 	case errors.Is(jerr, ErrQueueClosed):
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSecs()))
 		httpError(w, http.StatusServiceUnavailable, "server shutting down")
 	case r.Context().Err() != nil:
 		// Dropped because the client disconnected; nobody is reading.
+	case !wrote && errors.Is(jerr, context.DeadlineExceeded):
+		// The server deadline expired before any bytes were committed.
+		httpError(w, http.StatusGatewayTimeout, "job exceeded the server deadline (%v)", s.cfg.JobDeadline)
 	case !wrote:
 		// The job died (contained panic or pre-stream failure) before
 		// committing any bytes: the client deserves a real error
@@ -381,6 +460,27 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		// Stream already committed; terminate it with an error record.
 		_ = emit(&ErrorRecord{Type: "error", Error: jerr.Error()})
 	}
+}
+
+// flushStore persists the cache after a job with bounded retry: transient
+// failures back off exponentially and try again, while ErrStoreDegraded
+// returns immediately — the store's write breaker is already refusing
+// writes, and retrying from every job would defeat its purpose. The
+// costings stay dirty in memory either way, so a later flush (riding the
+// breaker's deterministic recovery probes) persists them eventually.
+func (s *Server) flushStore(rec *obs.Recorder) error {
+	err := s.cache.Flush()
+	backoff := s.cfg.FlushBackoff
+	for try := 0; try < s.cfg.FlushRetries && err != nil && !errors.Is(err, search.ErrStoreDegraded); try++ {
+		time.Sleep(backoff)
+		backoff *= 2
+		rec.Add(obs.StoreFlushRetries, 1)
+		err = s.cache.Flush()
+	}
+	if err != nil {
+		rec.Add(obs.StoreFlushFailures, 1)
+	}
+	return err
 }
 
 // Metrics is the /v1/metrics response document.
@@ -529,6 +629,28 @@ func (s *Server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
 		obs.Sample{Value: float64(misses)})
 	pw.Counter("isegend_cache_flush_errors_total", "Failed post-job cache persistence attempts.",
 		obs.Sample{Value: float64(flushErrs)})
+
+	if st := s.cache.Store(); st != nil {
+		ss := st.Stats()
+		degraded := 0.0
+		if ss.Degraded {
+			degraded = 1
+		}
+		pw.Gauge("isegend_store_degraded", "1 while the store's write breaker is open (read-through degraded mode).",
+			obs.Sample{Value: degraded})
+		pw.Gauge("isegend_store_bytes", "Bytes of live cache entries on disk.",
+			obs.Sample{Value: float64(ss.CurrentBytes)})
+		pw.Counter("isegend_store_corrupt_total", "Entries quarantined after failing the header, checksum or decode.",
+			obs.Sample{Value: float64(ss.Corrupt)})
+		pw.Counter("isegend_store_write_errors_total", "Disk-touching store writes that failed.",
+			obs.Sample{Value: float64(ss.WriteErrors)})
+		pw.Counter("isegend_store_breaker_trips_total", "Write breaker openings.",
+			obs.Sample{Value: float64(ss.BreakerTrips)})
+		pw.Counter("isegend_store_probes_total", "Recovery probes attempted while degraded.",
+			obs.Sample{Value: float64(ss.Probes)})
+		pw.Counter("isegend_store_recoveries_total", "Breaker closings after a successful probe.",
+			obs.Sample{Value: float64(ss.Recoveries)})
+	}
 
 	rm := s.race.Snapshot()
 	pw.Counter("isegend_racing_jobs_total", "Racing jobs observed.",

@@ -30,6 +30,7 @@ import (
 	isegen "repro"
 	"repro/internal/core"
 	"repro/internal/dfgio"
+	"repro/internal/fault"
 	"repro/internal/ir"
 	"repro/internal/latency"
 	"repro/internal/obs"
@@ -601,6 +602,16 @@ func runPerBlock(ctx context.Context, app *ir.Application, p Params, cache *sear
 					panic(r)
 				}
 			}()
+			if ft := fault.FromContext(ictx).Check(fault.PointEngineBlock); ft.Firing() {
+				// Error-shaped kinds fail the block (and thus the job);
+				// Panic exercises the containment above; Stall parks the
+				// worker until the deadline or disconnect cancels ictx.
+				if err := ft.Error(); err != nil {
+					outs[i].err = err
+					return
+				}
+				ft.Apply(ictx)
+			}
 			blk := app.Blocks[i]
 			if lim.NodeLimit > 0 && blk.N() > lim.NodeLimit {
 				outs[i].skipped = fmt.Sprintf("block exceeds %s engine node limit (%d > %d)", p.Algo, blk.N(), lim.NodeLimit)
